@@ -1,0 +1,70 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured report.  Absolute numbers come from a simulator, so the
+assertions pin the *shape*: orderings, feasibility thresholds, who wins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram import DramGeometry, DramModule, GenerationProfile, VulnerabilityModel
+from repro.dram.address import DramAddress
+from repro.sim import SimClock
+
+
+def print_report(title: str, lines: List[str]) -> None:
+    """Uniform report block (visible with pytest -s / --benchmark-only)."""
+    bar = "=" * max(len(title) + 4, 40)
+    print("\n" + bar)
+    print("  " + title)
+    print(bar)
+    for line in lines:
+        print("  " + line)
+    print(bar)
+
+
+def minimal_flip_rate(
+    profile: GenerationProfile,
+    seed: int = 5,
+    windows: int = 4,
+    rate_tolerance: float = 0.02,
+) -> Optional[float]:
+    """Binary-search the lowest double-sided rate that flips a bit in a
+    fresh module of this generation (the Table 1 measurement)."""
+    geometry = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
+
+    def flips_at(rate: float) -> bool:
+        clock = SimClock()
+        vulnerability = VulnerabilityModel(profile, geometry, seed=seed)
+        dram = DramModule(geometry, vulnerability, clock)
+        for row in range(0, 64):
+            addr = dram.mapping.address_of(DramAddress(0, row, 0))
+            dram.write(addr, b"\x00" * geometry.row_bytes)
+        for victim in range(1, 63, 2):
+            result = dram.hammer(
+                [(0, victim - 1), (0, victim + 1)],
+                total_accesses=int(rate * dram.refresh_interval * windows),
+                access_rate=rate,
+            )
+            if result.flip_count:
+                return True
+        return False
+
+    low = profile.min_rate_per_sec * 0.2
+    high = profile.min_rate_per_sec * 8
+    if not flips_at(high):
+        return None
+    while (high - low) / high > rate_tolerance:
+        mid = (low + high) / 2
+        if flips_at(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def once(benchmark, func):
+    """Run a heavy scenario exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,307 @@
+"""Ablations over the design decisions called out in DESIGN.md (D1-D5).
+
+* D1 — L2P layout: linear vs (key-public) hashed.  The paper argues a hash
+  layout yields *more* vulnerable aggressor placements; we count triples.
+* D2 — FTL CPU cache mode: none / invalidate-per-access / LRU, measured as
+  DRAM activations under the same burst.
+* D3 — hammer pattern: double-sided vs single-sided vs many-sided at the
+  same I/O budget.
+* D4 — batch hammer path speedup over the exact per-command loop (the
+  reason two simulated hours cost milliseconds).
+* D5 — amplification sweep: flips as a function of hammers-per-I/O.
+* D6 — Half-Double: distance-2 disturbance coupling on/off.
+* D7 — the DRAM write-staging buffer as a second hammerable surface.
+"""
+
+import time
+
+from repro import build_cloud_testbed
+from repro.attack import (
+    DeviceProfile,
+    double_sided_plan,
+    find_cross_partition_triples,
+    many_sided_plan,
+    single_sided_plan,
+)
+from repro.dram import CacheMode
+
+from bench_utils import once, print_report
+
+
+# ---------------------------------------------------------------------------
+# D1: L2P layout
+# ---------------------------------------------------------------------------
+
+def run_layout_ablation():
+    counts = {}
+    for layout in ("linear", "hashed"):
+        testbed = build_cloud_testbed(seed=31, l2p_layout=layout, plant_secrets=False)
+        profile = DeviceProfile.from_device(testbed.controller)
+        triples = find_cross_partition_triples(
+            profile, testbed.attacker_ns, testbed.victim_ns
+        )
+        counts[layout] = len(triples)
+    return counts
+
+
+def test_d1_l2p_layout(benchmark):
+    counts = once(benchmark, run_layout_ablation)
+    lines = ["%-10s %8s" % ("layout", "triples")]
+    for layout, count in counts.items():
+        lines.append("%-10s %8d" % (layout, count))
+        assert count > 0
+    lines.append("")
+    lines.append("paper: 'a linear layout is more challenging for a two-sided")
+    lines.append("rowhammering attack than a hash map' — the hash scatters")
+    lines.append("entries so victim rows are sandwiched more often")
+    print_report("D1: L2P layout vs aggressor placement", lines)
+    assert counts["hashed"] >= counts["linear"]
+
+
+# ---------------------------------------------------------------------------
+# D2: cache modes
+# ---------------------------------------------------------------------------
+
+def run_cache_ablation():
+    activations = {}
+    for mode in (CacheMode.NONE, CacheMode.INVALIDATE_EACH_ACCESS, CacheMode.LRU):
+        testbed = build_cloud_testbed(seed=31, cache_mode=mode, plant_secrets=False)
+        profile = DeviceProfile.from_device(testbed.controller)
+        triples = find_cross_partition_triples(
+            profile, testbed.attacker_ns, testbed.victim_ns, limit=1
+        )
+        plan = double_sided_plan(triples[0], testbed.attacker_ns)
+        for lba in plan.lbas:
+            testbed.attacker_vm.blockdev.trim_block(lba)
+        before = testbed.dram.metrics.counter("activations").value
+        plan.execute(testbed.attacker_vm, total_ios=1_000_000)
+        activations[mode.value] = (
+            testbed.dram.metrics.counter("activations").value - before
+        )
+    return activations
+
+
+def test_d2_cache_modes(benchmark):
+    activations = once(benchmark, run_cache_ablation)
+    lines = ["%-26s %14s" % ("cache mode", "activations")]
+    for mode, count in activations.items():
+        lines.append("%-26s %14d" % (mode, count))
+    lines.append("")
+    lines.append("paper: 'no caching makes the DRAM more prone to")
+    lines.append("rowhammering, as caches reduce DRAM access frequency'")
+    print_report("D2: FTL CPU cache vs hammer traffic", lines)
+    assert activations["lru"] < 100
+    assert activations["none"] > 1_000_000
+    assert activations["invalidate-each-access"] > 1_000_000
+
+
+# ---------------------------------------------------------------------------
+# D3: hammer patterns
+# ---------------------------------------------------------------------------
+
+def run_pattern_ablation():
+    flips = {}
+    budget = 300_000_000
+    for pattern in ("double-sided", "single-sided", "many-sided"):
+        testbed = build_cloud_testbed(seed=13, plant_secrets=False)
+        profile = DeviceProfile.from_device(testbed.controller)
+        triples = find_cross_partition_triples(
+            profile, testbed.attacker_ns, testbed.victim_ns, limit=3
+        )
+        ns = testbed.attacker_ns
+        if pattern == "double-sided":
+            plans = [double_sided_plan(t, ns) for t in triples]
+        elif pattern == "single-sided":
+            plans = [single_sided_plan(t, ns) for t in triples]
+        else:
+            plans = [many_sided_plan(triples, ns)]
+        for plan in plans:
+            for lba in plan.lbas:
+                testbed.attacker_vm.blockdev.trim_block(lba)
+        for plan in plans:
+            plan.execute(testbed.attacker_vm, total_ios=budget // len(plans))
+        flips[pattern] = testbed.flips_observed()
+    return flips
+
+
+def test_d3_hammer_patterns(benchmark):
+    flips = once(benchmark, run_pattern_ablation)
+    lines = ["%-14s %6s" % ("pattern", "flips")]
+    for pattern, count in flips.items():
+        lines.append("%-14s %6d" % (pattern, count))
+    lines.append("")
+    lines.append("paper: double-sided demonstrated; 'single-sided attacks")
+    lines.append("flip fewer bits in practice' ✓")
+    print_report("D3: hammer pattern effectiveness (same I/O budget)", lines)
+    assert flips["double-sided"] > 0
+    assert flips["single-sided"] <= flips["double-sided"]
+
+
+# ---------------------------------------------------------------------------
+# D4: batch vs exact speed
+# ---------------------------------------------------------------------------
+
+def run_speed_comparison():
+    ios = 100_000
+    testbed = build_cloud_testbed(seed=31, plant_secrets=False)
+    profile = DeviceProfile.from_device(testbed.controller)
+    triple = find_cross_partition_triples(
+        profile, testbed.attacker_ns, testbed.victim_ns, limit=1
+    )[0]
+    plan = double_sided_plan(triple, testbed.attacker_ns)
+
+    began = time.perf_counter()
+    for _ in range(ios // 2):
+        for lba in plan.lbas:
+            testbed.controller.read(2, lba)
+    exact_seconds = time.perf_counter() - began
+
+    testbed2 = build_cloud_testbed(seed=31, plant_secrets=False)
+    plan2 = double_sided_plan(triple, testbed2.attacker_ns)
+    began = time.perf_counter()
+    plan2.execute(testbed2.attacker_vm, total_ios=ios)
+    batch_seconds = time.perf_counter() - began
+    return exact_seconds, batch_seconds, ios
+
+
+def test_d4_batch_speedup(benchmark):
+    exact_seconds, batch_seconds, ios = once(benchmark, run_speed_comparison)
+    speedup = exact_seconds / max(batch_seconds, 1e-9)
+    lines = [
+        "%d I/Os exact loop:  %.3fs host" % (ios, exact_seconds),
+        "%d I/Os batch path:  %.5fs host" % (ios, batch_seconds),
+        "speedup: %.0fx (and it grows linearly with the I/O count)" % speedup,
+    ]
+    print_report("D4: batch hammer path vs exact per-command loop", lines)
+    assert speedup > 50
+
+
+# ---------------------------------------------------------------------------
+# D5: amplification sweep
+# ---------------------------------------------------------------------------
+
+def run_amplification_sweep():
+    results = {}
+    for amplification in (1, 2, 3, 5):
+        testbed = build_cloud_testbed(
+            seed=7, hammer_amplification=amplification, plant_secrets=False
+        )
+        profile = DeviceProfile.from_device(testbed.controller)
+        triples = find_cross_partition_triples(
+            profile, testbed.attacker_ns, testbed.victim_ns
+        )
+        plans = [double_sided_plan(t, testbed.attacker_ns) for t in triples]
+        for plan in plans:
+            for lba in plan.lbas:
+                testbed.attacker_vm.blockdev.trim_block(lba)
+        rate = None
+        for plan in plans:
+            burst = plan.execute(testbed.attacker_vm, total_ios=40_000_000)
+            rate = burst.activation_rate
+        results[amplification] = (rate, testbed.flips_observed())
+    return results
+
+
+def test_d5_amplification(benchmark):
+    results = once(benchmark, run_amplification_sweep)
+    lines = ["%4s %16s %6s" % ("amp", "activations/s", "flips")]
+    for amplification, (rate, flips) in results.items():
+        lines.append("%4d %16.2e %6d" % (amplification, rate, flips))
+    lines.append("")
+    lines.append("paper: 'we manually amplified each L2P row activation")
+    lines.append("(5 hammers per I/O request)'; below the rate, nothing flips")
+    print_report("D5: per-I/O amplification vs flips", lines)
+    assert results[1][1] == 0, "unamplified rate is below threshold"
+    assert results[5][1] > 0, "x5 amplification flips (the paper's setting)"
+
+
+# ---------------------------------------------------------------------------
+# D6: Half-Double (distance-2) coupling
+# ---------------------------------------------------------------------------
+
+def run_half_double():
+    from repro.dram import DramGeometry, DramModule, GenerationProfile, VulnerabilityModel
+    from repro.dram.address import DramAddress
+    from repro.sim import SimClock
+
+    geometry = DramGeometry.small(rows_per_bank=64, row_bytes=1024)
+    profile = GenerationProfile(
+        name="hd", year=2021, ddr_type="T", min_rate_kps=1.0,
+        row_vulnerable_fraction=1.0, mean_weak_cells=4.0, threshold_spread=0.2,
+    )
+    flips = {}
+    for weight in (0.0, 0.25, 0.5):
+        clock = SimClock()
+        dram = DramModule(
+            geometry,
+            VulnerabilityModel(profile, geometry, seed=11, neighbor2_weight=weight),
+            clock,
+        )
+        addr = dram.mapping.address_of(DramAddress(0, 9, 0))
+        dram.write(addr, b"\x00" * geometry.row_bytes)
+        result = dram.hammer(
+            [(0, 7), (0, 11)], total_accesses=100_000, access_rate=50_000
+        )
+        flips[weight] = len([f for f in result.flips if f.row == 9])
+    return flips
+
+
+def test_d6_half_double(benchmark):
+    flips = once(benchmark, run_half_double)
+    lines = ["%8s %6s" % ("weight", "flips (row between a distance-2 pair)")]
+    for weight, count in flips.items():
+        lines.append("%8.2f %6d" % (weight, count))
+    lines.append("")
+    lines.append("Qazi et al.'s Half-Double effect: with second-shell")
+    lines.append("coupling, a (r-2, r+2) pattern reaches row r")
+    print_report("D6: distance-2 disturbance coupling", lines)
+    assert flips[0.0] == 0
+    assert flips[0.5] > 0
+
+
+# ---------------------------------------------------------------------------
+# D7: the write-buffer attack surface (§2.1 "incoming writes" in DRAM)
+# ---------------------------------------------------------------------------
+
+def run_write_buffer_surface():
+    testbed = build_cloud_testbed(seed=7, write_buffer_pages=2, plant_secrets=False)
+    ftl = testbed.ftl
+    dram = testbed.dram
+    page = b"\x00" * ftl.page_bytes
+    ftl.flush()  # drain leftovers from filesystem creation
+    ftl.write(5, page)  # staged in DRAM, not yet on flash
+
+    slot_addr = testbed.ftl.write_buffer.slot_address(
+        ftl.write_buffer._by_lba[5]
+    )
+    coords = dram.mapping.locate(slot_addr)
+    # Hammer the staged page's DRAM row from both sides (device-internal
+    # demonstration of the surface; reaching these rows with host I/O
+    # requires aggressor entries adjacent to the buffer region).
+    result = dram.hammer(
+        [(coords.bank, coords.row - 1), (coords.bank, coords.row + 1)],
+        total_accesses=2_000_000,
+        access_rate=12_500_000,
+    )
+    corrupted_staged = ftl.read(5).data != page
+    ftl.flush()
+    corrupted_flash = ftl.read(5).data != page
+    return result.flip_count, corrupted_staged, corrupted_flash
+
+
+def test_d7_write_buffer_surface(benchmark):
+    flip_count, corrupted_staged, corrupted_flash = once(
+        benchmark, run_write_buffer_surface
+    )
+    lines = [
+        "flips in the staging row: %d" % flip_count,
+        "staged payload corrupted:  %s" % corrupted_staged,
+        "corruption persisted by flush: %s" % corrupted_flash,
+        "",
+        "§2.1: FTL DRAM also buffers 'incoming writes' — a second",
+        "hammerable region; flips there corrupt data *before* it",
+        "ever reaches flash",
+    ]
+    print_report("D7: write-buffer staging as an attack surface", lines)
+    assert flip_count > 0
+    assert corrupted_staged and corrupted_flash

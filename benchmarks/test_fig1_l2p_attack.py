@@ -1,0 +1,139 @@
+"""Figure 1 — the two-sided FTL rowhammering attack.
+
+The figure's story: after a sequential-write setup, an alternating read
+workload against LBAs whose L2P entries live in rows n-2 and n flips bits
+in the victim row n-1, redirecting an LBA (the figure draws LBA 256) to a
+different PBA.
+
+This bench reproduces it literally: a DRAM row holds 256 four-byte L2P
+entries (the figure's simplification), the victim row holds entries
+256..511, and the aggressor reads alternate between LBAs in the adjacent
+rows.  Assertions: at an at-rate workload at least one victim-row LBA's
+mapping changes and its reads return different data; below the minimal
+rate nothing moves.
+"""
+
+import struct
+
+from repro.dram import (
+    DramGeometry,
+    DramModule,
+    FtlCpuCache,
+    GenerationProfile,
+    VulnerabilityModel,
+)
+from repro.dram.mapping import SequentialMapping
+from repro.flash import FlashArray, FlashGeometry
+from repro.ftl import FtlConfig, PageMappingFtl
+from repro.nvme import DeviceTimingModel, NvmeController
+from repro.sim import SimClock
+
+from bench_utils import once, print_report
+
+#: Every row vulnerable so the figure's specific victim row can flip.
+FIGURE_PROFILE = GenerationProfile(
+    name="figure1",
+    year=2021,
+    ddr_type="demo",
+    min_rate_kps=3000,
+    row_vulnerable_fraction=1.0,
+    mean_weak_cells=6.0,
+)
+
+
+def build_figure1_device(seed=17):
+    """A device shaped like Figure 1: linear L2P, 256 entries per row."""
+    clock = SimClock()
+    dram_geometry = DramGeometry.small(rows_per_bank=64, row_bytes=1024)
+    vulnerability = VulnerabilityModel(FIGURE_PROFILE, dram_geometry, seed=seed)
+    dram = DramModule(
+        dram_geometry, vulnerability, clock, mapping=SequentialMapping(dram_geometry)
+    )
+    flash = FlashGeometry(
+        channels=2,
+        chips_per_channel=1,
+        planes_per_chip=2,
+        blocks_per_plane=20,
+        pages_per_block=32,
+        page_bytes=512,
+    )
+    ftl = PageMappingFtl(
+        FlashArray(flash), FtlCpuCache(dram), FtlConfig(num_lbas=2048)
+    )
+    controller = NvmeController(
+        ftl, clock, timing=DeviceTimingModel(hammer_amplification=5)
+    )
+    controller.create_namespace(1, 0, 2048)
+    return controller, dram, ftl
+
+
+def snapshot_mappings(ftl, lbas):
+    return {lba: ftl.l2p.lookup(lba) for lba in lbas}
+
+
+def run_figure1(rate_factor):
+    controller, dram, ftl = build_figure1_device()
+    # Setup stage: "the attacker prepares the L2P table by writing data to
+    # contiguous LBAs".
+    for lba in range(768):
+        controller.write(1, lba, bytes([lba % 251]) * 512)
+
+    victim_lbas = list(range(256, 512))  # entries in row n-1
+    before = snapshot_mappings(ftl, victim_lbas)
+    data_before = {lba: controller.read(1, lba) for lba in victim_lbas}
+
+    # Aggressors: one LBA with its entry in row n-2, one in row n.  Trim
+    # them so their reads take the no-flash fast path (§3: "direct access
+    # to unmapped/trimmed blocks may accelerate access rates").
+    controller.trim(1, 0)
+    controller.trim(1, 512)
+    host_cap = None if rate_factor >= 1 else 100_000.0
+    burst = controller.read_burst(1, [0, 512], repeats=40_000_000, host_iops_cap=host_cap)
+
+    after = snapshot_mappings(ftl, victim_lbas)
+    redirected = [
+        lba for lba in victim_lbas if before[lba] != after[lba]
+    ]
+    changed_data = []
+    for lba in redirected:
+        seen = controller.read(1, lba)
+        if seen != data_before[lba]:
+            changed_data.append(lba)
+    return {
+        "burst": burst,
+        "redirected": redirected,
+        "changed_data": changed_data,
+        "before": before,
+        "after": after,
+    }
+
+
+def test_figure1_two_sided_redirection(benchmark):
+    result = once(benchmark, lambda: run_figure1(rate_factor=1.0))
+    redirected = result["redirected"]
+    assert redirected, "at-rate hammering must redirect a victim-row LBA"
+    assert all(256 <= lba < 512 for lba in redirected)
+
+    lines = [
+        "activation rate: %.2e/s (needs >= 3.0e6/s)" % result["burst"].activation_rate,
+        "victim-row LBAs redirected: %s" % redirected,
+    ]
+    for lba in redirected:
+        lines.append(
+            "  LBA %d: PBA %s -> %s%s"
+            % (
+                lba,
+                result["before"][lba],
+                result["after"][lba],
+                "  (content changed on read)" if lba in result["changed_data"] else "",
+            )
+        )
+    lines.append("")
+    lines.append("paper: 'flips bits in the middle, victim row (n-1),")
+    lines.append("        redirecting LBA 256 to a different PBA' ✓")
+    print_report("Figure 1: two-sided FTL rowhammering", lines)
+
+
+def test_figure1_below_rate_is_safe():
+    result = run_figure1(rate_factor=0.1)
+    assert result["redirected"] == [], "sub-threshold rate must not flip"

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Not a paper artifact — these keep the substrate honest: simulator
+performance is what makes the paper-scale experiments (hours of simulated
+multi-million-IOPS hammering) tractable.
+"""
+
+import pytest
+
+from repro.dram import (
+    CacheMode,
+    DramGeometry,
+    DramModule,
+    FtlCpuCache,
+    GenerationProfile,
+    VulnerabilityModel,
+)
+from repro.ext4 import Credentials, Ext4Fs
+from repro.flash import FlashArray, FlashGeometry
+from repro.ftl import FtlConfig, PageMappingFtl
+from repro.host.blockdev import BlockDevice
+from repro.nvme import NvmeController
+from repro.sim import SimClock
+
+GRANITE = GenerationProfile(name="granite", year=2021, ddr_type="T", min_rate_kps=1e9)
+ALICE = Credentials(uid=1000, gid=1000)
+
+
+def build_stack(num_lbas=1024):
+    """A small self-contained device stack for micro-benchmarks."""
+    clock = SimClock()
+    dram_geometry = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
+    vulnerability = VulnerabilityModel(GRANITE, dram_geometry, seed=1)
+    dram = DramModule(dram_geometry, vulnerability, clock)
+    blocks = -(-num_lbas // 8) + 8
+    flash = FlashArray(
+        FlashGeometry(
+            channels=1,
+            chips_per_channel=1,
+            planes_per_chip=1,
+            blocks_per_plane=blocks,
+            pages_per_block=8,
+            page_bytes=512,
+        )
+    )
+    ftl = PageMappingFtl(
+        flash, FtlCpuCache(dram, CacheMode.NONE), FtlConfig(num_lbas=num_lbas)
+    )
+    controller = NvmeController(ftl, clock)
+    return controller, dram, ftl
+
+
+@pytest.fixture
+def dram():
+    geometry = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
+    clock = SimClock()
+    vulnerability = VulnerabilityModel(GRANITE, geometry, seed=1)
+    return DramModule(geometry, vulnerability, clock)
+
+
+def test_dram_write_read(benchmark, dram):
+    dram.write(0, b"x" * 64)
+
+    def op():
+        dram.write(4096, b"y" * 64)
+        return dram.read(4096, 64)
+
+    assert benchmark(op) == b"y" * 64
+
+
+def test_dram_batch_hammer_window(benchmark, dram):
+    dram.write(1024, b"\x00" * 1024)
+
+    def op():
+        return dram.hammer([(0, 0), (0, 2)], total_accesses=100_000, access_rate=10_000_000)
+
+    result = benchmark(op)
+    assert result.accesses == 100_000
+
+
+def test_ftl_write_path(benchmark):
+    controller, _, ftl = build_stack(num_lbas=1024)
+    controller.create_namespace(1, 0, 1024)
+    payload = b"z" * 512
+    counter = iter(range(10 ** 9))
+
+    def op():
+        controller.write(1, next(counter) % 1024, payload)
+
+    benchmark(op)
+
+
+def test_nvme_read_burst(benchmark):
+    controller, _, _ = build_stack(num_lbas=1024)
+    controller.create_namespace(1, 0, 1024)
+
+    def op():
+        return controller.read_burst(1, [0, 300], repeats=100_000)
+
+    result = benchmark(op)
+    assert result.ios == 200_000
+
+
+def test_fs_write_read(benchmark):
+    controller, _, _ = build_stack(num_lbas=2048)
+    controller.create_namespace(1, 0, 2048)
+    fs = Ext4Fs.mkfs(BlockDevice(controller, 1))
+    fs.create("/bench", ALICE)
+
+    def op():
+        fs.write("/bench", b"benchmark file payload", ALICE)
+        return fs.read("/bench", ALICE)
+
+    assert benchmark(op) == b"benchmark file payload"

@@ -1,0 +1,118 @@
+"""§4.1 — the prototype testbed's quantitative claims.
+
+Reproduced numbers, paper vs measured:
+
+* the L2P table sizing rule (1 MiB of mapping table per 1 GiB of SSD);
+* the required access rates: direct bitflips at ~3 M/s, SPDK-level at
+  ~7 M/s, bridged by the manual x5 per-I/O amplification;
+* the count of usable cross-partition row triples (the paper found "32
+  sets of three vulnerable rows" on its system; the count is a property
+  of the DRAM mapping, so we report ours and check the order);
+* simulated time to first flip and to first useful leak (the paper's
+  end-to-end took ~2 hours under its 5%-spray constraint — we reproduce
+  the *constraint's effect* through the §4.3 model).
+"""
+
+import pytest
+
+from repro import AttackConfig, FtlRowhammerAttack, build_cloud_testbed
+from repro.attack import DeviceProfile, find_cross_partition_triples
+from repro.attack.probability import (
+    ProbabilityParameters,
+    cycles_to_reach,
+    single_cycle_success_probability,
+)
+from repro.units import GIB, MIB, format_duration, format_rate
+
+from bench_utils import once, print_report
+
+
+def run_testbed_numbers():
+    out = {}
+    # (1) Table sizing: 1 GiB SSD -> 1 MiB linear L2P (4 B per 4 KiB page).
+    testbed_1g = build_cloud_testbed(
+        ssd_capacity=GIB, seed=41, plant_secrets=False
+    )
+    out["table_bytes_1gib"] = testbed_1g.ftl.l2p.table_bytes
+
+    # (2) Triples available to the attack at 1 GiB scale.
+    profile = DeviceProfile.from_device(testbed_1g.controller)
+    triples = find_cross_partition_triples(
+        profile, testbed_1g.attacker_ns, testbed_1g.victim_ns
+    )
+    out["triples"] = len(triples)
+    vuln = testbed_1g.dram.vulnerability
+    out["rowhammerable_triples"] = sum(
+        1
+        for t in triples
+        if vuln.row_vulnerability(t.bank, t.victim_row).is_vulnerable
+    )
+
+    # (3) Rates on the default (small) testbed.
+    testbed = build_cloud_testbed(seed=7)
+    out["required_rate"] = testbed.dram.vulnerability.profile.min_rate_per_sec
+    out["io_rate"] = testbed.attacker_vm.achieved_io_rate(mapped=False)
+    out["amplification"] = testbed.controller.timing.hammer_amplification
+
+    # (4) Time to first flip (hammer one triple at device speed).
+    attack = FtlRowhammerAttack(
+        testbed, AttackConfig(max_cycles=1, spray_files=16, hammer_seconds=120)
+    )
+    began = testbed.clock.now
+    attack.run()
+    flips = testbed.dram.flips
+    out["first_flip_time"] = flips[0].time - began if flips else None
+
+    # (5) The 5%-spray constraint's effect on expected attack time.
+    pb = 262_144  # 1 GiB of 4 KiB pages
+    half = pb // 2
+    constrained = ProbabilityParameters(
+        victim_blocks=half,
+        attacker_blocks=half,
+        victim_sprayed=int(half * 0.05),
+        attacker_sprayed=half,
+        physical_blocks=pb,
+    )
+    p = single_cycle_success_probability(constrained)
+    out["p_5pct"] = p
+    out["median_cycles_5pct"] = cycles_to_reach(p, 0.5)
+    return out
+
+
+def test_section41_testbed_numbers(benchmark):
+    out = once(benchmark, run_testbed_numbers)
+
+    # Sizing rule: 1 GiB -> 1 MiB table.
+    assert out["table_bytes_1gib"] == 1 * MIB
+
+    # Rates: amplified device rate clears the 3 M/s bar; unamplified
+    # doesn't (the 7 M/s SPDK-level gap the paper bridged with x5).
+    amplified = out["io_rate"] * out["amplification"]
+    assert amplified >= 7e6
+    assert out["io_rate"] < out["required_rate"]
+
+    # Triples: plural, and a meaningful fraction rowhammerable.
+    assert out["triples"] >= 32, "the paper's 32 sets is a lower bound here"
+    assert out["rowhammerable_triples"] >= 1
+
+    # A first flip lands within the first hammering cycle (the clock also
+    # advances through the spray stage and earlier, non-vulnerable plans).
+    assert out["first_flip_time"] is not None
+    assert out["first_flip_time"] < 180.0
+
+    lines = [
+        "L2P table for 1 GiB SSD:   %d KiB   (paper: 1 MiB) %s"
+        % (out["table_bytes_1gib"] // 1024, "✓" if out["table_bytes_1gib"] == MIB else "✗"),
+        "usable row triples:        %d      (paper found 32 sets; mapping-dependent)"
+        % out["triples"],
+        "  of which rowhammerable:  %d" % out["rowhammerable_triples"],
+        "required direct rate:      %s (paper: ~3 M/s)" % format_rate(out["required_rate"]),
+        "attacker I/O rate:         %s" % format_rate(out["io_rate"]),
+        "with x%d amplification:     %s (paper needed ~7 M/s SPDK-level)"
+        % (out["amplification"], format_rate(out["io_rate"] * out["amplification"])),
+        "time to first flip:        %s" % format_duration(out["first_flip_time"]),
+        "5%%-spray success/cycle:    %.4f -> median %d cycles"
+        % (out["p_5pct"], out["median_cycles_5pct"]),
+        "  (the paper's ~2-hour end-to-end time is this constraint at work)",
+    ]
+    print_report("§4.1: prototype testbed numbers", lines)

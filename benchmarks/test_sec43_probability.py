@@ -1,0 +1,68 @@
+"""§4.3 — probability of success, analytic vs Monte Carlo.
+
+Regenerates the section's quantitative claims: the closed-form
+``F_v (F_v + 2 F_a) / (4 C_v PB)``, its ~7% value for the illustrative
+parameters, the >50% cumulative success within 10 cycles, and sweeps over
+the spray fractions.  The Monte-Carlo simulation of the two-event model
+must agree with the closed form (validating both our reading of the
+formula and the sampler).
+"""
+
+from repro.attack import (
+    cumulative_success_probability,
+    monte_carlo_success_rate,
+    paper_example_parameters,
+    single_cycle_success_probability,
+)
+from repro.attack.probability import ProbabilityParameters, cycles_to_reach
+
+from bench_utils import once, print_report
+
+
+def run_analysis():
+    params = paper_example_parameters()
+    analytic = single_cycle_success_probability(params)
+    simulated = monte_carlo_success_rate(params, trials=2_000_000, seed=42)
+    sweep = []
+    pb = params.physical_blocks
+    half = pb // 2
+    for fraction in (0.05, 0.10, 0.25, 0.50, 1.00):
+        swept = ProbabilityParameters(
+            victim_blocks=half,
+            attacker_blocks=half,
+            victim_sprayed=int(half * fraction),
+            attacker_sprayed=half,
+            physical_blocks=pb,
+        )
+        p = single_cycle_success_probability(swept)
+        mc = monte_carlo_success_rate(swept, trials=400_000, seed=fraction)
+        sweep.append((fraction, p, mc))
+    return analytic, simulated, sweep
+
+
+def test_section43_probability(benchmark):
+    analytic, simulated, sweep = once(benchmark, run_analysis)
+
+    # Paper's headline numbers.
+    assert abs(analytic - 0.07) < 0.005, "single-cycle must be ~7%"
+    assert cumulative_success_probability(analytic, 10) > 0.5
+    assert simulated == __import__("pytest").approx(analytic, rel=0.05)
+
+    lines = [
+        "illustrative parameters (C_a = C_v = PB/2, F_v = C_v/4, F_a = C_a):",
+        "  analytic per-cycle:  %.4f   (paper: ~7%%)" % analytic,
+        "  monte-carlo (2M):    %.4f" % simulated,
+        "  after 10 cycles:     %.4f   (paper: >50%%)"
+        % cumulative_success_probability(analytic, 10),
+        "  cycles to 50%%:       %d" % cycles_to_reach(analytic, 0.5),
+        "",
+        "victim-spray sweep (attacker partition 100%%):",
+        "  %8s %12s %12s" % ("F_v/C_v", "analytic", "monte-carlo"),
+    ]
+    for fraction, p, mc in sweep:
+        lines.append("  %7.0f%% %12.4f %12.4f" % (fraction * 100, p, mc))
+        assert abs(p - mc) < max(0.15 * p, 0.002)
+    # Monotone in spray fraction.
+    analytic_values = [p for _f, p, _mc in sweep]
+    assert analytic_values == sorted(analytic_values)
+    print_report("§4.3: probability of a useful bitflip", lines)

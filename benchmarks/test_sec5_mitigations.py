@@ -1,0 +1,66 @@
+"""§5 — mitigations under the same attack.
+
+Regenerates the section's qualitative table as hard measurements: the
+undefended device leaks; ECC corrects the flips; TRR/PARA refresh the
+victims away; an 8x refresh outruns the attacker (2x does not — the
+attacker has ~4x rate headroom); the FTL CPU cache starves the hammer; a
+400K-IOPS limit keeps the rate under threshold; keyed L2P randomization
+blinds recon; enforced extent addressing removes the forged-indirect-block
+primitive; per-tenant encryption reduces leaks to noise; and DIF turns
+misdirected reads into detected errors.
+"""
+
+from repro.attack import AttackConfig
+from repro.mitigations import evaluate_all_mitigations
+
+from bench_utils import once, print_report
+
+EXPECT_LEAK = {"baseline (no defense)", "refresh-2x (32ms)"}
+
+
+def run_scorecard():
+    config = AttackConfig(max_cycles=6, spray_files=64, hammer_seconds=60)
+    return evaluate_all_mitigations(seed=7, attack_config=config)
+
+
+def test_section5_mitigations(benchmark):
+    rows = once(benchmark, run_scorecard)
+
+    lines = [
+        "%-34s %6s %5s %7s %7s %6s %8s"
+        % ("mitigation", "flips", "hits", "usable", "p-text", "recon", "verdict")
+    ]
+    for row in rows:
+        lines.append(
+            "%-34s %6d %5d %7d %7d %6s %8s"
+            % (
+                row.name,
+                row.flips,
+                row.hits,
+                row.usable_leaks,
+                row.plaintext_leaks,
+                "blind" if row.recon_blocked else "ok",
+                "LEAKS" if not row.mitigated else "HOLDS",
+            )
+        )
+        if row.name in EXPECT_LEAK:
+            assert not row.mitigated, "%s should leak" % row.name
+        else:
+            assert row.mitigated, "%s should hold" % row.name
+
+    by_name = {row.name: row for row in rows}
+    # Mechanism checks, not just outcomes:
+    assert by_name["ecc (SECDED)"].flips > 0  # flips happen, get corrected
+    assert by_name["trr"].flips == 0  # victims refreshed before threshold
+    assert by_name["ftl-cpu-cache (LRU)"].flips == 0  # hammer starved
+    assert by_name["io-rate-limit (400K IOPS)"].flips == 0
+    assert by_name["l2p-randomization (secret key)"].recon_blocked
+    assert by_name["enforce-extent-addressing"].flips > 0  # corruption remains
+    assert by_name["per-tenant-encryption"].usable_leaks > 0  # noise leaked
+    assert by_name["t10-dif-integrity"].detected_errors > 0
+
+    lines.append("")
+    lines.append("paper §5 shape: every defense holds except the undefended")
+    lines.append("baseline and a merely-2x refresh (attacker has 4x headroom);")
+    lines.append("extent enforcement still leaves data corruption possible ✓")
+    print_report("§5: mitigation scorecard", lines)

@@ -1,0 +1,58 @@
+"""Table 1 — reported minimal access rate to trigger bitflips.
+
+Regenerates all fourteen rows: for each DRAM generation, binary-search the
+lowest double-sided hammering rate that flips a bit in the simulated
+module, and compare against the paper's reported rate.
+
+Shape assertions: every generation flips near its reported rate (the
+calibration is honest, within the search tolerance plus sampling slack),
+and the 2020-era DDR4/LPDDR4 parts flip at far lower rates than 2014-era
+DDR3 — the trend §2.3's risk argument rests on.
+"""
+
+from repro.dram import TABLE1_PROFILES
+from repro.units import format_rate
+
+from bench_utils import minimal_flip_rate, once, print_report
+
+
+def run_table1():
+    measured = {}
+    for name, profile in TABLE1_PROFILES.items():
+        measured[name] = minimal_flip_rate(profile)
+    return measured
+
+
+def test_table1_minimal_rates(benchmark):
+    measured = once(benchmark, run_table1)
+
+    lines = [
+        "%-18s %6s %-14s %12s %12s %6s"
+        % ("profile", "year", "type", "paper", "measured", "ratio")
+    ]
+    for name, profile in TABLE1_PROFILES.items():
+        rate = measured[name]
+        assert rate is not None, "%s never flipped" % name
+        ratio = rate / profile.min_rate_per_sec
+        lines.append(
+            "%-18s %6d %-14s %12s %12s %5.2fx"
+            % (
+                name,
+                profile.year,
+                profile.ddr_type,
+                format_rate(profile.min_rate_per_sec),
+                format_rate(rate),
+                ratio,
+            )
+        )
+        # Calibration honesty: measured within ~15% above the paper rate
+        # (binary-search tolerance + weakest-sampled-cell slack).
+        assert 1.0 <= ratio < 1.15, "%s measured %.2fx off" % (name, ratio)
+
+    # Trend: newest parts flip at the lowest rates.
+    assert measured["lpddr4-new-2020"] < measured["ddr4-new-2020"]
+    assert measured["ddr4-new-2020"] < measured["ddr3-2014-a"]
+    assert measured["ddr3-2018"] == max(measured.values())
+    lines.append("")
+    lines.append("shape: 2020 parts flip at ~1/10th the rate of 2014 DDR3 ✓")
+    print_report("Table 1: minimal access rate to trigger bitflips", lines)

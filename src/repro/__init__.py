@@ -1,0 +1,97 @@
+"""repro — a simulation-based reproduction of *Rowhammering Storage
+Devices* (HotStorage '21).
+
+The package builds, from scratch, every system the paper's proof of
+concept rests on — a DRAM module with a calibrated rowhammer disturbance
+model, a NAND flash array, a page-mapping FTL whose L2P table lives inside
+the simulated DRAM, an NVMe-like multi-namespace front end, an ext4-like
+filesystem — plus the attack toolkit (recon, spray, hammer, scan,
+exfiltrate) and the §5 mitigations.
+
+Quick start::
+
+    from repro import build_cloud_testbed, FtlRowhammerAttack, AttackConfig
+
+    testbed = build_cloud_testbed(seed=7)
+    attack = FtlRowhammerAttack(testbed, AttackConfig(max_cycles=10))
+    result = attack.run()
+    print(result.success, [leak.category for leak in result.leaks])
+"""
+
+from repro.attack import (
+    AttackConfig,
+    AttackResult,
+    DeviceProfile,
+    FtlRowhammerAttack,
+    cumulative_success_probability,
+    monte_carlo_success_rate,
+    paper_example_parameters,
+    single_cycle_success_probability,
+)
+from repro.dram import (
+    CacheMode,
+    DramGeometry,
+    DramModule,
+    FtlCpuCache,
+    GenerationProfile,
+    Para,
+    TABLE1_PROFILES,
+    TargetRowRefresh,
+    VulnerabilityModel,
+)
+from repro.ext4 import Credentials, Ext4Fs, ROOT
+from repro.flash import FlashArray, FlashGeometry
+from repro.ftl import FtlConfig, PageMappingFtl
+from repro.host import BlockDevice, Vm
+from repro.nvme import DeviceTimingModel, IopsRateLimiter, NvmeController
+from repro.scenarios import (
+    ATTACKER_PROCESS,
+    CloudTestbed,
+    build_cloud_testbed,
+    build_paper_testbed,
+)
+from repro.sim import SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # scenarios
+    "build_cloud_testbed",
+    "build_paper_testbed",
+    "CloudTestbed",
+    "ATTACKER_PROCESS",
+    # attack
+    "FtlRowhammerAttack",
+    "AttackConfig",
+    "AttackResult",
+    "DeviceProfile",
+    "single_cycle_success_probability",
+    "cumulative_success_probability",
+    "monte_carlo_success_rate",
+    "paper_example_parameters",
+    # dram
+    "DramGeometry",
+    "DramModule",
+    "VulnerabilityModel",
+    "GenerationProfile",
+    "TABLE1_PROFILES",
+    "CacheMode",
+    "FtlCpuCache",
+    "TargetRowRefresh",
+    "Para",
+    # storage stack
+    "FlashArray",
+    "FlashGeometry",
+    "PageMappingFtl",
+    "FtlConfig",
+    "NvmeController",
+    "DeviceTimingModel",
+    "IopsRateLimiter",
+    "BlockDevice",
+    "Vm",
+    "Ext4Fs",
+    "Credentials",
+    "ROOT",
+    "SimClock",
+]

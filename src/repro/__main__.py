@@ -1,0 +1,189 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``         — run the end-to-end cloud attack and print the outcome.
+* ``mitigations``  — grade every §5 defense against the same attack.
+* ``probability``  — the §4.3 analysis (analytic + Monte Carlo).
+* ``table1``       — re-measure Table 1's minimal flip rates.
+* ``info``         — describe the default testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    AttackConfig,
+    FtlRowhammerAttack,
+    TABLE1_PROFILES,
+    build_cloud_testbed,
+    cumulative_success_probability,
+    monte_carlo_success_rate,
+    paper_example_parameters,
+    single_cycle_success_probability,
+)
+from repro.units import format_duration, format_rate, format_size
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    testbed = build_cloud_testbed(seed=args.seed)
+    attack = FtlRowhammerAttack(
+        testbed,
+        AttackConfig(
+            max_cycles=args.cycles,
+            spray_files=args.spray_files,
+            hammer_seconds=args.hammer_seconds,
+        ),
+    )
+    result = attack.run()
+    print("cycles run:        %d" % len(result.cycles))
+    print("ground-truth flips: %d" % testbed.flips_observed())
+    print("scan hits:         %d" % result.total_hits)
+    print("simulated time:    %s" % format_duration(result.duration))
+    if result.success:
+        print("RESULT: leak — the unprivileged tenant read foreign data")
+        for leak in result.leaks:
+            print("  %s (%s): %r..." % (leak.source_path, leak.category, leak.data[:24]))
+        return 0
+    print("RESULT: no leak this run (probabilistic; raise --cycles)")
+    return 1
+
+
+def cmd_mitigations(args: argparse.Namespace) -> int:
+    from repro.mitigations import evaluate_all_mitigations
+
+    rows = evaluate_all_mitigations(
+        seed=args.seed,
+        attack_config=AttackConfig(
+            max_cycles=args.cycles, spray_files=args.spray_files, hammer_seconds=60
+        ),
+    )
+    print("%-34s %6s %5s %7s %8s" % ("mitigation", "flips", "hits", "p-text", "verdict"))
+    for row in rows:
+        print(
+            "%-34s %6d %5d %7d %8s"
+            % (
+                row.name,
+                row.flips,
+                row.hits,
+                row.plaintext_leaks,
+                "HOLDS" if row.mitigated else "LEAKS",
+            )
+        )
+    return 0
+
+
+def cmd_probability(args: argparse.Namespace) -> int:
+    params = paper_example_parameters()
+    analytic = single_cycle_success_probability(params)
+    simulated = monte_carlo_success_rate(params, trials=args.trials, seed=args.seed)
+    print("single-cycle success (analytic):    %.4f" % analytic)
+    print("single-cycle success (monte-carlo): %.4f" % simulated)
+    print("cumulative after 10 cycles:         %.4f"
+          % cumulative_success_probability(analytic, 10))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    # Deferred import: the measurement helper lives with the benchmarks.
+    from repro.dram import DramGeometry, DramModule, VulnerabilityModel
+    from repro.dram.address import DramAddress
+    from repro.sim import SimClock
+
+    geometry = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
+
+    def flips_at(profile, rate):
+        clock = SimClock()
+        dram = DramModule(
+            geometry, VulnerabilityModel(profile, geometry, seed=args.seed), clock
+        )
+        for row in range(0, 64):
+            dram.write(dram.mapping.address_of(DramAddress(0, row, 0)), b"\x00" * 1024)
+        for victim in range(1, 63, 2):
+            result = dram.hammer(
+                [(0, victim - 1), (0, victim + 1)],
+                total_accesses=int(rate * dram.refresh_interval * 4),
+                access_rate=rate,
+            )
+            if result.flip_count:
+                return True
+        return False
+
+    print("%-18s %12s %12s" % ("profile", "paper", "measured"))
+    for name, profile in TABLE1_PROFILES.items():
+        low, high = profile.min_rate_per_sec * 0.2, profile.min_rate_per_sec * 8
+        if not flips_at(profile, high):
+            print("%-18s %12s %12s" % (name, format_rate(profile.min_rate_per_sec), "-"))
+            continue
+        while (high - low) / high > 0.02:
+            mid = (low + high) / 2
+            if flips_at(profile, mid):
+                high = mid
+            else:
+                low = mid
+        print(
+            "%-18s %12s %12s"
+            % (name, format_rate(profile.min_rate_per_sec), format_rate(high))
+        )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    testbed = build_cloud_testbed(seed=args.seed)
+    geometry = testbed.dram.geometry
+    print("SSD capacity:      %s (%d logical pages)"
+          % (format_size(testbed.ftl.num_lbas * testbed.ftl.page_bytes), testbed.ftl.num_lbas))
+    print("L2P table:         %s in DRAM" % format_size(testbed.ftl.l2p.table_bytes))
+    print("DRAM geometry:     %d banks x %d rows x %s"
+          % (geometry.total_banks, geometry.rows_per_bank, format_size(geometry.row_bytes)))
+    print("DRAM profile:      %s (flips at %s)"
+          % (testbed.dram.vulnerability.profile.name,
+             format_rate(testbed.dram.vulnerability.profile.min_rate_per_sec)))
+    print("victim namespace:  %d blocks (ext4, secrets planted)"
+          % testbed.victim_ns.num_lbas)
+    print("attacker namespace:%d blocks (raw access)" % testbed.attacker_ns.num_lbas)
+    print("amplification:     x%d hammers per I/O"
+          % testbed.controller.timing.hammer_amplification)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Rowhammering Storage Devices' (HotStorage '21)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="deterministic seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the end-to-end cloud attack")
+    demo.add_argument("--cycles", type=int, default=10)
+    demo.add_argument("--spray-files", type=int, default=64)
+    demo.add_argument("--hammer-seconds", type=float, default=120.0)
+    demo.set_defaults(func=cmd_demo)
+
+    mitigations = sub.add_parser("mitigations", help="grade the §5 defenses")
+    mitigations.add_argument("--cycles", type=int, default=6)
+    mitigations.add_argument("--spray-files", type=int, default=64)
+    mitigations.set_defaults(func=cmd_mitigations)
+
+    probability = sub.add_parser("probability", help="the §4.3 analysis")
+    probability.add_argument("--trials", type=int, default=500_000)
+    probability.set_defaults(func=cmd_probability)
+
+    table1 = sub.add_parser("table1", help="re-measure Table 1")
+    table1.set_defaults(func=cmd_table1)
+
+    info = sub.add_parser("info", help="describe the default testbed")
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The FTL rowhammering attack toolkit (paper §3-§4).
+
+Stages, mirroring §4.2:
+
+1. **Recon** (:mod:`repro.attack.recon`) — map LBAs to the DRAM rows their
+   L2P entries occupy, find aggressor/victim row triples that straddle the
+   partition boundary, and test which are actually rowhammerable.
+2. **Spray** (:mod:`repro.attack.spray`) — fill the victim filesystem with
+   indirect-block files whose lone data block is a maliciously formed
+   indirect block (:mod:`repro.attack.polyglot`), and blanket the attacker
+   partition with more malicious blocks.
+3. **Hammer** (:mod:`repro.attack.hammer`) — drive double/many-sided read
+   patterns against the aggressor LBAs from the attacker VM.
+4. **Scan** (:mod:`repro.attack.scan`) — re-read the sprayed files; changed
+   content means an L2P flip redirected a sprayed indirect block.
+5. **Exfiltrate** (:mod:`repro.attack.exfiltrate`) — classify and dump the
+   leaked blocks; simulate the privilege-escalation endgame.
+
+:mod:`repro.attack.orchestrator` chains the stages into the multi-cycle
+attack loop; :mod:`repro.attack.probability` reproduces the §4.3 analysis.
+"""
+
+from repro.attack.profile import DeviceProfile
+from repro.attack.recon import AttackTriple, find_cross_partition_triples, map_rows, probe_rowhammerable_triples
+from repro.attack.hammer import HammerPlan, double_sided_plan, many_sided_plan, single_sided_plan
+from repro.attack.polyglot import craft_indirect_block, craft_polyglot_block, parse_polyglot
+from repro.attack.spray import SprayRecord, spray_attacker_partition, spray_victim_filesystem
+from repro.attack.scan import ScanHit, scan_sprayed_files
+from repro.attack.exfiltrate import LeakRecord, extract_ssh_keys, simulate_setuid_execution
+from repro.attack.orchestrator import AttackConfig, AttackResult, FtlRowhammerAttack
+from repro.attack.report import render_attack_report, render_cycle_csv
+from repro.attack.timing_recon import (
+    RowClass,
+    TimingReconResult,
+    cluster_rows,
+    discover_hammer_pairs,
+    expand_row_class,
+    rows_conflict,
+)
+from repro.attack.probability import (
+    cumulative_success_probability,
+    monte_carlo_success_rate,
+    paper_example_parameters,
+    single_cycle_success_probability,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "AttackTriple",
+    "map_rows",
+    "find_cross_partition_triples",
+    "probe_rowhammerable_triples",
+    "HammerPlan",
+    "double_sided_plan",
+    "single_sided_plan",
+    "many_sided_plan",
+    "craft_indirect_block",
+    "craft_polyglot_block",
+    "parse_polyglot",
+    "SprayRecord",
+    "spray_victim_filesystem",
+    "spray_attacker_partition",
+    "ScanHit",
+    "scan_sprayed_files",
+    "LeakRecord",
+    "extract_ssh_keys",
+    "simulate_setuid_execution",
+    "AttackConfig",
+    "AttackResult",
+    "FtlRowhammerAttack",
+    "single_cycle_success_probability",
+    "cumulative_success_probability",
+    "monte_carlo_success_rate",
+    "paper_example_parameters",
+    "render_attack_report",
+    "render_cycle_csv",
+    "RowClass",
+    "TimingReconResult",
+    "cluster_rows",
+    "discover_hammer_pairs",
+    "expand_row_class",
+    "rows_conflict",
+]

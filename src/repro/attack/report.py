@@ -1,0 +1,94 @@
+"""Uniform text reporting for attack campaigns.
+
+Examples, the CLI, and ad-hoc notebooks all want the same summary of an
+:class:`~repro.attack.orchestrator.AttackResult`; this module renders it
+once, consistently.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attack.orchestrator import AttackResult
+from repro.scenarios import CloudTestbed
+from repro.units import format_duration, format_rate
+
+
+def render_attack_report(
+    testbed: CloudTestbed,
+    result: AttackResult,
+    title: str = "FTL rowhammer attack",
+    max_leak_preview: int = 32,
+) -> str:
+    """One readable block summarizing a finished campaign."""
+    lines: List[str] = []
+    lines.append("=== %s ===" % title)
+    lines.append(
+        "device: %d pages, %d KiB L2P table, DRAM %d banks x %d rows"
+        % (
+            testbed.ftl.num_lbas,
+            testbed.ftl.l2p.table_bytes // 1024,
+            testbed.dram.geometry.total_banks,
+            testbed.dram.geometry.rows_per_bank,
+        )
+    )
+    amplification = testbed.controller.timing.hammer_amplification
+    io_rate = testbed.attacker_vm.achieved_io_rate(mapped=False)
+    lines.append(
+        "attacker: %s I/O -> %s activations/s (x%d amplification)"
+        % (format_rate(io_rate), format_rate(io_rate * amplification), amplification)
+    )
+    lines.append("")
+    lines.append("cycle  sprayed  hammer I/Os  flips  hits")
+    for cycle in result.cycles:
+        lines.append(
+            "%5d  %7d  %11.2e  %5d  %4d"
+            % (
+                cycle.index,
+                cycle.sprayed,
+                cycle.hammer_ios,
+                cycle.flips_ground_truth,
+                len(cycle.hits),
+            )
+        )
+    lines.append("")
+    lines.append("simulated duration: %s" % format_duration(result.duration))
+    lines.append("ground-truth flips: %d" % testbed.flips_observed())
+    if result.success:
+        lines.append("outcome: LEAK — %d block(s) read across the permission boundary"
+                     % len(result.leaks))
+        for leak in result.leaks:
+            lines.append(
+                "  %s (%s): %r%s"
+                % (
+                    leak.source_path,
+                    leak.category,
+                    leak.data[:max_leak_preview],
+                    "..." if len(leak.data) > max_leak_preview else "",
+                )
+            )
+        sensitive = [leak for leak in result.leaks if leak.sensitive]
+        if sensitive:
+            lines.append("  including SENSITIVE material (%s)"
+                         % ", ".join(sorted({leak.category for leak in sensitive})))
+    else:
+        lines.append("outcome: no leak (probabilistic; see §4.3 for the odds)")
+    return "\n".join(lines)
+
+
+def render_cycle_csv(result: AttackResult) -> str:
+    """Machine-readable per-cycle data (for plotting)."""
+    rows = ["cycle,sprayed,hammer_ios,activation_rate,flips,hits"]
+    for cycle in result.cycles:
+        rows.append(
+            "%d,%d,%d,%.6g,%d,%d"
+            % (
+                cycle.index,
+                cycle.sprayed,
+                cycle.hammer_ios,
+                cycle.activation_rate,
+                cycle.flips_ground_truth,
+                len(cycle.hits),
+            )
+        )
+    return "\n".join(rows)

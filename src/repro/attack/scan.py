@@ -1,0 +1,79 @@
+"""The scan stage (§4.2, "Scan for bitflip").
+
+"After a certain period of hammering, the attacker process in the victim
+VM iterates over files created in the spraying stage to detect content
+modifications due to bitflips in the L2P table."  The attacker wrote every
+sprayed block itself, so detection is a byte comparison — no privileged
+information needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.attack.spray import SprayRecord
+from repro.errors import ReproError
+from repro.ext4.consts import NUM_DIRECT
+from repro.ext4.fs import Ext4Fs
+from repro.ext4.permissions import Credentials
+
+
+@dataclass
+class ScanHit:
+    """One sprayed file whose content changed under hammering."""
+
+    record: SprayRecord
+    #: What logical block 12 now reads (None when the read itself failed).
+    leaked: Optional[bytes]
+    #: True when the redirected pointer walk blew up (out-of-range pointer
+    #: or similar) — a corruption, not a usable leak.
+    corrupted: bool = False
+
+    @property
+    def usable(self) -> bool:
+        return not self.corrupted and self.leaked is not None
+
+
+def scan_sprayed_files(
+    fs: Ext4Fs, cred: Credentials, records: Sequence[SprayRecord]
+) -> List[ScanHit]:
+    """Re-read every sprayed file's data block and report changes."""
+    hits: List[ScanHit] = []
+    block_bytes = fs.block_bytes
+    offset = NUM_DIRECT * block_bytes
+    for record in records:
+        try:
+            seen = fs.read(record.path, cred, offset=offset, length=block_bytes)
+        except ReproError:
+            # Out-of-range pointer walk, extent CRC mismatch, DIF integrity
+            # error from the device — all of them *detected* corruptions,
+            # not usable leaks.
+            hits.append(ScanHit(record=record, leaked=None, corrupted=True))
+            continue
+        if seen != record.original_content:
+            hits.append(ScanHit(record=record, leaked=seen))
+    return hits
+
+
+def dump_wide(
+    fs: Ext4Fs,
+    cred: Credentials,
+    hit: ScanHit,
+    max_slots: Optional[int] = None,
+) -> List[bytes]:
+    """For a hit on a *wide* sprayed file, walk the later forged pointer
+    slots too: logical blocks 13, 14, ... each dereference another target
+    LBA through the substituted indirect block."""
+    block_bytes = fs.block_bytes
+    pointers_per_block = block_bytes // 4
+    slots = len(hit.record.targets) if max_slots is None else max_slots
+    slots = min(slots, pointers_per_block)
+    out: List[bytes] = []
+    for slot in range(1, slots):
+        offset = (NUM_DIRECT + slot) * block_bytes
+        try:
+            out.append(fs.read(hit.record.path, cred, offset=offset, length=block_bytes))
+        except ReproError:
+            break
+    return out

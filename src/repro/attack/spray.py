@@ -1,0 +1,145 @@
+"""The spraying stage (§4.2, "Filesystem spraying stage").
+
+Victim-side: the unprivileged attacker process creates many files shaped
+exactly like the paper describes — "a hole of 12 blocks (to avoid storing
+direct data blocks) and then ... a single data block mapped using an
+indirect block.  The data blocks in turn contain a maliciously formed
+indirect block pointing at target LBAs of potentially privileged content."
+
+Attacker-side: "the attacker's VM sprays its own partition with blocks
+that contain similar malicious indirect blocks" — raw writes, no
+filesystem needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.attack.polyglot import craft_indirect_block
+from repro.errors import AttackError, FsNoSpaceError, ReproError
+from repro.ext4.consts import ADDR_INDIRECT, NUM_DIRECT
+from repro.ext4.fs import Ext4Fs
+from repro.ext4.permissions import Credentials
+from repro.host.blockdev import BlockDevice
+
+
+@dataclass
+class SprayRecord:
+    """One sprayed file the scanner will watch."""
+
+    path: str
+    #: Filesystem block number of the file's single indirect block — the
+    #: LBA whose L2P entry a useful flip must hit.
+    indirect_fs_block: int
+    #: Filesystem block number of the lone data block (malicious content).
+    data_fs_block: int
+    #: Exactly what we wrote there, for change detection.
+    original_content: bytes
+    #: The victim LBAs this file's forged pointers aim at.
+    targets: List[int] = field(default_factory=list)
+
+
+def spread_targets(candidates: Sequence[int], groups: int, per_group: int) -> List[List[int]]:
+    """Partition target candidates round-robin so the spray covers as much
+    of the victim partition as possible."""
+    if not candidates:
+        raise AttackError("no target candidates to spread")
+    out: List[List[int]] = []
+    cursor = 0
+    for _ in range(groups):
+        group = [candidates[(cursor + i) % len(candidates)] for i in range(per_group)]
+        cursor = (cursor + per_group) % len(candidates)
+        out.append(group)
+    return out
+
+
+def spray_victim_filesystem(
+    fs: Ext4Fs,
+    cred: Credentials,
+    count: int,
+    target_fs_blocks: Sequence[int],
+    prefix: str = "/.spray",
+    targets_per_file: Optional[int] = None,
+    wide: bool = False,
+) -> List[SprayRecord]:
+    """Create ``count`` sprayed files; returns their records.
+
+    ``wide=True`` additionally extends each file's size across the whole
+    indirect range by writing a one-byte tail, so that after a redirect
+    *every* forged pointer slot is dereferenceable and one flip can dump
+    many target LBAs (extension beyond the paper's 1-slot layout).
+    """
+    block_bytes = fs.block_bytes
+    pointers_per_block = block_bytes // 4
+    if targets_per_file is None:
+        targets_per_file = pointers_per_block if wide else 1
+    targets_per_file = min(targets_per_file, pointers_per_block)
+    target_sets = spread_targets(target_fs_blocks, count, targets_per_file)
+
+    records: List[SprayRecord] = []
+    for index in range(count):
+        path = "%s-%06d" % (prefix, index)
+        targets = target_sets[index]
+        malicious = craft_indirect_block(targets, block_bytes)
+        try:
+            fs.create(path, cred, mode=0o600, addressing=ADDR_INDIRECT)
+            fs.write(path, malicious, cred, offset=NUM_DIRECT * block_bytes)
+            if wide:
+                tail_offset = (NUM_DIRECT + pointers_per_block - 1) * block_bytes
+                fs.write(path, b"\x00", cred, offset=tail_offset)
+        except FsNoSpaceError:
+            break  # partition full; stop spraying (paper hit a 5% cap)
+        except ReproError:
+            # Collateral corruption from earlier hammering (the paper's
+            # "data corruption" outcome) can break individual operations;
+            # the attacker just moves on.
+            continue
+        layout = fs.file_layout(path, cred)
+        if layout.indirect_block is None:
+            raise AttackError("sprayed file %s has no indirect block" % path)
+        records.append(
+            SprayRecord(
+                path=path,
+                indirect_fs_block=layout.indirect_block,
+                data_fs_block=layout.data_blocks[0],
+                original_content=malicious,
+                targets=list(targets),
+            )
+        )
+    return records
+
+
+def unspray_victim_filesystem(
+    fs: Ext4Fs, cred: Credentials, records: Sequence[SprayRecord]
+) -> int:
+    """Delete sprayed files (between cycles: 'the attacker can re-spray
+    the system with new files, forcing the FTL to re-shuffle all address
+    mappings').  Returns how many were removed."""
+    removed = 0
+    for record in records:
+        try:
+            if fs.exists(record.path, cred):
+                fs.unlink(record.path, cred)
+                removed += 1
+        except ReproError:
+            continue  # collateral corruption; leave the wreck in place
+    return removed
+
+
+def spray_attacker_partition(
+    device: BlockDevice,
+    lbas: Sequence[int],
+    target_fs_blocks: Sequence[int],
+    targets_per_block: int = 1,
+) -> List[bytes]:
+    """Blanket raw attacker-partition LBAs with malicious indirect blocks.
+
+    Returns the payloads written (one per LBA, for later recognition)."""
+    target_sets = spread_targets(target_fs_blocks, len(lbas), targets_per_block)
+    payloads = []
+    for lba, targets in zip(lbas, target_sets):
+        payload = craft_indirect_block(targets, device.block_bytes)
+        device.write_block(lba, payload)
+        payloads.append(payload)
+    return payloads

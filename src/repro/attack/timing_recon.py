@@ -1,0 +1,257 @@
+"""Blind reconnaissance through the row-buffer timing side channel.
+
+The main recon path (:mod:`repro.attack.recon`) assumes offline knowledge
+of the DRAM mapping.  The paper also allows the other route: "the attacker
+then identifies the aggressor rows using a combination of prior device
+DRAM structure knowledge **and trial and error**", citing DRAMA-style
+reverse engineering.  This module implements that route with *no* device
+profile at all:
+
+1. **Bank/row clustering** — alternating reads of two LBAs whose L2P
+   entries share a bank but not a row force a row-buffer conflict on every
+   access; same-row or different-bank pairs run from the open row.  The
+   latency gap (``DeviceTimingModel.row_miss_penalty``) clusters LBAs
+   first into conflict groups (banks), then into no-conflict classes
+   within a group (rows).
+2. **Adjacency by trial and error** — physical row adjacency produces no
+   timing signal; the attacker discovers it the way the paper says: write
+   canaries over candidate victim rows, hammer a pair of row classes, and
+   see whose data rots.
+
+Everything here issues only ordinary READ/WRITE commands on the caller's
+own namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReconError
+from repro.host.vm import Vm
+from repro.nvme.commands import NvmeCommand, Opcode
+
+
+@dataclass
+class RowClass:
+    """LBAs whose L2P entries were measured to share one DRAM row."""
+
+    label: int
+    lbas: List[int] = field(default_factory=list)
+
+
+@dataclass
+class TimingReconResult:
+    """Outcome of the clustering stage."""
+
+    #: Conflict groups (banks), each a list of row classes.
+    banks: List[List[RowClass]] = field(default_factory=list)
+
+    @property
+    def row_classes(self) -> List[RowClass]:
+        return [row for bank in self.banks for row in bank]
+
+
+def _measure_pair(controller, nsid: int, lba_a: int, lba_b: int, samples: int) -> float:
+    """Mean latency of reads of ``lba_b`` alternating with ``lba_a``."""
+    # Warm up: establish both banks' open rows.
+    controller.submit(NvmeCommand(Opcode.READ, nsid, lba_a))
+    controller.submit(NvmeCommand(Opcode.READ, nsid, lba_b))
+    total = 0.0
+    for _ in range(samples):
+        controller.submit(NvmeCommand(Opcode.READ, nsid, lba_a))
+        completion = controller.submit(NvmeCommand(Opcode.READ, nsid, lba_b))
+        total += completion.latency
+    return total / samples
+
+
+def rows_conflict(vm: Vm, lba_a: int, lba_b: int, samples: int = 8) -> bool:
+    """True when the two LBAs' entries share a bank but not a row.
+
+    Requires the device's ``row_miss_penalty`` to be non-zero; with the
+    side channel disabled (the default timing model) this raises, because
+    a blind attacker genuinely cannot tell.
+    """
+    controller = vm.blockdev.controller
+    penalty = controller.timing.row_miss_penalty
+    if penalty <= 0:
+        raise ReconError(
+            "row-buffer timing side channel unavailable "
+            "(row_miss_penalty is zero)"
+        )
+    nsid = vm.blockdev.nsid
+    base = controller.timing.base_command_time
+    latency = _measure_pair(controller, nsid, lba_a, lba_b, samples)
+    # Conflicting pairs pay the activation penalty on (almost) every
+    # access; non-conflicting pairs only on cold rows.
+    return latency > base + 0.5 * penalty
+
+
+def cluster_rows(
+    vm: Vm,
+    lbas: Sequence[int],
+    samples: int = 8,
+    max_lbas: Optional[int] = None,
+) -> TimingReconResult:
+    """Cluster LBAs into banks and rows using only read latencies.
+
+    Quadratic in the probe count, as real DRAMA sweeps are; pass a
+    representative subset (e.g. one LBA per few table slots) rather than
+    the whole drive.
+    """
+    probe = list(lbas if max_lbas is None else lbas[:max_lbas])
+    if len(probe) < 2:
+        raise ReconError("need at least two LBAs to cluster")
+
+    # Stage 1: partition into conflict groups (banks).  An LBA joins the
+    # first group containing any member it conflicts with.  Same-row LBAs
+    # never conflict with each other, so early same-row arrivals form
+    # orphan singleton groups — mended by the merge pass below.
+    groups: List[List[int]] = []
+    for lba in probe:
+        placed = False
+        for group in groups:
+            if any(
+                rows_conflict(vm, lba, member, samples) for member in group[:4]
+            ):
+                group.append(lba)
+                placed = True
+                break
+        if not placed:
+            groups.append([lba])
+
+    # Merge pass: two groups belong to one bank iff any cross pair
+    # conflicts.  Testing two *different-row* representatives per group
+    # suffices: a same-bank candidate must conflict with at least one of
+    # two members that sit in different rows.
+    def representatives(group: List[int]) -> List[int]:
+        reps = [group[0]]
+        for member in group[1:]:
+            if rows_conflict(vm, member, group[0], samples):
+                reps.append(member)  # provably a different row
+                break
+        return reps
+
+    merged = True
+    while merged:
+        merged = False
+        groups.sort(key=len, reverse=True)
+        for i in range(len(groups)):
+            reps = representatives(groups[i])
+            j = i + 1
+            while j < len(groups):
+                if any(
+                    rows_conflict(vm, other, rep, samples)
+                    for other in groups[j][:2]
+                    for rep in reps
+                ):
+                    groups[i].extend(groups[j])
+                    del groups[j]
+                    merged = True
+                else:
+                    j += 1
+            if merged:
+                break
+
+    # Stage 2: within each conflict group, same-row classes are the
+    # no-conflict equivalence classes.
+    result = TimingReconResult()
+    label = 0
+    for group in groups:
+        classes: List[RowClass] = []
+        for lba in group:
+            for row_class in classes:
+                if not rows_conflict(vm, lba, row_class.lbas[0], samples):
+                    row_class.lbas.append(lba)
+                    break
+            else:
+                classes.append(RowClass(label=label, lbas=[lba]))
+                label += 1
+        result.banks.append(classes)
+    return result
+
+
+def discover_hammer_pairs(
+    vm: Vm,
+    recon: TimingReconResult,
+    probe_ios: int = 2_000_000,
+    max_pairs: Optional[int] = None,
+) -> List[Tuple[RowClass, RowClass, RowClass]]:
+    """Trial-and-error adjacency discovery.
+
+    For every pair of row classes in a bank, write canaries over all the
+    *other* classes of that bank, hammer the pair, and record which class
+    rotted: that class sits physically between the pair.  Returns
+    ``(left, victim, right)`` triples of row classes.
+
+    This is the expensive, fully blind version of the §4.2 "Hammering
+    stage" — quadratic in rows per bank and destructive to the attacker's
+    own data, exactly as trial and error on a real device would be.
+    """
+    device = vm.blockdev
+    found: List[Tuple[RowClass, RowClass, RowClass]] = []
+    for bank in recon.banks:
+        for i in range(len(bank)):
+            for j in range(i + 1, len(bank)):
+                left, right = bank[i], bank[j]
+                others = [c for c in bank if c is not left and c is not right]
+                if not others:
+                    continue
+                expected: Dict[int, bytes] = {}
+                for row_class in others:
+                    # Canary the whole class: a flip corrupts exactly one
+                    # entry, so partial coverage misses most of them.
+                    for lba in row_class.lbas[:64]:
+                        payload = (b"TRIAL-%08d|" % lba) * (
+                            device.block_bytes // 16
+                        )
+                        payload = payload[: device.block_bytes].ljust(
+                            device.block_bytes, b"\x00"
+                        )
+                        device.write_block(lba, payload)
+                        expected[lba] = payload
+                # Trim the hammer LBAs (possibly canaried by an earlier
+                # pair) so the loop runs at the unmapped fast rate.
+                device.trim_block(left.lbas[0])
+                device.trim_block(right.lbas[0])
+                expected.pop(left.lbas[0], None)
+                expected.pop(right.lbas[0], None)
+                vm.hammer_reads(
+                    [left.lbas[0], right.lbas[0]], repeats=probe_ios // 2
+                )
+                for row_class in others:
+                    changed = any(
+                        device.read_block(lba) != expected[lba]
+                        for lba in row_class.lbas[:64]
+                        if lba in expected
+                    )
+                    if changed:
+                        found.append((left, row_class, right))
+                        if max_pairs is not None and len(found) >= max_pairs:
+                            return found
+    return found
+
+
+def expand_row_class(
+    vm: Vm,
+    row_class: RowClass,
+    candidates: Sequence[int],
+    reference_conflictor: int,
+    samples: int = 6,
+) -> RowClass:
+    """Grow a row class over candidate LBAs using the timing channel.
+
+    A candidate belongs to the class iff it does *not* conflict with a
+    class member (same row or other bank) **and does** conflict with a
+    known conflictor of the class (pinning the bank) — resolving the
+    same-row-vs-other-bank ambiguity of a single no-conflict result.
+    """
+    member = row_class.lbas[0]
+    for lba in candidates:
+        if lba in row_class.lbas:
+            continue
+        if rows_conflict(vm, lba, member, samples):
+            continue
+        if rows_conflict(vm, lba, reference_conflictor, samples):
+            row_class.lbas.append(lba)
+    return row_class

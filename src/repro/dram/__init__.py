@@ -1,0 +1,59 @@
+"""Simulated DRAM with a rowhammer disturbance model.
+
+This package is the physical substrate under the FTL: the logical-to-
+physical table really lives in these simulated cell arrays, so disturbance
+flips genuinely corrupt mapping entries, exactly as in the paper.
+
+Main entry points:
+
+* :class:`~repro.dram.geometry.DramGeometry` — module shape.
+* :class:`~repro.dram.mapping.AddressMapping` and concrete mappings — how
+  the memory controller spreads physical addresses over banks/rows.
+* :class:`~repro.dram.vulnerability.GenerationProfile` — Table-1-calibrated
+  per-generation flip thresholds.
+* :class:`~repro.dram.module.DramModule` — the module itself: read/write,
+  refresh epochs, hammer fast path, flip log.
+* Mitigations: :class:`~repro.dram.ecc.SecdedCodec`,
+  :class:`~repro.dram.trr.TargetRowRefresh`, :class:`~repro.dram.para.Para`,
+  :class:`~repro.dram.cache.FtlCpuCache`.
+"""
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.address import DramAddress
+from repro.dram.mapping import (
+    AddressMapping,
+    BankInterleavedMapping,
+    SequentialMapping,
+    XorBankMapping,
+)
+from repro.dram.vulnerability import (
+    GenerationProfile,
+    TABLE1_PROFILES,
+    VulnerabilityModel,
+    WeakCell,
+)
+from repro.dram.module import DramModule, FlipEvent
+from repro.dram.ecc import SecdedCodec
+from repro.dram.trr import TargetRowRefresh
+from repro.dram.para import Para
+from repro.dram.cache import CacheMode, FtlCpuCache
+
+__all__ = [
+    "DramGeometry",
+    "DramAddress",
+    "AddressMapping",
+    "SequentialMapping",
+    "BankInterleavedMapping",
+    "XorBankMapping",
+    "GenerationProfile",
+    "TABLE1_PROFILES",
+    "VulnerabilityModel",
+    "WeakCell",
+    "DramModule",
+    "FlipEvent",
+    "SecdedCodec",
+    "TargetRowRefresh",
+    "Para",
+    "CacheMode",
+    "FtlCpuCache",
+]

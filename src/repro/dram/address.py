@@ -1,0 +1,47 @@
+"""DRAM coordinates.
+
+A :class:`DramAddress` names one byte in the module by (global bank index,
+row, column).  Row adjacency — the thing rowhammer cares about — is defined
+*within a bank*: rows ``row-1`` and ``row+1`` of the same bank are the
+physical neighbours of ``row``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DramGeometry
+from repro.errors import DramAddressError
+
+
+@dataclass(frozen=True, order=True)
+class DramAddress:
+    """One byte inside the module, in geometry coordinates."""
+
+    bank: int
+    row: int
+    column: int
+
+    def validate(self, geometry: DramGeometry) -> "DramAddress":
+        """Raise :class:`~repro.errors.DramAddressError` if out of range."""
+        if not 0 <= self.bank < geometry.total_banks:
+            raise DramAddressError("bank %d out of range" % self.bank)
+        if not 0 <= self.row < geometry.rows_per_bank:
+            raise DramAddressError("row %d out of range" % self.row)
+        if not 0 <= self.column < geometry.row_bytes:
+            raise DramAddressError("column %d out of range" % self.column)
+        return self
+
+    def neighbours(self, geometry: DramGeometry) -> "list[DramAddress]":
+        """The physically adjacent rows (same bank, row +/- 1), clipped to
+        the array edges."""
+        out = []
+        if self.row > 0:
+            out.append(DramAddress(self.bank, self.row - 1, self.column))
+        if self.row + 1 < geometry.rows_per_bank:
+            out.append(DramAddress(self.bank, self.row + 1, self.column))
+        return out
+
+    def same_row(self, other: "DramAddress") -> bool:
+        """True when both addresses fall in the same (bank, row)."""
+        return self.bank == other.bank and self.row == other.row

@@ -1,0 +1,443 @@
+"""The DRAM module: storage, refresh windows, disturbance, mitigations.
+
+This is the physical memory under the FTL.  Reads and writes go through the
+controller's address-mapping function into per-bank sparse row arrays; every
+access that opens a row is an *activation*, and activations of a victim
+row's neighbours inside one refresh window accumulate *disturbance* (see
+:mod:`repro.dram.vulnerability`).  When disturbance crosses a weak cell's
+threshold, the stored bit really flips — whatever lives there (for us: L2P
+entries) is silently corrupted.
+
+Two execution paths produce identical per-window accounting:
+
+* the **exact path** — each :meth:`DramModule.read`/:meth:`DramModule.write`
+  activates rows one at a time; the caller advances the shared clock; and
+* the **batch path** — :meth:`DramModule.hammer` applies an entire hammering
+  campaign (pattern x rate x duration) window-by-window in closed form, so
+  two simulated hours of multi-million-IOPS hammering cost milliseconds of
+  host time.
+
+Property tests assert the two paths flip the same cells when no randomized
+mitigation is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.bank import Bank, CLOSED_PAGE, OPEN_PAGE
+from repro.dram.ecc import CLEAN, SecdedCodec
+from repro.dram.geometry import DramGeometry
+from repro.dram.mapping import AddressMapping, SequentialMapping
+from repro.dram.para import Para
+from repro.dram.trr import TargetRowRefresh
+from repro.dram.vulnerability import VulnerabilityModel
+from repro.errors import ConfigError, DramAddressError
+from repro.sim.clock import SimClock
+from repro.sim.metrics import MetricRegistry
+from repro.units import ms
+
+
+@dataclass(frozen=True)
+class FlipEvent:
+    """One disturbance bitflip that actually changed stored state."""
+
+    time: float
+    bank: int
+    row: int
+    byte_offset: int
+    bit: int
+    flips_to: int
+    old_byte: int
+    new_byte: int
+
+    @property
+    def in_check_region(self) -> bool:
+        """True when the flip hit ECC check bits rather than data."""
+        return self.old_byte is None
+
+
+@dataclass
+class HammerResult:
+    """Outcome of one :meth:`DramModule.hammer` campaign."""
+
+    accesses: int
+    duration: float
+    windows: int
+    flips: List[FlipEvent] = field(default_factory=list)
+    trr_capped: bool = False
+    para_refreshes: int = 0
+
+    @property
+    def flip_count(self) -> int:
+        return len(self.flips)
+
+
+class DramModule:
+    """A simulated DRAM module with a rowhammer disturbance model."""
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        vulnerability: VulnerabilityModel,
+        clock: SimClock,
+        mapping: Optional[AddressMapping] = None,
+        *,
+        ecc: bool = False,
+        trr: Optional[TargetRowRefresh] = None,
+        para: Optional[Para] = None,
+        refresh_interval: float = ms(64),
+        row_policy: str = OPEN_PAGE,
+        metrics: Optional[MetricRegistry] = None,
+    ):
+        if vulnerability.geometry is not geometry:
+            if vulnerability.geometry != geometry:
+                raise ConfigError("vulnerability model geometry mismatch")
+        if row_policy not in (OPEN_PAGE, CLOSED_PAGE):
+            raise ConfigError("unknown row policy %r" % row_policy)
+        if refresh_interval <= 0:
+            raise ConfigError("refresh interval must be positive")
+        self.geometry = geometry
+        self.mapping = mapping or SequentialMapping(geometry)
+        self.vulnerability = vulnerability
+        self.clock = clock
+        self.refresh_interval = refresh_interval
+        self.row_policy = row_policy
+        self.ecc_enabled = ecc
+        self.codec = SecdedCodec() if ecc else None
+        self.trr = trr
+        self.para = para
+        self.metrics = metrics or MetricRegistry("dram")
+        self.banks = [Bank(i, geometry, ecc_enabled=ecc) for i in range(geometry.total_banks)]
+        #: Every flip that changed stored state, in time order.
+        self.flips: List[FlipEvent] = []
+        self._reads = self.metrics.counter("reads")
+        self._writes = self.metrics.counter("writes")
+        self._activations = self.metrics.counter("activations")
+        self._row_hits = self.metrics.counter("row_buffer_hits")
+        self._flip_counter = self.metrics.counter("flips")
+        self._ecc_corrected = self.metrics.counter("ecc_corrected")
+        self._ecc_uncorrectable = self.metrics.counter("ecc_uncorrectable")
+
+    # ------------------------------------------------------------------
+    # address plumbing
+    # ------------------------------------------------------------------
+
+    def _segments(self, phys_addr: int, length: int) -> Iterable[Tuple[int, int, int, int]]:
+        """Split a byte span into per-row segments (bank, row, column, len)."""
+        if length < 0:
+            raise DramAddressError("negative length")
+        if phys_addr < 0 or phys_addr + length > self.geometry.capacity_bytes:
+            raise DramAddressError(
+                "span [0x%x, 0x%x) exceeds module" % (phys_addr, phys_addr + length)
+            )
+        offset = phys_addr
+        remaining = length
+        while remaining > 0:
+            coords = self.mapping.locate(offset)
+            chunk = min(remaining, self.geometry.row_bytes - coords.column)
+            yield coords.bank, coords.row, coords.column, chunk
+            offset += chunk
+            remaining -= chunk
+
+    # ------------------------------------------------------------------
+    # exact access path
+    # ------------------------------------------------------------------
+
+    def read(self, phys_addr: int, length: int) -> bytes:
+        """Read bytes; activates rows and may observe/correct flips."""
+        self._reads.add()
+        out = bytearray()
+        for bank_idx, row, column, chunk in self._segments(phys_addr, length):
+            self._touch(bank_idx, row)
+            bank = self.banks[bank_idx]
+            if self.ecc_enabled:
+                out += self._read_ecc(bank, row, column, chunk)
+            else:
+                out += bank.read(row, column, chunk).tobytes()
+        return bytes(out)
+
+    def write(self, phys_addr: int, data: bytes) -> None:
+        """Write bytes; activates rows; refreshes any pending flips away."""
+        self._writes.add()
+        view = np.frombuffer(bytes(data), dtype=np.uint8)
+        consumed = 0
+        for bank_idx, row, column, chunk in self._segments(phys_addr, len(view)):
+            self._touch(bank_idx, row)
+            bank = self.banks[bank_idx]
+            piece = view[consumed : consumed + chunk]
+            bank.write(row, column, piece)
+            if self.ecc_enabled:
+                self._update_check_bytes(bank, row, column, chunk)
+            consumed += chunk
+
+    def _read_ecc(self, bank: Bank, row: int, column: int, length: int) -> bytes:
+        """Word-granular verified read; corrects single-bit flips."""
+        codec = self.codec
+        word_bytes = codec.word_bytes
+        first_word = column // word_bytes
+        last_word = (column + length - 1) // word_bytes
+        check = bank.check_bytes(row, allocate=True)
+        raw = bank.read(row, first_word * word_bytes, (last_word - first_word + 1) * word_bytes)
+        words = raw.view(np.uint64)
+        corrected = bytearray()
+        for i, word in enumerate(words):
+            word_index = first_word + i
+            result = codec.decode(int(word), int(check[word_index]))
+            if result.status != CLEAN:
+                self._ecc_corrected.add()
+            corrected += int(result.data).to_bytes(word_bytes, "little")
+        start = column - first_word * word_bytes
+        return bytes(corrected[start : start + length])
+
+    def _update_check_bytes(self, bank: Bank, row: int, column: int, length: int) -> None:
+        """Recompute check bytes for every word a write touched."""
+        codec = self.codec
+        word_bytes = codec.word_bytes
+        first_word = column // word_bytes
+        last_word = (column + length - 1) // word_bytes
+        raw = bank.read(row, first_word * word_bytes, (last_word - first_word + 1) * word_bytes)
+        words = raw.view(np.uint64)
+        check = bank.check_bytes(row, allocate=True)
+        check[first_word : last_word + 1] = codec.encode_words(words)
+
+    # ------------------------------------------------------------------
+    # activation & disturbance
+    # ------------------------------------------------------------------
+
+    def _touch(self, bank_idx: int, row: int) -> None:
+        """Account one access to (bank, row) on the exact path."""
+        bank = self.banks[bank_idx]
+        epoch = self.clock.epoch(self.refresh_interval)
+        if bank.roll_epoch(epoch) and self.trr is not None:
+            self.trr.on_window(bank_idx)
+        if not bank.record_activation(row, self.row_policy):
+            self._row_hits.add()
+            return  # row buffer hit: no activation, no disturbance
+        self._activations.add()
+        if self.trr is not None:
+            for victim in self.trr.on_activation(bank_idx, row):
+                if 0 <= victim < self.geometry.rows_per_bank:
+                    bank.refresh_victim(victim)
+        if self.para is not None:
+            for victim in self.para.on_activation(bank_idx, row):
+                if 0 <= victim < self.geometry.rows_per_bank:
+                    bank.refresh_victim(victim)
+        victims = (row - 1, row + 1)
+        if self.vulnerability.neighbor2_weight:
+            victims = (row - 2, row - 1, row + 1, row + 2)
+        for victim in victims:
+            if 0 <= victim < self.geometry.rows_per_bank:
+                self._check_victim(bank, victim)
+
+    def _check_victim(self, bank: Bank, victim: int) -> None:
+        """Apply any flips the victim's current disturbance has earned."""
+        min_threshold = self.vulnerability.min_threshold(bank.index, victim)
+        if min_threshold == float("inf"):
+            return
+        left, right = bank.victim_side_counts(victim)
+        if self.vulnerability.neighbor2_weight:
+            left2, right2 = bank.victim_far_counts(victim)
+            disturbance = self.vulnerability.disturbance(left, right, left2, right2)
+        else:
+            disturbance = self.vulnerability.disturbance(left, right)
+        if disturbance < min_threshold:
+            return
+        self._apply_flips(bank, victim, disturbance)
+
+    def _apply_flips(self, bank: Bank, victim: int, disturbance: float) -> int:
+        """Flip every weak cell at or below ``disturbance``; idempotent."""
+        row_vuln = self.vulnerability.row_vulnerability(bank.index, victim)
+        applied = 0
+        for cell in row_vuln.cells:
+            if cell.threshold > disturbance:
+                break  # cells are sorted by threshold
+            change = bank.flip_bit(victim, cell.byte_offset, cell.bit, cell.flips_to)
+            if change is None:
+                continue
+            old, new = change
+            event = FlipEvent(
+                time=self.clock.now,
+                bank=bank.index,
+                row=victim,
+                byte_offset=cell.byte_offset,
+                bit=cell.bit,
+                flips_to=cell.flips_to,
+                old_byte=old,
+                new_byte=new,
+            )
+            self.flips.append(event)
+            self._flip_counter.add()
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # batch hammer fast path
+    # ------------------------------------------------------------------
+
+    def hammer(
+        self,
+        pattern: Sequence[Tuple[int, int]],
+        total_accesses: int,
+        access_rate: float,
+    ) -> HammerResult:
+        """Run a hammering campaign in closed form.
+
+        ``pattern`` is the repeating sequence of (bank, row) activations —
+        e.g. ``[(b, r-1), (b, r+1)]`` for a double-sided attack on row
+        ``r``.  ``access_rate`` is the *device-level* row-activation rate in
+        accesses/second; ``total_accesses`` bounds the campaign.
+
+        The campaign walks refresh windows: each window receives its share
+        of activations, per-victim disturbance is evaluated once with the
+        window's final counts, and flips are applied exactly as the exact
+        path would have.  TRR is modelled by its disturbance cap (or fully
+        evaded when the pattern thrashes the sampler); PARA by sampling the
+        number of mid-window victim refreshes and scaling the achievable
+        disturbance run.
+        """
+        if not pattern:
+            raise ConfigError("hammer pattern must not be empty")
+        if access_rate <= 0:
+            raise ConfigError("access rate must be positive")
+        if total_accesses < 0:
+            raise ConfigError("total accesses cannot be negative")
+        for (bank_idx, row) in pattern:
+            if not 0 <= bank_idx < self.geometry.total_banks:
+                raise DramAddressError("bank %d out of range" % bank_idx)
+            if not 0 <= row < self.geometry.rows_per_bank:
+                raise DramAddressError("row %d out of range" % row)
+        for i in range(len(pattern)):
+            if len(pattern) > 1 and pattern[i] == pattern[(i + 1) % len(pattern)]:
+                raise ConfigError(
+                    "consecutive duplicate rows in pattern never re-activate "
+                    "under the open-page policy"
+                )
+        if len(set(pattern)) == 1 and self.row_policy == OPEN_PAGE:
+            raise ConfigError(
+                "a single-row pattern only hammers under the closed-page "
+                "policy (one-location hammering)"
+            )
+
+        result = HammerResult(accesses=0, duration=0.0, windows=0)
+        flips_before = len(self.flips)
+        remaining = total_accesses
+        start_time = self.clock.now
+        while remaining > 0:
+            epoch = self.clock.epoch(self.refresh_interval)
+            window_end = (epoch + 1) * self.refresh_interval
+            time_left = window_end - self.clock.now
+            budget = int(access_rate * time_left)
+            if budget <= 0:
+                # Skip to the next window.  Guard against float rounding:
+                # advancing exactly to (epoch+1)*interval can leave
+                # epoch() unchanged, which would spin forever.
+                self.clock.advance_to(max(window_end, self.clock.now))
+                if self.clock.epoch(self.refresh_interval) == epoch:
+                    self.clock.advance(self.refresh_interval * 1e-6)
+                continue
+            accesses = min(remaining, budget)
+            # Advance first so flip events are stamped when the window's
+            # hammering has actually happened.
+            self.clock.advance(accesses / access_rate)
+            self._hammer_window(pattern, accesses, epoch, result)
+            remaining -= accesses
+            result.accesses += accesses
+            result.windows += 1
+        result.duration = self.clock.now - start_time
+        result.flips = self.flips[flips_before:]
+        return result
+
+    def _hammer_window(
+        self,
+        pattern: Sequence[Tuple[int, int]],
+        accesses: int,
+        epoch: int,
+        result: HammerResult,
+    ) -> None:
+        """Apply one window's worth of a pattern and evaluate flips."""
+        # Round-robin split of accesses over the pattern positions.
+        base, extra = divmod(accesses, len(pattern))
+        counts: Dict[Tuple[int, int], int] = {}
+        rows_per_bank: Dict[int, set] = {}
+        for index, key in enumerate(pattern):
+            n = base + (1 if index < extra else 0)
+            counts[key] = counts.get(key, 0) + n
+            rows_per_bank.setdefault(key[0], set()).add(key[1])
+
+        touched_banks = set()
+        for (bank_idx, row), n in counts.items():
+            bank = self.banks[bank_idx]
+            if bank_idx not in touched_banks:
+                if bank.roll_epoch(epoch) and self.trr is not None:
+                    self.trr.on_window(bank_idx)
+                touched_banks.add(bank_idx)
+            bank.add_activations(row, n)
+            self._activations.add(n)
+
+        # Evaluate every victim adjacent to any hammered row (second shell
+        # too when Half-Double coupling is enabled).
+        victims: Dict[int, set] = {}
+        reach = (-2, -1, 1, 2) if self.vulnerability.neighbor2_weight else (-1, 1)
+        for (bank_idx, row) in counts:
+            for delta in reach:
+                victim = row + delta
+                if 0 <= victim < self.geometry.rows_per_bank:
+                    victims.setdefault(bank_idx, set()).add(victim)
+
+        for bank_idx, victim_rows in victims.items():
+            bank = self.banks[bank_idx]
+            trr_capped = (
+                self.trr is not None
+                and not self.trr.evaded_by(len(rows_per_bank.get(bank_idx, ())))
+            )
+            for victim in sorted(victim_rows):
+                left, right = bank.victim_side_counts(victim)
+                if self.vulnerability.neighbor2_weight:
+                    left2, right2 = bank.victim_far_counts(victim)
+                    disturbance = self.vulnerability.disturbance(
+                        left, right, left2, right2
+                    )
+                else:
+                    disturbance = self.vulnerability.disturbance(left, right)
+                if trr_capped:
+                    cap = self.vulnerability.disturbance(
+                        self.trr.refresh_threshold, self.trr.refresh_threshold
+                    )
+                    if disturbance > cap:
+                        disturbance = cap
+                        result.trr_capped = True
+                if self.para is not None:
+                    adjacent = left + right
+                    refreshes = self.para.draw_refresh_count(adjacent)
+                    if refreshes:
+                        # Disturbance must accumulate inside one refresh-free
+                        # run; with k refreshes the longest run is ~1/(k+1)
+                        # of the window.
+                        disturbance /= refreshes + 1
+                        result.para_refreshes += refreshes
+                self._apply_flips(bank, victim, disturbance)
+
+    # ------------------------------------------------------------------
+    # observability helpers
+    # ------------------------------------------------------------------
+
+    def flips_since(self, index: int) -> List[FlipEvent]:
+        """Flip events appended after ``index`` (a previous len(flips))."""
+        return self.flips[index:]
+
+    def flipped_addresses(self, events: Optional[Iterable[FlipEvent]] = None) -> List[int]:
+        """Physical byte addresses corrupted by the given flips (data region
+        only; check-region flips have no physical byte address)."""
+        out = []
+        for event in events if events is not None else self.flips:
+            if event.byte_offset >= self.geometry.row_bytes:
+                continue
+            from repro.dram.address import DramAddress
+
+            coords = DramAddress(event.bank, event.row, event.byte_offset)
+            out.append(self.mapping.address_of(coords))
+        return out

@@ -1,0 +1,49 @@
+"""An ext4-like filesystem over a block device.
+
+Implements exactly the ext4 semantics the paper's §4.2 exploit rests on:
+
+* Files can be addressed through **extent trees** (the default, protected
+  by CRC-32C checksums) or through the legacy **direct/indirect block
+  scheme**, which carries *no checksum* — and "users may also select the
+  direct/indirect block mechanism on files they have write access to".
+* Files may contain **holes**: the sprayed files skip their 12 direct
+  pointers and store one data block behind a single indirect block.
+* Unix permissions are enforced at the filesystem layer — and at that
+  layer only, which is why a mapping-level redirection reads privileged
+  content straight past them.
+
+The filesystem deliberately has **no page cache**: every read walks the
+on-disk structures through the block device (and hence through the FTL's
+L2P table).  That mirrors the attacker's O_DIRECT usage in the paper and
+means a redirected block takes effect on the very next read.
+"""
+
+from repro.ext4.crc32c import crc32c
+from repro.ext4.consts import (
+    ADDR_EXTENTS,
+    ADDR_INDIRECT,
+    S_IFDIR,
+    S_IFREG,
+    S_ISUID,
+)
+from repro.ext4.permissions import Credentials, ROOT, may_read, may_write
+from repro.ext4.inode import Inode
+from repro.ext4.superblock import Superblock
+from repro.ext4.fs import Ext4Fs, FileLayout
+
+__all__ = [
+    "crc32c",
+    "ADDR_EXTENTS",
+    "ADDR_INDIRECT",
+    "S_IFDIR",
+    "S_IFREG",
+    "S_ISUID",
+    "Credentials",
+    "ROOT",
+    "may_read",
+    "may_write",
+    "Inode",
+    "Superblock",
+    "Ext4Fs",
+    "FileLayout",
+]

@@ -1,0 +1,49 @@
+"""On-disk constants for the ext4-like filesystem."""
+
+# -- superblock ---------------------------------------------------------------
+
+#: Filesystem magic (ext4's is 0xEF53; ours differs to avoid confusion with
+#: the real format).
+SUPER_MAGIC = 0xEF54
+
+#: Inode numbers: 0 is invalid, 1 is the root directory.
+INVALID_INO = 0
+ROOT_INO = 1
+
+#: On-disk inode record size.
+INODE_SIZE = 128
+
+# -- file mode bits (matching POSIX / ext4) -----------------------------------
+
+S_IFREG = 0x8000
+S_IFDIR = 0x4000
+S_ISUID = 0o4000
+
+PERM_MASK = 0o7777
+
+# -- addressing ---------------------------------------------------------------
+
+#: Number of direct block pointers in an inode.
+NUM_DIRECT = 12
+#: i_block slot of the single-indirect pointer.
+SINGLE_INDIRECT_SLOT = 12
+#: i_block slot of the double-indirect pointer.
+DOUBLE_INDIRECT_SLOT = 13
+#: Total i_block pointer slots (slot 14 is unused, as in ext2/3 pre-triple).
+NUM_BLOCK_SLOTS = 15
+
+#: Inode flag: file uses the extent tree (EXT4_EXTENTS_FL).
+FLAG_EXTENTS = 0x0008_0000
+
+#: Addressing mode names used in the public API.
+ADDR_EXTENTS = "extents"
+ADDR_INDIRECT = "indirect"
+
+#: Extent-tree node magic (same value as real ext4).
+EXTENT_MAGIC = 0xF30A
+
+#: Extents that fit in the inode's 60-byte i_block area.
+EXTENTS_PER_INODE = 4
+
+#: Sentinel meaning "no block allocated" in pointer arrays.
+NO_BLOCK = 0

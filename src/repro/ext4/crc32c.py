@@ -1,0 +1,31 @@
+"""CRC-32C (Castagnoli) — the checksum ext4 uses for metadata.
+
+Table-driven software implementation of the reflected polynomial
+0x82F63B78 (the same code as Intel's SSE4.2 ``crc32`` instruction and
+``linux/crypto/crc32c``).
+"""
+
+from __future__ import annotations
+
+_POLY = 0x82F63B78
+
+
+def _build_table():
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC-32C of ``data``; chainable via the ``crc`` argument."""
+    crc ^= 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF

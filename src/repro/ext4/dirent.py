@@ -1,0 +1,98 @@
+"""Directory entry blocks.
+
+A directory's data blocks hold a packed sequence of entries::
+
+    [u32 inode][u8 name_len][name bytes]
+
+An inode of 0 with a non-zero name length is a tombstone (the name is kept
+so the scan can skip it); a zero inode with zero length terminates the
+block.  Names are UTF-8, at most 255 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import FsError
+
+_HEAD = struct.Struct("<IB")
+
+MAX_NAME = 255
+
+
+def entry_size(name: bytes) -> int:
+    return _HEAD.size + len(name)
+
+
+def encode_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    if not raw or len(raw) > MAX_NAME:
+        raise FsError("invalid file name %r" % name)
+    if "/" in name:
+        raise FsError("file name may not contain '/'")
+    return raw
+
+
+class DirectoryBlock:
+    """Mutable view over one directory data block."""
+
+    def __init__(self, data: bytes):
+        self.data = bytearray(data)
+
+    def entries(self) -> Iterator[Tuple[int, int, str]]:
+        """Yield (offset, inode, name) for every live entry."""
+        offset = 0
+        limit = len(self.data)
+        while offset + _HEAD.size <= limit:
+            ino, name_len = _HEAD.unpack_from(self.data, offset)
+            if ino == 0 and name_len == 0:
+                return
+            name_raw = bytes(self.data[offset + _HEAD.size : offset + _HEAD.size + name_len])
+            if ino != 0:
+                yield offset, ino, name_raw.decode("utf-8", errors="replace")
+            offset += _HEAD.size + name_len
+
+    def find(self, name: str) -> Optional[int]:
+        """Inode for ``name``, or None."""
+        for _offset, ino, entry_name in self.entries():
+            if entry_name == name:
+                return ino
+        return None
+
+    def append(self, ino: int, name: str) -> bool:
+        """Add an entry; False when the block has no room."""
+        raw = encode_name(name)
+        offset = self._end_offset()
+        needed = entry_size(raw)
+        # Keep room for the (implicit, zeroed) terminator.
+        if offset + needed + _HEAD.size > len(self.data):
+            return False
+        _HEAD.pack_into(self.data, offset, ino, len(raw))
+        self.data[offset + _HEAD.size : offset + _HEAD.size + len(raw)] = raw
+        return True
+
+    def remove(self, name: str) -> bool:
+        """Tombstone an entry; False when absent."""
+        for offset, _ino, entry_name in self.entries():
+            if entry_name == name:
+                _ino_stored, name_len = _HEAD.unpack_from(self.data, offset)
+                _HEAD.pack_into(self.data, offset, 0, name_len)
+                return True
+        return False
+
+    def _end_offset(self) -> int:
+        offset = 0
+        limit = len(self.data)
+        while offset + _HEAD.size <= limit:
+            ino, name_len = _HEAD.unpack_from(self.data, offset)
+            if ino == 0 and name_len == 0:
+                return offset
+            offset += _HEAD.size + name_len
+        return offset
+
+    def live_entries(self) -> List[Tuple[int, str]]:
+        return [(ino, name) for _offset, ino, name in self.entries()]
+
+    def to_bytes(self) -> bytes:
+        return bytes(self.data)

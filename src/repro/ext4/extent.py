@@ -1,0 +1,186 @@
+"""Depth-1 extent trees with CRC-32C-protected leaf blocks.
+
+Small extent files keep their extents inside the inode (depth-0 root, see
+:mod:`repro.ext4.inode`).  When a file fragments past the four in-inode
+slots, the tree grows to depth 1: the root holds *index* entries pointing
+at leaf blocks, and each leaf block stores many extents followed by a
+CRC-32C tail — the checksum the paper credits with making the extent path
+"much more difficult to exploit": a leaf block substituted by an L2P
+redirection fails its checksum and the read is *detected* as corruption
+instead of silently following forged mappings (contrast with indirect
+blocks, which carry no checksum at all).
+
+Leaf layout (one filesystem block)::
+
+    +--------------------+----------------------+---------+------+
+    | header (12 bytes)  | extents (12 B each)  | padding | CRC  |
+    +--------------------+----------------------+---------+------+
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.errors import FsCorruptionError, FsNoSpaceError
+from repro.ext4.consts import EXTENT_MAGIC, EXTENTS_PER_INODE
+from repro.ext4.crc32c import crc32c
+from repro.ext4.inode import Extent, Inode
+
+_HEADER = struct.Struct("<HHHHI")  # magic, entries, max, depth, generation
+_EXTENT = struct.Struct("<IHHI")
+_CRC = struct.Struct("<I")
+
+
+def leaf_capacity(block_bytes: int) -> int:
+    """Extents that fit one leaf block (header + tail reserved)."""
+    return (block_bytes - _HEADER.size - _CRC.size) // _EXTENT.size
+
+
+def pack_leaf(extents: List[Extent], block_bytes: int) -> bytes:
+    """Serialize a leaf block, appending the CRC-32C tail."""
+    if len(extents) > leaf_capacity(block_bytes):
+        raise FsCorruptionError("too many extents for one leaf block")
+    body = _HEADER.pack(
+        EXTENT_MAGIC, len(extents), leaf_capacity(block_bytes), 0, 0
+    )
+    for extent in extents:
+        body += extent.pack()
+    body = body.ljust(block_bytes - _CRC.size, b"\x00")
+    return body + _CRC.pack(crc32c(body))
+
+
+def unpack_leaf(raw: bytes) -> List[Extent]:
+    """Parse and *verify* a leaf block.
+
+    Raises :class:`~repro.errors.FsCorruptionError` on checksum or format
+    mismatch — the detection path for redirected extent metadata.
+    """
+    if len(raw) < _HEADER.size + _CRC.size:
+        raise FsCorruptionError("extent leaf block too small")
+    (stored_crc,) = _CRC.unpack(raw[-_CRC.size :])
+    if crc32c(raw[: -_CRC.size]) != stored_crc:
+        raise FsCorruptionError("extent leaf checksum mismatch")
+    magic, entries, _max, depth, _gen = _HEADER.unpack(raw[: _HEADER.size])
+    if magic != EXTENT_MAGIC:
+        raise FsCorruptionError("bad extent leaf magic 0x%04x" % magic)
+    if depth != 0:
+        raise FsCorruptionError("extent leaf claims non-zero depth")
+    capacity = leaf_capacity(len(raw))
+    if entries > capacity:
+        raise FsCorruptionError("extent leaf entry count corrupt")
+    out: List[Extent] = []
+    offset = _HEADER.size
+    for _ in range(entries):
+        out.append(Extent.unpack(raw[offset : offset + _EXTENT.size]))
+        offset += _EXTENT.size
+    return out
+
+
+class ExtentTree:
+    """Lookup/insert over an inode's extent root, depth 0 or 1.
+
+    The filesystem passes itself in for block allocation and device I/O;
+    the tree mutates the in-memory inode (the caller persists it).
+    """
+
+    def __init__(self, fs, inode: Inode):
+        self.fs = fs
+        self.inode = inode
+
+    # -- queries -----------------------------------------------------------
+
+    def lookup(self, logical_block: int) -> int:
+        """Physical block for a logical one; 0 inside a hole."""
+        inode = self.inode
+        if inode.extent_depth == 0:
+            return inode.extent_lookup(logical_block)
+        leaf_block = self._leaf_for(logical_block)
+        if leaf_block is None:
+            return 0
+        for extent in self._read_leaf(leaf_block):
+            if extent.logical <= logical_block < extent.logical + extent.length:
+                return extent.physical + (logical_block - extent.logical)
+        return 0
+
+    def metadata_blocks(self) -> List[int]:
+        """Leaf blocks (for unlink and layout reporting)."""
+        if self.inode.extent_depth == 0:
+            return []
+        return [leaf for _logical, leaf in self.inode.extent_indexes]
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, logical_block: int, physical_block: int) -> None:
+        """Map one logical block, growing the tree as needed."""
+        inode = self.inode
+        if inode.extent_depth == 0:
+            try:
+                inode.add_extent_block(logical_block, physical_block)
+                return
+            except FsCorruptionError:
+                self._grow_to_depth1()
+        self._insert_depth1(logical_block, physical_block)
+
+    def _grow_to_depth1(self) -> None:
+        """Move the in-inode extents into a fresh checksummed leaf."""
+        inode = self.inode
+        leaf_block = self.fs._allocate_block()
+        self.fs.device.write_block(
+            leaf_block, pack_leaf(list(inode.extents), self.fs.block_bytes)
+        )
+        first_logical = inode.extents[0].logical if inode.extents else 0
+        inode.extents = []
+        inode.extent_depth = 1
+        inode.extent_indexes = [(first_logical, leaf_block)]
+
+    def _insert_depth1(self, logical_block: int, physical_block: int) -> None:
+        inode = self.inode
+        index = self._index_position(logical_block)
+        _first, leaf_block = inode.extent_indexes[index]
+        extents = self._read_leaf(leaf_block)
+        # Try merging with an existing run.
+        for i, extent in enumerate(extents):
+            if (
+                extent.logical + extent.length == logical_block
+                and extent.physical + extent.length == physical_block
+            ):
+                extents[i] = Extent(extent.logical, extent.length + 1, extent.physical)
+                self._write_leaf(leaf_block, extents)
+                return
+        if len(extents) < leaf_capacity(self.fs.block_bytes):
+            extents.append(Extent(logical_block, 1, physical_block))
+            extents.sort(key=lambda e: e.logical)
+            self._write_leaf(leaf_block, extents)
+            return
+        # Leaf full: open a new one (root holds up to 4 index entries).
+        if len(inode.extent_indexes) >= EXTENTS_PER_INODE:
+            raise FsNoSpaceError("extent tree full (depth-1, 4 leaves)")
+        new_leaf = self.fs._allocate_block()
+        self._write_leaf(new_leaf, [Extent(logical_block, 1, physical_block)])
+        inode.extent_indexes.append((logical_block, new_leaf))
+        inode.extent_indexes.sort(key=lambda pair: pair[0])
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _index_position(self, logical_block: int) -> int:
+        """Rightmost index entry whose first logical block <= target."""
+        indexes = self.inode.extent_indexes
+        position = 0
+        for i, (first, _leaf) in enumerate(indexes):
+            if first <= logical_block:
+                position = i
+        return position
+
+    def _leaf_for(self, logical_block: int) -> Optional[int]:
+        if not self.inode.extent_indexes:
+            return None
+        return self.inode.extent_indexes[self._index_position(logical_block)][1]
+
+    def _read_leaf(self, leaf_block: int) -> List[Extent]:
+        return unpack_leaf(self.fs.device.read_block(leaf_block))
+
+    def _write_leaf(self, leaf_block: int, extents: List[Extent]) -> None:
+        self.fs.device.write_block(
+            leaf_block, pack_leaf(extents, self.fs.block_bytes)
+        )

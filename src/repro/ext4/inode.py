@@ -1,0 +1,218 @@
+"""On-disk inodes.
+
+The 128-byte record mirrors ext4's essentials: mode/uid/gid/size/links,
+a flags word, and a 60-byte ``i_block`` area that holds either
+
+* fifteen 32-bit block pointers (12 direct + single-indirect +
+  double-indirect + one spare) — the legacy, *unchecksummed* scheme; or
+* an extent-tree root (when ``FLAG_EXTENTS`` is set), whose node format
+  matches real ext4 (magic 0xF30A, then 12-byte extent records).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import FsCorruptionError
+from repro.ext4.consts import (
+    EXTENT_MAGIC,
+    EXTENTS_PER_INODE,
+    FLAG_EXTENTS,
+    INODE_SIZE,
+    NUM_BLOCK_SLOTS,
+    PERM_MASK,
+    S_IFDIR,
+    S_IFREG,
+    S_ISUID,
+)
+
+_HEADER = struct.Struct("<HHHQHHI")  # mode, uid, gid, size, links, pad, flags
+_IBLOCK = struct.Struct("<15I")
+_EXTENT_HEADER = struct.Struct("<HHHHI")  # magic, entries, max, depth, gen
+_EXTENT = struct.Struct("<IHHI")  # logical, len, start_hi, start_lo
+_EXTENT_INDEX = struct.Struct("<III")  # logical, leaf block, padding
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One contiguous logical->physical run."""
+
+    logical: int
+    length: int
+    physical: int
+
+    def pack(self) -> bytes:
+        return _EXTENT.pack(
+            self.logical, self.length, (self.physical >> 32) & 0xFFFF, self.physical & 0xFFFFFFFF
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Extent":
+        logical, length, hi, lo = _EXTENT.unpack(raw)
+        return cls(logical=logical, length=length, physical=(hi << 32) | lo)
+
+
+@dataclass
+class Inode:
+    """In-memory image of one inode record."""
+
+    mode: int = 0
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    links: int = 0
+    flags: int = 0
+    block: List[int] = field(default_factory=lambda: [0] * NUM_BLOCK_SLOTS)
+    extents: List[Extent] = field(default_factory=list)
+    #: Extent-tree depth: 0 = extents live in the inode; 1 = the inode
+    #: holds index entries pointing at checksummed leaf blocks.
+    extent_depth: int = 0
+    #: Depth-1 index entries: (first logical block, leaf block number).
+    extent_indexes: List[Tuple[int, int]] = field(default_factory=list)
+
+    # -- type & permission helpers ------------------------------------------
+
+    @property
+    def is_regular(self) -> bool:
+        return bool(self.mode & S_IFREG)
+
+    @property
+    def is_directory(self) -> bool:
+        return bool(self.mode & S_IFDIR) and not self.is_regular
+
+    @property
+    def is_setuid(self) -> bool:
+        return bool(self.mode & S_ISUID)
+
+    @property
+    def uses_extents(self) -> bool:
+        return bool(self.flags & FLAG_EXTENTS)
+
+    @property
+    def permissions(self) -> int:
+        return self.mode & PERM_MASK
+
+    @property
+    def allocated(self) -> bool:
+        return self.links > 0
+
+    # -- serialization --------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize to the fixed 128-byte on-disk record."""
+        head = _HEADER.pack(
+            self.mode, self.uid, self.gid, self.size, self.links, 0, self.flags
+        )
+        if self.uses_extents:
+            if self.extent_depth == 0:
+                if len(self.extents) > EXTENTS_PER_INODE:
+                    raise FsCorruptionError(
+                        "inode root holds at most %d extents" % EXTENTS_PER_INODE
+                    )
+                body = _EXTENT_HEADER.pack(
+                    EXTENT_MAGIC, len(self.extents), EXTENTS_PER_INODE, 0, 0
+                )
+                for extent in self.extents:
+                    body += extent.pack()
+            else:
+                if len(self.extent_indexes) > EXTENTS_PER_INODE:
+                    raise FsCorruptionError(
+                        "inode root holds at most %d index entries"
+                        % EXTENTS_PER_INODE
+                    )
+                body = _EXTENT_HEADER.pack(
+                    EXTENT_MAGIC,
+                    len(self.extent_indexes),
+                    EXTENTS_PER_INODE,
+                    self.extent_depth,
+                    0,
+                )
+                for logical, leaf in self.extent_indexes:
+                    body += _EXTENT_INDEX.pack(logical, leaf, 0)
+            body += b"\x00" * (60 - len(body))
+        else:
+            body = _IBLOCK.pack(*self.block)
+        record = head + body
+        if len(record) > INODE_SIZE:
+            raise FsCorruptionError("inode record overflow")
+        return record + b"\x00" * (INODE_SIZE - len(record))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Inode":
+        """Parse a 128-byte record."""
+        if len(raw) < INODE_SIZE:
+            raise FsCorruptionError("short inode record")
+        mode, uid, gid, size, links, _pad, flags = _HEADER.unpack(
+            raw[: _HEADER.size]
+        )
+        body = raw[_HEADER.size : _HEADER.size + 60]
+        inode = cls(mode=mode, uid=uid, gid=gid, size=size, links=links, flags=flags)
+        if flags & FLAG_EXTENTS:
+            magic, entries, _max, depth, _gen = _EXTENT_HEADER.unpack(
+                body[: _EXTENT_HEADER.size]
+            )
+            if magic != EXTENT_MAGIC:
+                raise FsCorruptionError("bad extent root magic 0x%04x" % magic)
+            if depth not in (0, 1):
+                raise FsCorruptionError("unsupported extent depth %d" % depth)
+            if entries > EXTENTS_PER_INODE:
+                raise FsCorruptionError("extent root entry count corrupt")
+            inode.extent_depth = depth
+            offset = _EXTENT_HEADER.size
+            for _ in range(entries):
+                if depth == 0:
+                    inode.extents.append(
+                        Extent.unpack(body[offset : offset + _EXTENT.size])
+                    )
+                    offset += _EXTENT.size
+                else:
+                    logical, leaf, _pad = _EXTENT_INDEX.unpack(
+                        body[offset : offset + _EXTENT_INDEX.size]
+                    )
+                    inode.extent_indexes.append((logical, leaf))
+                    offset += _EXTENT_INDEX.size
+        else:
+            inode.block = list(_IBLOCK.unpack(body))
+        return inode
+
+    # -- extent queries ---------------------------------------------------------
+
+    def extent_lookup(self, logical_block: int) -> int:
+        """Physical block for a logical block via the extent list; 0 when
+        the block falls in a hole."""
+        for extent in self.extents:
+            if extent.logical <= logical_block < extent.logical + extent.length:
+                return extent.physical + (logical_block - extent.logical)
+        return 0
+
+    def add_extent_block(self, logical_block: int, physical_block: int) -> None:
+        """Record one logical->physical mapping, merging with a neighbouring
+        extent when contiguous."""
+        for i, extent in enumerate(self.extents):
+            if (
+                extent.logical + extent.length == logical_block
+                and extent.physical + extent.length == physical_block
+            ):
+                self.extents[i] = Extent(extent.logical, extent.length + 1, extent.physical)
+                return
+        if len(self.extents) >= EXTENTS_PER_INODE:
+            raise FsCorruptionError(
+                "file too fragmented for the depth-0 extent root (%d extents)"
+                % EXTENTS_PER_INODE
+            )
+        self.extents.append(Extent(logical_block, 1, physical_block))
+
+
+def make_inode(mode_bits: int, file_type: int, uid: int, gid: int, use_extents: bool) -> Inode:
+    """Fresh inode with one link."""
+    flags = FLAG_EXTENTS if use_extents else 0
+    return Inode(
+        mode=file_type | (mode_bits & PERM_MASK),
+        uid=uid,
+        gid=gid,
+        size=0,
+        links=1,
+        flags=flags,
+    )

@@ -1,0 +1,56 @@
+"""Unix permission checks.
+
+The exploit's punchline is that these checks live *above* the FTL: they
+gate every filesystem operation correctly, and are simply never consulted
+when a flipped mapping entry redirects a block read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Identity performing a filesystem operation."""
+
+    uid: int
+    gid: int = 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+
+#: The superuser.
+ROOT = Credentials(uid=0, gid=0)
+
+
+def _select_bits(mode: int, uid: int, gid: int, cred: Credentials) -> int:
+    """The rwx triplet that applies to ``cred``."""
+    if cred.uid == uid:
+        return (mode >> 6) & 0o7
+    if cred.gid == gid:
+        return (mode >> 3) & 0o7
+    return mode & 0o7
+
+
+def may_read(mode: int, uid: int, gid: int, cred: Credentials) -> bool:
+    """POSIX read permission."""
+    if cred.is_root:
+        return True
+    return bool(_select_bits(mode, uid, gid, cred) & 0o4)
+
+
+def may_write(mode: int, uid: int, gid: int, cred: Credentials) -> bool:
+    """POSIX write permission."""
+    if cred.is_root:
+        return True
+    return bool(_select_bits(mode, uid, gid, cred) & 0o2)
+
+
+def may_execute(mode: int, uid: int, gid: int, cred: Credentials) -> bool:
+    """POSIX execute/search permission."""
+    if cred.is_root:
+        return True
+    return bool(_select_bits(mode, uid, gid, cred) & 0o1)

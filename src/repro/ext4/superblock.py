@@ -1,0 +1,107 @@
+"""The superblock: filesystem geometry, serialized into block 0."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import FsCorruptionError
+from repro.ext4.consts import SUPER_MAGIC
+from repro.ext4.crc32c import crc32c
+
+_FORMAT = struct.Struct("<HHIIIIIIIII")  # magic, flags, then 9 u32 fields
+
+
+@dataclass
+class Superblock:
+    """Filesystem layout parameters.
+
+    Region order on disk: superblock (block 0), block bitmap, inode bitmap,
+    inode table, then data blocks.
+    """
+
+    block_size: int
+    total_blocks: int
+    inode_count: int
+    block_bitmap_start: int
+    block_bitmap_blocks: int
+    inode_bitmap_start: int
+    inode_table_start: int
+    inode_table_blocks: int
+    data_start: int
+    #: Non-zero when indirect addressing is forbidden (the §5 mitigation of
+    #: enforcing extent trees).
+    enforce_extents: int = 0
+
+    MAGIC = SUPER_MAGIC
+
+    def pack(self) -> bytes:
+        """Serialize into a block-sized buffer with a trailing CRC-32C."""
+        body = _FORMAT.pack(
+            self.MAGIC,
+            self.enforce_extents,
+            self.block_size,
+            self.total_blocks,
+            self.inode_count,
+            self.block_bitmap_start,
+            self.block_bitmap_blocks,
+            self.inode_bitmap_start,
+            self.inode_table_start,
+            self.inode_table_blocks,
+            self.data_start,
+        )
+        padded = body + b"\x00" * (self.block_size - len(body) - 4)
+        return padded + struct.pack("<I", crc32c(padded))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Superblock":
+        """Parse and validate a superblock buffer."""
+        if len(raw) < _FORMAT.size + 4:
+            raise FsCorruptionError("superblock buffer too small")
+        (stored_crc,) = struct.unpack("<I", raw[-4:])
+        if crc32c(raw[:-4]) != stored_crc:
+            raise FsCorruptionError("superblock checksum mismatch")
+        fields = _FORMAT.unpack(raw[: _FORMAT.size])
+        if fields[0] != cls.MAGIC:
+            raise FsCorruptionError("bad filesystem magic 0x%04x" % fields[0])
+        return cls(
+            enforce_extents=fields[1],
+            block_size=fields[2],
+            total_blocks=fields[3],
+            inode_count=fields[4],
+            block_bitmap_start=fields[5],
+            block_bitmap_blocks=fields[6],
+            inode_bitmap_start=fields[7],
+            inode_table_start=fields[8],
+            inode_table_blocks=fields[9],
+            data_start=fields[10],
+        )
+
+    @classmethod
+    def layout_for(cls, block_size: int, total_blocks: int, enforce_extents: bool = False) -> "Superblock":
+        """Compute a layout for a device of ``total_blocks`` blocks."""
+        from repro.ext4.consts import INODE_SIZE
+        from repro.units import ceil_div
+
+        inode_count = max(64, total_blocks // 4)
+        block_bitmap_blocks = ceil_div(total_blocks, block_size * 8)
+        inodes_per_block = block_size // INODE_SIZE
+        inode_table_blocks = ceil_div(inode_count, inodes_per_block)
+        block_bitmap_start = 1
+        inode_bitmap_start = block_bitmap_start + block_bitmap_blocks
+        inode_table_start = inode_bitmap_start + 1
+        data_start = inode_table_start + inode_table_blocks
+        if data_start >= total_blocks:
+            raise FsCorruptionError("device too small for filesystem metadata")
+        return cls(
+            block_size=block_size,
+            total_blocks=total_blocks,
+            inode_count=inode_count,
+            block_bitmap_start=block_bitmap_start,
+            block_bitmap_blocks=block_bitmap_blocks,
+            inode_bitmap_start=inode_bitmap_start,
+            inode_table_start=inode_table_start,
+            inode_table_blocks=inode_table_blocks,
+            data_start=data_start,
+            enforce_extents=1 if enforce_extents else 0,
+        )

@@ -1,0 +1,24 @@
+"""Simulated NAND flash: geometry, erase blocks, chips, and the array.
+
+Flash is the persistent medium under the FTL.  It enforces the physical
+constraints that force SSDs to have an FTL in the first place: no in-place
+writes (a page must be erased — at block granularity — before it can be
+programmed again), sequential page programming within a block, and limited
+erase endurance.
+"""
+
+from repro.flash.geometry import FlashGeometry, PageAddress
+from repro.flash.block import Block, PAGE_ERASED, PAGE_PROGRAMMED
+from repro.flash.chip import FlashChip, FlashTiming
+from repro.flash.array import FlashArray
+
+__all__ = [
+    "FlashGeometry",
+    "PageAddress",
+    "Block",
+    "PAGE_ERASED",
+    "PAGE_PROGRAMMED",
+    "FlashChip",
+    "FlashTiming",
+    "FlashArray",
+]

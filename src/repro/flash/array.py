@@ -1,0 +1,88 @@
+"""The flash array: all channels and dies behind one PPA space."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import FlashAddressError
+from repro.flash.chip import FlashChip, FlashTiming
+from repro.flash.geometry import FlashGeometry
+from repro.sim.metrics import MetricRegistry
+
+
+class FlashArray:
+    """Flat-PPA facade over every die in the device."""
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        timing: FlashTiming = FlashTiming(),
+        endurance: int = 10_000,
+        metrics: MetricRegistry = None,
+    ):
+        self.geometry = geometry
+        self.timing = timing
+        self.metrics = metrics or MetricRegistry("flash")
+        self.chips = [
+            FlashChip(
+                index=i,
+                blocks=geometry.planes_per_chip * geometry.blocks_per_plane,
+                pages_per_block=geometry.pages_per_block,
+                page_bytes=geometry.page_bytes,
+                timing=timing,
+                endurance=endurance,
+                metrics=self.metrics,
+            )
+            for i in range(geometry.total_chips)
+        ]
+
+    # -- addressing -----------------------------------------------------------
+
+    def _chip_block_page(self, ppa: int) -> Tuple[FlashChip, int, int]:
+        coords = self.geometry.decompose(ppa)
+        chip = self.chips[coords.channel * self.geometry.chips_per_channel + coords.chip]
+        block_on_chip = coords.plane * self.geometry.blocks_per_plane + coords.block
+        return chip, block_on_chip, coords.page
+
+    def _chip_block(self, global_block: int) -> Tuple[FlashChip, int]:
+        if not 0 <= global_block < self.geometry.total_blocks:
+            raise FlashAddressError("block %d out of range" % global_block)
+        ppa = self.geometry.first_ppa_of_block(global_block)
+        chip, block_on_chip, _page = self._chip_block_page(ppa)
+        return chip, block_on_chip
+
+    # -- page/block operations -------------------------------------------------
+
+    def read_page(self, ppa: int) -> bytes:
+        chip, block, page = self._chip_block_page(ppa)
+        return chip.read(block, page)
+
+    def program_page(self, ppa: int, data: bytes) -> None:
+        chip, block, page = self._chip_block_page(ppa)
+        chip.program(block, page, data)
+
+    def erase_block(self, global_block: int) -> None:
+        chip, block = self._chip_block(global_block)
+        chip.erase(block)
+
+    def block_is_bad(self, global_block: int) -> bool:
+        chip, block = self._chip_block(global_block)
+        return chip.blocks[block].bad
+
+    def block_erase_count(self, global_block: int) -> int:
+        chip, block = self._chip_block(global_block)
+        return chip.blocks[block].erase_count
+
+    def block_write_pointer(self, global_block: int) -> int:
+        chip, block = self._chip_block(global_block)
+        return chip.blocks[block].write_pointer
+
+    def wear_summary(self) -> Dict[str, float]:
+        """Array-wide erase-count statistics."""
+        per_chip = [chip.wear_summary() for chip in self.chips]
+        return {
+            "min": min(s["min"] for s in per_chip),
+            "max": max(s["max"] for s in per_chip),
+            "mean": sum(s["mean"] for s in per_chip) / len(per_chip),
+            "bad_blocks": sum(s["bad_blocks"] for s in per_chip),
+        }

@@ -1,0 +1,102 @@
+"""One NAND erase block.
+
+Enforces the two constraints that shape every FTL:
+
+* a page can only be programmed once per erase cycle (no in-place writes);
+* pages within a block must be programmed sequentially (page 0, 1, 2, ...),
+  as required by real NAND to limit program disturb.
+
+Erase counts are tracked for wear accounting; a block whose erase count
+exceeds its endurance becomes *bad* and refuses further use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import FlashEraseError, FlashProgramError
+
+#: Page states within the current erase cycle.
+PAGE_ERASED = 0
+PAGE_PROGRAMMED = 1
+
+
+class Block:
+    """State of one erase block."""
+
+    def __init__(self, index: int, pages_per_block: int, page_bytes: int, endurance: int = 10_000):
+        self.index = index
+        self.pages_per_block = pages_per_block
+        self.page_bytes = page_bytes
+        self.endurance = endurance
+        self.erase_count = 0
+        self.bad = False
+        #: Next page that may be programmed (sequential constraint).
+        self.write_pointer = 0
+        #: Programmed page payloads for the current erase cycle.
+        self._data: Dict[int, bytes] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def page_state(self, page: int) -> int:
+        self._check_page(page)
+        return PAGE_PROGRAMMED if page in self._data else PAGE_ERASED
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_pointer >= self.pages_per_block
+
+    @property
+    def programmed_pages(self) -> int:
+        return len(self._data)
+
+    # -- operations -----------------------------------------------------------
+
+    def read(self, page: int) -> bytes:
+        """Read a page; an erased page reads as all 0xFF (NAND convention)."""
+        self._check_page(page)
+        data = self._data.get(page)
+        if data is None:
+            return b"\xff" * self.page_bytes
+        return data
+
+    def program(self, page: int, data: bytes) -> None:
+        """Program one page; must be the next sequential erased page."""
+        self._check_page(page)
+        if self.bad:
+            raise FlashProgramError("block %d is bad" % self.index)
+        if page in self._data:
+            raise FlashProgramError(
+                "page %d of block %d already programmed this cycle"
+                % (page, self.index)
+            )
+        if page != self.write_pointer:
+            raise FlashProgramError(
+                "non-sequential program: block %d expects page %d, got %d"
+                % (self.index, self.write_pointer, page)
+            )
+        if len(data) != self.page_bytes:
+            raise FlashProgramError(
+                "page payload must be exactly %d bytes, got %d"
+                % (self.page_bytes, len(data))
+            )
+        self._data[page] = bytes(data)
+        self.write_pointer += 1
+
+    def erase(self) -> None:
+        """Erase the whole block, returning every page to the erased state."""
+        if self.bad:
+            raise FlashEraseError("block %d is bad" % self.index)
+        self.erase_count += 1
+        self._data.clear()
+        self.write_pointer = 0
+        if self.erase_count >= self.endurance:
+            self.bad = True
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.pages_per_block:
+            raise FlashProgramError(
+                "page %d out of range in block %d" % (page, self.index)
+            )

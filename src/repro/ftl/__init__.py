@@ -1,0 +1,39 @@
+"""The Flash Translation Layer.
+
+The FTL's logical-to-physical (L2P) mapping table lives **inside the
+simulated DRAM module** — every lookup and update performs real DRAM
+accesses, activating rows exactly as the paper describes.  This is the
+attack surface: hammer-pattern reads against chosen LBAs become alternating
+activations of the DRAM rows that hold their mapping entries, and a
+disturbance flip silently redirects a logical block to a different physical
+page.
+"""
+
+from repro.ftl.l2p import HashedL2p, L2pTable, LinearL2p, UNMAPPED
+from repro.ftl.ftl import FtlConfig, PageMappingFtl, ReadResult, WriteResult
+from repro.ftl.gc import (
+    CostBenefitGarbageCollector,
+    GcStats,
+    GreedyGarbageCollector,
+    WearAwareGarbageCollector,
+)
+from repro.ftl.wear import WearReport, wear_report
+from repro.ftl.writebuffer import WriteBuffer
+
+__all__ = [
+    "UNMAPPED",
+    "L2pTable",
+    "LinearL2p",
+    "HashedL2p",
+    "FtlConfig",
+    "PageMappingFtl",
+    "ReadResult",
+    "WriteResult",
+    "GcStats",
+    "GreedyGarbageCollector",
+    "CostBenefitGarbageCollector",
+    "WearAwareGarbageCollector",
+    "WearReport",
+    "wear_report",
+    "WriteBuffer",
+]

@@ -1,0 +1,35 @@
+"""Wear accounting and reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ftl.ftl import PageMappingFtl
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Device wear summary at a point in time."""
+
+    min_erase: float
+    max_erase: float
+    mean_erase: float
+    bad_blocks: float
+    write_amplification: float
+
+    @property
+    def wear_spread(self) -> float:
+        """Max-to-min erase-count spread; 0 means perfectly level wear."""
+        return self.max_erase - self.min_erase
+
+
+def wear_report(ftl: PageMappingFtl) -> WearReport:
+    """Build a :class:`WearReport` for a live FTL."""
+    summary = ftl.flash.wear_summary()
+    return WearReport(
+        min_erase=summary["min"],
+        max_erase=summary["max"],
+        mean_erase=summary["mean"],
+        bad_blocks=summary["bad_blocks"],
+        write_amplification=ftl.write_amplification,
+    )

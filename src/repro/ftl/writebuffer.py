@@ -1,0 +1,123 @@
+"""The FTL's incoming-write buffer — a second hammerable DRAM region.
+
+§2.1: "FTLs use on-board DRAM modules for storing metadata and data
+including logical-to-physical mapping tables, caching frequently accessed
+data, **and incoming writes**."  This module implements that staging
+buffer: host writes land in device DRAM first and are flushed to flash in
+batches.
+
+Security consequence, faithfully modelled: while a page sits in the
+buffer, its *payload bytes* live in DRAM cells — a disturbance flip there
+corrupts the data before it ever reaches flash, silently and without
+touching the L2P table at all.  (The L2P attack stays the headline; this
+is the paper's "data corruption" outcome through a second door.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.cache import FtlCpuCache
+from repro.errors import ConfigError
+
+
+@dataclass
+class BufferSlot:
+    """One staged page."""
+
+    lba: int
+    #: DRAM physical address where the payload bytes sit.
+    dram_addr: int
+
+
+class WriteBuffer:
+    """A small DRAM staging area for incoming writes.
+
+    ``base_addr`` is the DRAM physical address of the buffer region
+    (placed after the L2P table by the FTL).  The buffer holds at most
+    ``capacity_pages``; when full, the FTL flushes every staged page to
+    flash in one batch.
+    """
+
+    def __init__(
+        self,
+        memory: FtlCpuCache,
+        base_addr: int,
+        capacity_pages: int,
+        page_bytes: int,
+    ):
+        if capacity_pages < 1:
+            raise ConfigError("write buffer needs at least one slot")
+        region_end = base_addr + capacity_pages * page_bytes
+        if region_end > memory.dram.geometry.capacity_bytes:
+            raise ConfigError(
+                "write buffer region [0x%x, 0x%x) exceeds DRAM"
+                % (base_addr, region_end)
+            )
+        self.memory = memory
+        self.base_addr = base_addr
+        self.capacity_pages = capacity_pages
+        self.page_bytes = page_bytes
+        #: lba -> slot index, for read-from-buffer hits and overwrites.
+        self._by_lba: Dict[int, int] = {}
+        #: slot index -> staged entry (None = free).
+        self._slots: List[Optional[BufferSlot]] = [None] * capacity_pages
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._by_lba)
+
+    @property
+    def is_full(self) -> bool:
+        return self.staged_count >= self.capacity_pages
+
+    def contains(self, lba: int) -> bool:
+        return lba in self._by_lba
+
+    def slot_address(self, index: int) -> int:
+        return self.base_addr + index * self.page_bytes
+
+    # -- operations -----------------------------------------------------------
+
+    def stage(self, lba: int, data: bytes) -> None:
+        """Place a page in the buffer (overwrites an existing stage of the
+        same LBA in place).  Caller checks :attr:`is_full` first."""
+        if len(data) != self.page_bytes:
+            raise ConfigError("staged payload must be one page")
+        index = self._by_lba.get(lba)
+        if index is None:
+            index = next(
+                i for i, slot in enumerate(self._slots) if slot is None
+            )
+            self._slots[index] = BufferSlot(lba=lba, dram_addr=self.slot_address(index))
+            self._by_lba[lba] = index
+        self.memory.write(self.slot_address(index), data)
+
+    def read(self, lba: int) -> bytes:
+        """Read a staged page back *from DRAM* — flips included."""
+        index = self._by_lba[lba]
+        return self.memory.read(self.slot_address(index), self.page_bytes)
+
+    def drain(self) -> List[Tuple[int, bytes]]:
+        """Remove and return every staged (lba, payload) pair, reading the
+        payloads out of DRAM (so any disturbance damage is flushed to
+        flash exactly as a real device would persist it)."""
+        out: List[Tuple[int, bytes]] = []
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                continue
+            out.append((slot.lba, self.memory.read(slot.dram_addr, self.page_bytes)))
+            self._slots[index] = None
+        self._by_lba.clear()
+        return out
+
+    def discard(self, lba: int) -> bool:
+        """Drop a staged page (trim of a buffered LBA)."""
+        index = self._by_lba.pop(lba, None)
+        if index is None:
+            return False
+        self._slots[index] = None
+        return True

@@ -1,0 +1,22 @@
+"""Host-side stack: block devices, tenants/VMs, and workload generators."""
+
+from repro.host.blockdev import BlockDevice
+from repro.host.vm import AccessMode, Vm
+from repro.host.workload import (
+    WorkloadStats,
+    random_read,
+    sequential_read,
+    sequential_write,
+    trim_range,
+)
+
+__all__ = [
+    "BlockDevice",
+    "Vm",
+    "AccessMode",
+    "WorkloadStats",
+    "sequential_write",
+    "sequential_read",
+    "random_read",
+    "trim_range",
+]

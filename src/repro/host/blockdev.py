@@ -1,0 +1,45 @@
+"""A block device: one namespace as seen from a host."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.nvme.controller import BurstResult, NvmeController
+
+
+class BlockDevice:
+    """Synchronous block-device facade over an NVMe namespace."""
+
+    def __init__(self, controller: NvmeController, nsid: int):
+        self.controller = controller
+        self.nsid = nsid
+        self.namespace = controller.namespace(nsid)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.namespace.num_lbas
+
+    @property
+    def block_bytes(self) -> int:
+        return self.controller.block_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_blocks * self.block_bytes
+
+    def read_block(self, lba: int) -> bytes:
+        return self.controller.read(self.nsid, lba)
+
+    def write_block(self, lba: int, data: bytes) -> None:
+        self.controller.write(self.nsid, lba, data)
+
+    def trim_block(self, lba: int) -> None:
+        self.controller.trim(self.nsid, lba)
+
+    def read_burst(
+        self, lbas: Sequence[int], repeats: int, host_iops_cap: Optional[float] = None
+    ) -> BurstResult:
+        """Closed-form repeated-read loop (the hammering primitive)."""
+        return self.controller.read_burst(
+            self.nsid, lbas, repeats, host_iops_cap=host_iops_cap
+        )

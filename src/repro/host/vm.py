@@ -1,0 +1,80 @@
+"""Tenants sharing the SSD — the paper's Figure 2 actors.
+
+Two access modes:
+
+* ``AccessMode.FILESYSTEM`` — the victim VM's world: an unprivileged
+  process may create/read/write *files* through the filesystem's permission
+  checks, but has no raw device access (VMware Hatchway-style).
+* ``AccessMode.RAW`` — the attacker VM's world: "the attacker has
+  privileged direct access to the SSD inside their own VM, via hardware
+  multiplexing techniques like SR-IOV" — raw block I/O on its own
+  namespace at full speed.
+
+``host_iops_cap`` models how fast this particular host/guest stack can
+issue commands; Figure 2(b)'s helper VM exists precisely because the paper
+main system's cap was too low for direct user-space hammering.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.host.blockdev import BlockDevice
+from repro.nvme.controller import BurstResult
+
+
+class AccessMode(enum.Enum):
+    """How a tenant reaches storage."""
+
+    FILESYSTEM = "filesystem"
+    RAW = "raw"
+
+
+class Vm:
+    """One tenant: a named VM with a block device and an access mode."""
+
+    def __init__(
+        self,
+        name: str,
+        blockdev: BlockDevice,
+        access: AccessMode,
+        host_iops_cap: Optional[float] = None,
+        filesystem=None,
+    ):
+        if host_iops_cap is not None and host_iops_cap <= 0:
+            raise ConfigError("host_iops_cap must be positive")
+        self.name = name
+        self.blockdev = blockdev
+        self.access = access
+        self.host_iops_cap = host_iops_cap
+        #: Mounted filesystem (set for FILESYSTEM tenants).
+        self.filesystem = filesystem
+
+    @property
+    def has_raw_access(self) -> bool:
+        return self.access is AccessMode.RAW
+
+    def hammer_reads(self, lbas: Sequence[int], repeats: int) -> BurstResult:
+        """Issue the repeated-read hammer loop, at this VM's achievable
+        rate.  Only RAW tenants may touch raw LBAs."""
+        if not self.has_raw_access:
+            raise ConfigError(
+                "%s has no raw block access; it can only reach storage "
+                "through the filesystem" % self.name
+            )
+        return self.blockdev.read_burst(lbas, repeats, host_iops_cap=self.host_iops_cap)
+
+    def achieved_io_rate(self, mapped: bool = False) -> float:
+        """Sustained command rate this VM can reach for one command type."""
+        device_rate = 1.0 / self.blockdev.controller.io_cost(mapped)
+        limiter = self.blockdev.controller.rate_limiter
+        if limiter is not None:
+            device_rate = limiter.effective_rate(device_rate)
+        if self.host_iops_cap is not None:
+            device_rate = min(device_rate, self.host_iops_cap)
+        return device_rate
+
+    def __repr__(self) -> str:
+        return "Vm(%r, %s)" % (self.name, self.access.value)

@@ -1,0 +1,81 @@
+"""I/O workload generators.
+
+Small, composable helpers that drive a :class:`~repro.host.blockdev.
+BlockDevice` and report achieved rates in simulated time.  The attack's
+setup stage ("the attacker prepares the L2P table by writing data to
+contiguous LBAs") is :func:`sequential_write`; benchmarks also use the
+read generators to characterize the device envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.host.blockdev import BlockDevice
+from repro.sim.rng import RngStream
+
+
+@dataclass
+class WorkloadStats:
+    """Result of one workload run."""
+
+    operations: int
+    duration: float
+
+    @property
+    def iops(self) -> float:
+        return self.operations / self.duration if self.duration > 0 else 0.0
+
+
+def _fill_pattern(lba: int, block_bytes: int) -> bytes:
+    """Default payload: LBA echoed through the block (self-identifying)."""
+    stamp = ("LBA:%016d|" % lba).encode("ascii")
+    reps = -(-block_bytes // len(stamp))
+    return (stamp * reps)[:block_bytes]
+
+
+def sequential_write(
+    device: BlockDevice,
+    start: int = 0,
+    count: Optional[int] = None,
+    payload: Optional[Callable[[int], bytes]] = None,
+) -> WorkloadStats:
+    """Write ``count`` consecutive blocks starting at ``start``."""
+    clock = device.controller.clock
+    began = clock.now
+    if count is None:
+        count = device.num_blocks - start
+    make = payload or (lambda lba: _fill_pattern(lba, device.block_bytes))
+    for lba in range(start, start + count):
+        device.write_block(lba, make(lba))
+    return WorkloadStats(operations=count, duration=clock.now - began)
+
+
+def sequential_read(device: BlockDevice, start: int = 0, count: Optional[int] = None) -> WorkloadStats:
+    """Read ``count`` consecutive blocks."""
+    clock = device.controller.clock
+    began = clock.now
+    if count is None:
+        count = device.num_blocks - start
+    for lba in range(start, start + count):
+        device.read_block(lba)
+    return WorkloadStats(operations=count, duration=clock.now - began)
+
+
+def random_read(device: BlockDevice, count: int, rng: RngStream) -> WorkloadStats:
+    """Read ``count`` uniformly random blocks."""
+    clock = device.controller.clock
+    began = clock.now
+    for _ in range(count):
+        device.read_block(rng.randint(0, device.num_blocks))
+    return WorkloadStats(operations=count, duration=clock.now - began)
+
+
+def trim_range(device: BlockDevice, start: int, count: int) -> WorkloadStats:
+    """Deallocate a block range (creates the fast unmapped read path)."""
+    clock = device.controller.clock
+    began = clock.now
+    for lba in range(start, start + count):
+        device.trim_block(lba)
+    return WorkloadStats(operations=count, duration=clock.now - began)

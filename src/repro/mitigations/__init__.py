@@ -1,0 +1,30 @@
+"""The §5 mitigations and the harness that grades them.
+
+DRAM-side mitigations (ECC, TRR, PARA, faster refresh, FTL CPU cache) live
+in :mod:`repro.dram`; device-side rate limiting in :mod:`repro.nvme.
+ratelimit`; keyed L2P randomization in :mod:`repro.ftl.l2p` (with the key
+withheld from the attacker's :class:`~repro.attack.profile.DeviceProfile`);
+T10-DIF integrity in the FTL (``FtlConfig(dif=True)``); and enforced extent
+addressing in the filesystem (``Ext4Fs.mkfs(enforce_extents=True)``).
+
+This package adds the remaining software mitigation — per-tenant block
+encryption — and :mod:`repro.mitigations.evaluation`, which runs the same
+attack against every defended configuration and reports who survives.
+"""
+
+from repro.mitigations.encryption import EncryptedBlockDevice, TenantKey
+from repro.mitigations.evaluation import (
+    MitigationOutcome,
+    evaluate_mitigation,
+    evaluate_all_mitigations,
+    standard_mitigations,
+)
+
+__all__ = [
+    "EncryptedBlockDevice",
+    "TenantKey",
+    "MitigationOutcome",
+    "evaluate_mitigation",
+    "evaluate_all_mitigations",
+    "standard_mitigations",
+]

@@ -1,0 +1,168 @@
+"""Run the same attack against every §5 mitigation and grade the outcome.
+
+For each configuration the harness builds a fresh cloud testbed, runs the
+identical multi-cycle attack, and reports:
+
+* ``flips`` — ground-truth disturbance flips that changed stored state;
+* ``hits`` — sprayed files whose content changed (what the attacker sees);
+* ``usable_leaks`` — hits that returned readable foreign data;
+* ``sensitive_leak`` — whether the planted SSH key (or shadow entries)
+  actually escaped;
+* ``recon_blocked`` / ``detected`` — how the mitigation interfered.
+
+The expected shape from the paper's §5 discussion: the undefended baseline
+leaks; ECC corrects the single-bit flips; TRR refreshes the victims; a
+faster refresh shrinks the window; an enabled FTL CPU cache starves the
+hammer; rate limiting keeps the access rate under threshold; keyed L2P
+randomization blinds recon; enforced extent addressing removes the forged-
+indirect-block primitive (corruption remains possible!); per-tenant
+encryption turns leaks into noise; and DIF turns misdirected reads into
+detected errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.attack.orchestrator import AttackConfig, FtlRowhammerAttack
+from repro.dram.cache import CacheMode
+from repro.dram.para import Para
+from repro.dram.trr import TargetRowRefresh
+from repro.errors import ReconError
+from repro.nvme.ratelimit import IopsRateLimiter
+from repro.scenarios import FAKE_SSH_KEY, build_cloud_testbed
+
+#: A builder takes a seed and returns a configured CloudTestbed plus the
+#: attacker's key knowledge (False only for the randomization mitigation).
+TestbedBuilder = Callable[[int], tuple]
+
+
+@dataclass
+class MitigationOutcome:
+    """Scorecard of one configuration under attack."""
+
+    name: str
+    flips: int = 0
+    hits: int = 0
+    usable_leaks: int = 0
+    #: Leaks whose content is intelligible victim-side plaintext (vs. the
+    #: ciphertext noise per-tenant encryption reduces leaks to).
+    plaintext_leaks: int = 0
+    sensitive_leak: bool = False
+    any_leak: bool = False
+    recon_blocked: bool = False
+    detected_errors: int = 0
+    cycles_run: int = 0
+    notes: str = ""
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.plaintext_leaks > 0
+
+    @property
+    def mitigated(self) -> bool:
+        """The defense held: no intelligible data escaped."""
+        return self.plaintext_leaks == 0
+
+
+def standard_mitigations() -> Dict[str, TestbedBuilder]:
+    """The §5 lineup, each as a testbed builder."""
+
+    def plain(**kwargs):
+        def build(seed):
+            return build_cloud_testbed(seed=seed, **kwargs), True
+
+        return build
+
+    def randomized(seed):
+        testbed = build_cloud_testbed(
+            seed=seed, l2p_layout="hashed", l2p_key=0xD1CE & 0xFFFFFFFF | (seed << 8)
+        )
+        return testbed, False  # per-device key withheld from the attacker
+
+    return {
+        "baseline (no defense)": plain(),
+        "ecc (SECDED)": plain(ecc=True),
+        "trr": plain(trr=TargetRowRefresh(tracker_capacity=16, refresh_threshold=16384)),
+        "para": plain(para=Para(probability=0.001, seed=99)),
+        # The attacker's amplified rate has ~4x headroom over the minimum,
+        # so doubling the refresh rate is NOT enough — the paper's remark
+        # that faster refresh "reduces the window of vulnerability" needs
+        # the refresh to outpace the attacker's margin (8x here), at a
+        # power cost the paper calls prohibitive.
+        "refresh-2x (32ms)": plain(refresh_interval=0.032),
+        "refresh-8x (8ms)": plain(refresh_interval=0.008),
+        "ftl-cpu-cache (LRU)": plain(cache_mode=CacheMode.LRU),
+        "io-rate-limit (400K IOPS)": plain(rate_limiter=IopsRateLimiter(max_iops=400_000)),
+        "l2p-randomization (secret key)": randomized,
+        "enforce-extent-addressing": plain(enforce_extents=True),
+        "per-tenant-encryption": plain(encrypt_tenants=True),
+        "t10-dif-integrity": plain(dif=True),
+    }
+
+
+def evaluate_mitigation(
+    name: str,
+    builder: TestbedBuilder,
+    seed: int = 7,
+    attack_config: Optional[AttackConfig] = None,
+) -> MitigationOutcome:
+    """Attack one configuration and grade it."""
+    testbed, know_key = builder(seed)
+    config = attack_config or AttackConfig(
+        max_cycles=6, spray_files=64, hammer_seconds=60
+    )
+    outcome = MitigationOutcome(name=name)
+    try:
+        attack = FtlRowhammerAttack(testbed, config, know_hash_key=know_key)
+        result = attack.run()
+    except ReconError as error:
+        outcome.recon_blocked = True
+        outcome.notes = str(error)
+        outcome.flips = testbed.flips_observed()
+        return outcome
+    outcome.flips = testbed.flips_observed()
+    outcome.cycles_run = len(result.cycles)
+    outcome.hits = result.total_hits
+    outcome.usable_leaks = len(result.leaks)
+    outcome.any_leak = result.success
+    outcome.detected_errors = sum(
+        1 for cycle in result.cycles for hit in cycle.hits if hit.corrupted
+    )
+    secret_bits = (FAKE_SSH_KEY[:40], b"root:$6$")
+    outcome.sensitive_leak = any(
+        any(marker in leak.data for marker in secret_bits) for leak in result.leaks
+    )
+    outcome.plaintext_leaks = sum(
+        1 for leak in result.leaks if looks_like_plaintext(leak.data)
+    )
+    return outcome
+
+
+def looks_like_plaintext(data: bytes) -> bool:
+    """Heuristic plaintext detector.
+
+    Every block a tenant actually stores in these scenarios is structured:
+    long zero runs (sparse pointer arrays, padded files) or ASCII content.
+    Tweaked-cipher noise has neither — the chance of a 16-byte zero run in
+    random bytes is ~2^-128 per offset.
+    """
+    if b"\x00" * 16 in data:
+        return True
+    printable = sum(1 for b in data if 32 <= b < 127 or b in (9, 10, 13))
+    return printable > 0.9 * len(data)
+
+
+def evaluate_all_mitigations(
+    seed: int = 7,
+    attack_config: Optional[AttackConfig] = None,
+    names: Optional[List[str]] = None,
+) -> List[MitigationOutcome]:
+    """Grade every standard mitigation (or the named subset)."""
+    catalogue = standard_mitigations()
+    selected = names or list(catalogue)
+    return [
+        evaluate_mitigation(name, catalogue[name], seed=seed, attack_config=attack_config)
+        for name in selected
+    ]

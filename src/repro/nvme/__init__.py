@@ -1,0 +1,26 @@
+"""NVMe-like device interface.
+
+Exposes the shared FTL through namespaces (the paper's multi-tenant cloud
+setup: each VM gets a namespace that is a partition of the shared logical
+space, but the L2P table underneath is one table).  Commands are costed in
+simulated time; an optional IOPS rate limiter models the §5 mitigation.
+"""
+
+from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, StatusCode
+from repro.nvme.queue import QueuePair
+from repro.nvme.namespace import Namespace
+from repro.nvme.ratelimit import IopsRateLimiter
+from repro.nvme.controller import BurstResult, DeviceTimingModel, NvmeController
+
+__all__ = [
+    "NvmeCommand",
+    "NvmeCompletion",
+    "Opcode",
+    "StatusCode",
+    "QueuePair",
+    "Namespace",
+    "IopsRateLimiter",
+    "NvmeController",
+    "DeviceTimingModel",
+    "BurstResult",
+]

@@ -1,0 +1,55 @@
+"""Submission/completion queue pairs.
+
+A thin asynchronous veneer: hosts enqueue commands, the controller drains
+them (:meth:`~repro.nvme.controller.NvmeController.process`) and posts
+completions the host later polls.  Most code uses the controller's
+synchronous ``submit`` instead; the queue shape exists because queue depth
+is how real NVMe reaches millions of IOPS, and the benchmarks report it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import NvmeError
+from repro.nvme.commands import NvmeCommand, NvmeCompletion
+
+
+class QueuePair:
+    """One SQ/CQ pair with a bounded submission queue."""
+
+    def __init__(self, qid: int, depth: int = 1024):
+        if depth < 1:
+            raise NvmeError("queue depth must be at least 1")
+        self.qid = qid
+        self.depth = depth
+        self.sq: Deque[NvmeCommand] = deque()
+        self.cq: Deque[NvmeCompletion] = deque()
+
+    # -- host side -----------------------------------------------------------
+
+    def submit(self, command: NvmeCommand) -> None:
+        """Enqueue a command; raises when the SQ is full."""
+        if len(self.sq) >= self.depth:
+            raise NvmeError("submission queue %d full (depth %d)" % (self.qid, self.depth))
+        self.sq.append(command)
+
+    def poll(self, max_completions: Optional[int] = None) -> List[NvmeCompletion]:
+        """Drain up to ``max_completions`` completions."""
+        out: List[NvmeCompletion] = []
+        while self.cq and (max_completions is None or len(out) < max_completions):
+            out.append(self.cq.popleft())
+        return out
+
+    # -- controller side --------------------------------------------------------
+
+    def next_command(self) -> Optional[NvmeCommand]:
+        return self.sq.popleft() if self.sq else None
+
+    def post(self, completion: NvmeCompletion) -> None:
+        self.cq.append(completion)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.sq)

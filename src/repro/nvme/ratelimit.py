@@ -1,0 +1,53 @@
+"""IOPS rate limiting — the §5 mitigation.
+
+"Rate-limiting user IOs below the rowhammering access rate can also remove
+this potential attack, but it is at odds with the overall performance goals
+of NVMe."  The limiter is a token bucket over simulated time: commands are
+*delayed* (never dropped) so the sustained rate cannot exceed ``max_iops``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class IopsRateLimiter:
+    """Token bucket capping sustained command rate."""
+
+    def __init__(self, max_iops: float, burst: float = 32):
+        if max_iops <= 0:
+            raise ConfigError("max_iops must be positive")
+        if burst < 1:
+            raise ConfigError("burst must be at least 1 token")
+        self.max_iops = float(max_iops)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+
+    def delay_for(self, now: float, commands: int = 1) -> float:
+        """Seconds the caller must wait before ``commands`` may proceed.
+
+        Consumes the tokens.  Returns 0.0 when the bucket has capacity.
+        """
+        if commands < 1:
+            raise ConfigError("commands must be at least 1")
+        self._refill(now)
+        if self._tokens >= commands:
+            self._tokens -= commands
+            return 0.0
+        deficit = commands - self._tokens
+        self._tokens = 0.0
+        delay = deficit / self.max_iops
+        # Account the future refill we just spent.
+        self._last_refill = now + delay
+        return delay
+
+    def effective_rate(self, requested_iops: float) -> float:
+        """The sustained rate actually achievable under this limiter."""
+        return min(requested_iops, self.max_iops)
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.max_iops)
+            self._last_refill = now

@@ -1,0 +1,14 @@
+"""Simulation substrate: simulated time, deterministic randomness, metrics."""
+
+from repro.sim.clock import SimClock
+from repro.sim.metrics import Counter, Histogram, MetricRegistry
+from repro.sim.rng import RngStream, derive_seed
+
+__all__ = [
+    "SimClock",
+    "Counter",
+    "Histogram",
+    "MetricRegistry",
+    "RngStream",
+    "derive_seed",
+]

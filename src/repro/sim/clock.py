@@ -1,0 +1,64 @@
+"""Simulated time.
+
+Everything in the stack shares one :class:`SimClock`.  Components *advance*
+the clock by the latency of the operations they model (a DRAM activation, a
+flash page read, an NVMe round trip).  Nothing ever sleeps: two hours of
+simulated hammering costs only as much host time as the bookkeeping demands.
+
+The clock is deliberately minimal — a monotonically non-decreasing float —
+because the paper's attack depends on *rates within refresh windows*, not on
+event interleavings, so a full discrete-event queue would add complexity
+without adding fidelity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ConfigError("clock cannot start before t=0")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time.
+
+        Raises :class:`~repro.errors.ConfigError` on negative increments —
+        simulated time never flows backwards.
+        """
+        if seconds < 0:
+            raise ConfigError("cannot advance clock by negative %r" % seconds)
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to absolute time ``when`` (no-op if in the past
+        *would be required*; instead we refuse, to surface accounting bugs)."""
+        if when < self._now:
+            raise ConfigError(
+                "cannot rewind clock from %.9f to %.9f" % (self._now, when)
+            )
+        self._now = float(when)
+        return self._now
+
+    def epoch(self, period: float) -> int:
+        """Index of the current window of length ``period`` seconds.
+
+        Used heavily by the DRAM model: the refresh window containing time
+        ``t`` is ``floor(t / tREFW)``.
+        """
+        if period <= 0:
+            raise ConfigError("epoch period must be positive")
+        return int(self._now / period)
+
+    def __repr__(self) -> str:
+        return "SimClock(now=%.9f)" % self._now

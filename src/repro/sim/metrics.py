@@ -1,0 +1,123 @@
+"""Lightweight metrics used by every subsystem.
+
+The benchmark harness reads these to report activation rates, flip counts,
+GC pressure, and attack progress.  They are plain in-memory objects — no I/O,
+no background threads — so they cost almost nothing on the hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; got %d" % amount)
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency/size distributions.
+
+    ``bounds`` are the inclusive upper edges of each bucket; values above the
+    last bound land in an overflow bucket.
+    """
+
+    def __init__(self, name: str, bounds: List[float]):
+        if not bounds or sorted(bounds) != list(bounds):
+            raise ValueError("bounds must be a non-empty ascending list")
+        self.name = name
+        self.bounds = list(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper edge of the bucket containing ``q``."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0,1]")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        running = 0
+        for i, count in enumerate(self.counts[:-1]):
+            running += count
+            if running >= target:
+                return self.bounds[i]
+        return float("inf")
+
+    def __repr__(self) -> str:
+        return "Histogram(%s, n=%d, mean=%.3g)" % (self.name, self.total, self.mean)
+
+
+class MetricRegistry:
+    """A named collection of counters and histograms.
+
+    Components create their metrics through a registry so the benchmark
+    harness can walk everything with :meth:`snapshot`.
+    """
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _qualify(self, name: str) -> str:
+        return "%s.%s" % (self.prefix, name) if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        key = self._qualify(name)
+        if key not in self._counters:
+            self._counters[key] = Counter(key)
+        return self._counters[key]
+
+    def histogram(self, name: str, bounds: Optional[List[float]] = None) -> Histogram:
+        """Get or create the histogram ``name``."""
+        key = self._qualify(name)
+        if key not in self._histograms:
+            if bounds is None:
+                raise ValueError("first use of histogram %r must pass bounds" % key)
+            self._histograms[key] = Histogram(key, bounds)
+        return self._histograms[key]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat mapping of every metric to its current value."""
+        out: Dict[str, float] = {}
+        for key, counter in self._counters.items():
+            out[key] = counter.value
+        for key, histogram in self._histograms.items():
+            out[key + ".count"] = histogram.total
+            out[key + ".mean"] = histogram.mean
+        return out
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        self._histograms.clear()

@@ -1,0 +1,143 @@
+"""Size and time units used throughout the simulators.
+
+All simulated time is kept in **seconds** as ``float``; all sizes are in
+**bytes** as ``int``.  The helpers here exist so call sites read naturally
+(``4 * KIB``, ``ms(64)``) and so formatting of reported numbers is uniform
+across benchmarks.
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+# --- time ------------------------------------------------------------------
+
+#: One nanosecond, in seconds.
+NS = 1e-9
+#: One microsecond, in seconds.
+US = 1e-6
+#: One millisecond, in seconds.
+MS = 1e-3
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+# --- formatting ------------------------------------------------------------
+
+_SIZE_STEPS = (
+    (TIB, "TiB"),
+    (GIB, "GiB"),
+    (MIB, "MiB"),
+    (KIB, "KiB"),
+)
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count as a human-readable string.
+
+    >>> format_size(4096)
+    '4.0 KiB'
+    >>> format_size(17)
+    '17 B'
+    """
+    if num_bytes < 0:
+        raise ValueError("size must be non-negative, got %d" % num_bytes)
+    for step, suffix in _SIZE_STEPS:
+        if num_bytes >= step:
+            return "%.1f %s" % (num_bytes / step, suffix)
+    return "%d B" % num_bytes
+
+
+def format_rate(per_second: float) -> str:
+    """Render an access/IO rate as a human-readable string.
+
+    >>> format_rate(2_200_000)
+    '2.20M/s'
+    >>> format_rate(313_000)
+    '313.0K/s'
+    """
+    if per_second >= 1e6:
+        return "%.2fM/s" % (per_second / 1e6)
+    if per_second >= 1e3:
+        return "%.1fK/s" % (per_second / 1e3)
+    return "%.1f/s" % per_second
+
+
+def format_duration(seconds: float) -> str:
+    """Render a simulated duration.
+
+    >>> format_duration(7200)
+    '2.00h'
+    >>> format_duration(0.064)
+    '64.0ms'
+    """
+    if seconds >= 3600:
+        return "%.2fh" % (seconds / 3600)
+    if seconds >= 60:
+        return "%.1fmin" % (seconds / 60)
+    if seconds >= 1:
+        return "%.2fs" % seconds
+    if seconds >= 1e-3:
+        return "%.1fms" % (seconds * 1e3)
+    if seconds >= 1e-6:
+        return "%.1fus" % (seconds * 1e6)
+    return "%.0fns" % (seconds * 1e9)
+
+
+_SIZE_SUFFIXES = {
+    "B": 1,
+    "KIB": KIB,
+    "MIB": MIB,
+    "GIB": GIB,
+    "TIB": TIB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string into bytes.
+
+    >>> parse_size("64MiB")
+    67108864
+    >>> parse_size("1 GiB")
+    1073741824
+    >>> parse_size("4096")
+    4096
+    """
+    cleaned = text.strip().replace(" ", "").upper()
+    for suffix, factor in sorted(
+        _SIZE_SUFFIXES.items(), key=lambda item: -len(item[0])
+    ):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            return int(float(number) * factor)
+    return int(cleaned)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)

@@ -1,0 +1,123 @@
+"""Tests for the §4.3 probability model."""
+
+import pytest
+
+from repro.attack import (
+    cumulative_success_probability,
+    monte_carlo_success_rate,
+    paper_example_parameters,
+    single_cycle_success_probability,
+)
+from repro.attack.probability import (
+    ProbabilityParameters,
+    cycles_to_reach,
+)
+from repro.errors import ConfigError
+
+
+class TestAnalyticFormula:
+    def test_paper_headline_seven_percent(self):
+        """§4.3: equal partitions, 25% victim spray, 100% attacker spray
+        -> ~7% per cycle."""
+        params = paper_example_parameters()
+        p = single_cycle_success_probability(params)
+        assert p == pytest.approx(0.0703, abs=0.002)
+
+    def test_paper_ten_cycles_above_half(self):
+        p = single_cycle_success_probability(paper_example_parameters())
+        assert cumulative_success_probability(p, 10) > 0.5
+
+    def test_formula_matches_long_form(self):
+        params = ProbabilityParameters(
+            victim_blocks=1000,
+            attacker_blocks=1000,
+            victim_sprayed=300,
+            attacker_sprayed=800,
+            physical_blocks=2000,
+        )
+        f_v, f_a = 300, 800
+        expected = (f_v / 2 / 1000) * ((f_v / 2 + f_a) / 2000)
+        assert single_cycle_success_probability(params) == pytest.approx(expected)
+
+    def test_scale_invariance(self):
+        """The probability depends only on the ratios, not absolute size."""
+        small = paper_example_parameters(physical_blocks=4096)
+        large = paper_example_parameters(physical_blocks=2 ** 24)
+        assert single_cycle_success_probability(small) == pytest.approx(
+            single_cycle_success_probability(large)
+        )
+
+    def test_more_spray_more_probability(self):
+        base = paper_example_parameters()
+        bigger = ProbabilityParameters(
+            victim_blocks=base.victim_blocks,
+            attacker_blocks=base.attacker_blocks,
+            victim_sprayed=base.victim_sprayed * 2,
+            attacker_sprayed=base.attacker_sprayed,
+            physical_blocks=base.physical_blocks,
+        )
+        assert single_cycle_success_probability(
+            bigger
+        ) > single_cycle_success_probability(base)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            ProbabilityParameters(0, 1, 0, 0, 1)
+        with pytest.raises(ConfigError):
+            ProbabilityParameters(10, 10, 11, 0, 20)
+        with pytest.raises(ConfigError):
+            ProbabilityParameters(10, 10, 0, 11, 20)
+
+
+class TestCumulative:
+    def test_zero_cycles(self):
+        assert cumulative_success_probability(0.5, 0) == 0.0
+
+    def test_one_cycle_is_p(self):
+        assert cumulative_success_probability(0.07, 1) == pytest.approx(0.07)
+
+    def test_monotone_in_cycles(self):
+        values = [cumulative_success_probability(0.07, n) for n in range(1, 30)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            cumulative_success_probability(1.5, 2)
+        with pytest.raises(ConfigError):
+            cumulative_success_probability(0.5, -1)
+
+    def test_cycles_to_reach_half(self):
+        p = single_cycle_success_probability(paper_example_parameters())
+        assert cycles_to_reach(p, 0.5) == 10
+
+    def test_cycles_to_reach_validation(self):
+        with pytest.raises(ConfigError):
+            cycles_to_reach(0.0, 0.5)
+
+
+class TestMonteCarlo:
+    def test_agrees_with_analytic(self):
+        params = paper_example_parameters()
+        analytic = single_cycle_success_probability(params)
+        simulated = monte_carlo_success_rate(params, trials=200_000, seed=1)
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_seed_reproducibility(self):
+        params = paper_example_parameters()
+        a = monte_carlo_success_rate(params, trials=10_000, seed=7)
+        b = monte_carlo_success_rate(params, trials=10_000, seed=7)
+        assert a == b
+
+    def test_zero_spray_zero_success(self):
+        params = ProbabilityParameters(
+            victim_blocks=100,
+            attacker_blocks=100,
+            victim_sprayed=0,
+            attacker_sprayed=0,
+            physical_blocks=200,
+        )
+        assert monte_carlo_success_rate(params, trials=10_000, seed=1) == 0.0
+
+    def test_trials_validated(self):
+        with pytest.raises(ConfigError):
+            monte_carlo_success_rate(paper_example_parameters(), trials=0)

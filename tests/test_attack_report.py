@@ -1,0 +1,50 @@
+"""Tests for the attack report renderer."""
+
+from repro.attack import AttackConfig, FtlRowhammerAttack
+from repro.attack.report import render_attack_report, render_cycle_csv
+from repro.scenarios import build_cloud_testbed
+
+
+def run_small_attack(seed=7, cycles=4):
+    testbed = build_cloud_testbed(seed=seed)
+    attack = FtlRowhammerAttack(
+        testbed, AttackConfig(max_cycles=cycles, spray_files=64, hammer_seconds=60)
+    )
+    return testbed, attack.run()
+
+
+class TestReport:
+    def test_success_report_mentions_leak(self):
+        testbed, result = run_small_attack()
+        text = render_attack_report(testbed, result)
+        assert "L2P table" in text
+        assert "activations/s" in text
+        if result.success:
+            assert "LEAK" in text
+            for leak in result.leaks:
+                assert leak.source_path in text
+        else:
+            assert "no leak" in text
+
+    def test_failure_report(self):
+        testbed, result = run_small_attack(cycles=1, seed=999)
+        text = render_attack_report(testbed, result)
+        assert "cycle" in text
+        assert "simulated duration" in text
+
+    def test_cycle_csv(self):
+        _testbed, result = run_small_attack(cycles=2)
+        csv = render_cycle_csv(result)
+        lines = csv.splitlines()
+        assert lines[0].startswith("cycle,sprayed")
+        assert len(lines) == 1 + len(result.cycles)
+        first = lines[1].split(",")
+        assert int(first[0]) == 0
+        assert int(first[1]) == result.cycles[0].sprayed
+
+    def test_preview_truncation(self):
+        testbed, result = run_small_attack()
+        if not result.success:
+            return
+        text = render_attack_report(testbed, result, max_leak_preview=4)
+        assert "..." in text

@@ -1,0 +1,60 @@
+"""Tests for the wide-spray extension: one flip dumps many target LBAs."""
+
+import pytest
+
+from repro.attack import scan_sprayed_files, spray_victim_filesystem
+from repro.attack.scan import dump_wide
+from repro.ext4 import ROOT
+from repro.scenarios import ATTACKER_PROCESS, build_cloud_testbed
+
+
+def redirect(testbed, victim_record, provider_record):
+    """Apply the L2P redirect a useful flip produces."""
+    testbed.ftl.l2p.update(
+        testbed.victim_fs_block_to_device_lba(victim_record.indirect_fs_block),
+        testbed.ftl.l2p.lookup(
+            testbed.victim_fs_block_to_device_lba(provider_record.data_fs_block)
+        ),
+    )
+
+
+class TestWideDump:
+    def test_one_flip_dumps_many_blocks(self):
+        testbed = build_cloud_testbed(seed=33)
+        fs = testbed.victim_fs
+        # Targets: the planted secrets plus filler around them.
+        secret_blocks = testbed.secret_fs_blocks()
+        targets = secret_blocks + list(range(fs.sb.data_start, fs.sb.data_start + 40))
+
+        records = spray_victim_filesystem(
+            fs,
+            ATTACKER_PROCESS,
+            count=4,
+            target_fs_blocks=targets,
+            wide=True,
+            targets_per_file=16,
+        )
+        assert all(len(r.targets) == 16 for r in records)
+
+        redirect(testbed, records[2], records[0])
+        hits = scan_sprayed_files(fs, ATTACKER_PROCESS, records)
+        assert len(hits) == 1 and hits[0].usable
+
+        dumped = dump_wide(fs, ATTACKER_PROCESS, hits[0])
+        # Slots 1..15 of the provider's forged block dereference too.
+        assert len(dumped) >= 10
+        blob = b"".join([hits[0].leaked] + dumped)
+        assert b"BEGIN OPENSSH PRIVATE KEY" in blob or b"root:$6$" in blob
+
+    def test_narrow_spray_dumps_single_block(self):
+        testbed = build_cloud_testbed(seed=33)
+        fs = testbed.victim_fs
+        targets = testbed.secret_fs_blocks()
+        records = spray_victim_filesystem(
+            fs, ATTACKER_PROCESS, count=4, target_fs_blocks=targets, wide=False
+        )
+        redirect(testbed, records[2], records[0])
+        hits = scan_sprayed_files(fs, ATTACKER_PROCESS, records)
+        assert len(hits) == 1
+        # The narrow file's size covers only logical block 12.
+        assert dump_wide(fs, ATTACKER_PROCESS, hits[0]) == []

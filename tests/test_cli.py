@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.cycles == 10
+        assert args.seed == 7
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "42", "info"])
+        assert args.seed == 42
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "L2P table" in out
+        assert "amplification" in out
+
+    def test_probability(self, capsys):
+        assert main(["probability", "--trials", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "0.07" in out  # the ~7% headline
+
+    def test_demo_success_exit_code(self, capsys):
+        code = main(
+            ["demo", "--cycles", "8", "--spray-files", "64", "--hammer-seconds", "60"]
+        )
+        out = capsys.readouterr().out
+        assert "ground-truth flips" in out
+        assert code == 0
+        assert "RESULT: leak" in out
+
+    def test_demo_failure_exit_code(self, capsys):
+        # One starved cycle: no leak possible.
+        code = main(
+            ["demo", "--cycles", "1", "--spray-files", "4", "--hammer-seconds", "0.01"]
+        )
+        assert code == 1
+        assert "no leak" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Tests for the FTL-CPU cache model (design decision D2)."""
+
+import pytest
+
+from repro.dram import (
+    CacheMode,
+    DramGeometry,
+    DramModule,
+    FtlCpuCache,
+    GenerationProfile,
+    VulnerabilityModel,
+)
+from repro.errors import ConfigError
+from repro.sim import SimClock
+
+GEOMETRY = DramGeometry.small(rows_per_bank=64, row_bytes=1024)
+
+GRANITE = GenerationProfile(
+    name="granite", year=2021, ddr_type="TEST", min_rate_kps=1e9
+)
+
+
+def make_stack(mode, **cache_kwargs):
+    clock = SimClock()
+    vuln = VulnerabilityModel(GRANITE, GEOMETRY, seed=1)
+    dram = DramModule(GEOMETRY, vuln, clock)
+    return dram, FtlCpuCache(dram, mode, **cache_kwargs)
+
+
+class TestPassThrough:
+    def test_none_mode_reads_reach_dram(self):
+        dram, cache = make_stack(CacheMode.NONE)
+        dram.write(0, b"data")
+        for _ in range(10):
+            assert cache.read(0, 4) == b"data"
+        assert dram.metrics.counter("reads").value >= 10
+
+    def test_none_mode_write_roundtrip(self):
+        dram, cache = make_stack(CacheMode.NONE)
+        cache.write(100, b"xyz")
+        assert dram.read(100, 3) == b"xyz"
+
+
+class TestInvalidatePerAccess:
+    def test_every_read_reaches_dram(self):
+        """The paper's modified SPDK: cache invalidated per access, so DRAM
+        sees every L2P lookup — hammering works as if uncached."""
+        dram, cache = make_stack(CacheMode.INVALIDATE_EACH_ACCESS)
+        dram.write(0, b"data")
+        before = dram.metrics.counter("reads").value
+        for _ in range(10):
+            cache.read(0, 4)
+        assert dram.metrics.counter("reads").value == before + 10
+
+    def test_write_roundtrip(self):
+        dram, cache = make_stack(CacheMode.INVALIDATE_EACH_ACCESS)
+        cache.write(0, b"abc")
+        assert cache.read(0, 3) == b"abc"
+
+
+class TestLru:
+    def test_repeat_reads_hit_cache(self):
+        dram, cache = make_stack(CacheMode.LRU)
+        dram.write(0, b"data")
+        cache.read(0, 4)  # miss fills the line
+        before = dram.metrics.counter("reads").value
+        for _ in range(100):
+            assert cache.read(0, 4) == b"data"
+        assert dram.metrics.counter("reads").value == before
+        assert cache.hit_rate > 0.9
+
+    def test_cache_defeats_hammering_activations(self):
+        """With the cache on, repeated alternating accesses to two hot L2P
+        lines generate almost no DRAM activations — the §5 mitigation."""
+        dram, cache = make_stack(CacheMode.LRU)
+        a, b = 0, GEOMETRY.row_bytes * 2  # different rows, different lines
+        dram.write(a, b"A" * 8)
+        dram.write(b, b"B" * 8)
+        start = dram.metrics.counter("activations").value
+        for _ in range(1000):
+            cache.read(a, 4)
+            cache.read(b, 4)
+        grown = dram.metrics.counter("activations").value - start
+        assert grown <= 2  # just the two initial fills
+
+    def test_write_through_updates_dram_and_line(self):
+        dram, cache = make_stack(CacheMode.LRU)
+        cache.read(0, 8)  # cache the line
+        cache.write(0, b"fresh!!!")
+        assert dram.read(0, 8) == b"fresh!!!"
+        assert cache.read(0, 8) == b"fresh!!!"
+
+    def test_eviction_by_associativity(self):
+        dram, cache = make_stack(CacheMode.LRU, size_bytes=1024, line_bytes=64, ways=2)
+        # Three lines mapping to the same set (stride = sets*line).
+        stride = cache.num_sets * cache.line_bytes
+        addresses = [0, stride, 2 * stride]
+        for addr in addresses:
+            dram.write(addr, bytes([addr % 251]))
+            cache.read(addr, 1)
+        before = dram.metrics.counter("reads").value
+        cache.read(addresses[0], 1)  # was evicted -> miss
+        assert dram.metrics.counter("reads").value == before + 1
+
+    def test_read_spanning_lines(self):
+        dram, cache = make_stack(CacheMode.LRU, line_bytes=64)
+        dram.write(60, b"ABCDEFGH")
+        assert cache.read(60, 8) == b"ABCDEFGH"
+
+    def test_invalidate_all_forces_misses(self):
+        dram, cache = make_stack(CacheMode.LRU)
+        dram.write(0, b"data")
+        cache.read(0, 4)
+        cache.invalidate_all()
+        before = dram.metrics.counter("reads").value
+        cache.read(0, 4)
+        assert dram.metrics.counter("reads").value == before + 1
+
+
+class TestValidation:
+    def test_bad_line_size(self):
+        dram, _ = make_stack(CacheMode.NONE)
+        with pytest.raises(ConfigError):
+            FtlCpuCache(dram, CacheMode.LRU, line_bytes=48)
+
+    def test_bad_size(self):
+        dram, _ = make_stack(CacheMode.NONE)
+        with pytest.raises(ConfigError):
+            FtlCpuCache(dram, CacheMode.LRU, size_bytes=1000, line_bytes=64, ways=4)

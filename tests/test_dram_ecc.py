@@ -1,0 +1,95 @@
+"""Tests for the SECDED(72,64) codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.ecc import CLEAN, CORRECTED_CHECK, CORRECTED_DATA, SecdedCodec
+from repro.errors import EccUncorrectableError
+
+codec = SecdedCodec()
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestEncode:
+    def test_zero_word(self):
+        assert codec.encode(0) == 0
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            codec.encode(1 << 64)
+
+    @given(data=words)
+    @settings(max_examples=100)
+    def test_clean_roundtrip(self, data):
+        check = codec.encode(data)
+        result = codec.decode(data, check)
+        assert result.status == CLEAN
+        assert result.data == data
+
+
+class TestSingleBitCorrection:
+    @given(data=words, bit=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=100)
+    def test_any_single_data_bit_corrected(self, data, bit):
+        check = codec.encode(data)
+        corrupted = data ^ (1 << bit)
+        result = codec.decode(corrupted, check)
+        assert result.status == CORRECTED_DATA
+        assert result.data == data
+        assert result.corrected_bit == bit
+
+    @given(data=words, bit=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=50)
+    def test_any_single_check_bit_corrected(self, data, bit):
+        check = codec.encode(data)
+        corrupted_check = check ^ (1 << bit)
+        result = codec.decode(data, corrupted_check)
+        assert result.status == CORRECTED_CHECK
+        assert result.data == data
+        assert result.check == check
+
+
+class TestDoubleBitDetection:
+    @given(
+        data=words,
+        bits=st.lists(
+            st.integers(min_value=0, max_value=63), min_size=2, max_size=2, unique=True
+        ),
+    )
+    @settings(max_examples=100)
+    def test_double_data_flip_detected(self, data, bits):
+        check = codec.encode(data)
+        corrupted = data ^ (1 << bits[0]) ^ (1 << bits[1])
+        with pytest.raises(EccUncorrectableError):
+            codec.decode(corrupted, check)
+
+    def test_data_plus_check_flip_detected_or_miscorrected_consistently(self):
+        # One data bit and one check bit: overall parity sees an even count,
+        # syndrome is non-zero -> detected as uncorrectable.
+        data = 0xDEADBEEF12345678
+        check = codec.encode(data)
+        corrupted = data ^ 1
+        corrupted_check = check ^ 1
+        with pytest.raises(EccUncorrectableError):
+            codec.decode(corrupted, corrupted_check)
+
+
+class TestVectorizedEncode:
+    def test_matches_scalar(self):
+        values = np.array(
+            [0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEF, 1 << 63], dtype=np.uint64
+        )
+        vector = codec.encode_words(values)
+        scalar = [codec.encode(int(v)) for v in values]
+        assert vector.tolist() == scalar
+
+    @given(st.lists(words, min_size=1, max_size=16))
+    @settings(max_examples=50)
+    def test_matches_scalar_random(self, raw):
+        values = np.array(raw, dtype=np.uint64)
+        assert codec.encode_words(values).tolist() == [
+            codec.encode(v) for v in raw
+        ]

@@ -1,0 +1,108 @@
+"""Tests for the Half-Double (distance-2) disturbance coupling."""
+
+import pytest
+
+from repro.dram import (
+    DramGeometry,
+    DramModule,
+    GenerationProfile,
+    VulnerabilityModel,
+)
+from repro.dram.address import DramAddress
+from repro.errors import ConfigError
+from repro.sim import SimClock
+
+GEOMETRY = DramGeometry.small(rows_per_bank=64, row_bytes=1024)
+
+FRAGILE = GenerationProfile(
+    name="fragile",
+    year=2021,
+    ddr_type="T",
+    min_rate_kps=1.0,
+    row_vulnerable_fraction=1.0,
+    mean_weak_cells=4.0,
+    threshold_spread=0.2,
+)
+
+
+def make_module(neighbor2_weight=0.0, seed=11):
+    clock = SimClock()
+    vulnerability = VulnerabilityModel(
+        FRAGILE, GEOMETRY, seed=seed, neighbor2_weight=neighbor2_weight
+    )
+    return DramModule(GEOMETRY, vulnerability, clock)
+
+
+def fill_row(dram, row):
+    addr = dram.mapping.address_of(DramAddress(0, row, 0))
+    dram.write(addr, b"\x00" * GEOMETRY.row_bytes)
+
+
+class TestDisturbanceArithmetic:
+    def test_weight_validated(self):
+        with pytest.raises(ConfigError):
+            VulnerabilityModel(FRAGILE, GEOMETRY, seed=1, neighbor2_weight=1.0)
+        with pytest.raises(ConfigError):
+            VulnerabilityModel(FRAGILE, GEOMETRY, seed=1, neighbor2_weight=-0.1)
+
+    def test_far_counts_weighted(self):
+        model = VulnerabilityModel(FRAGILE, GEOMETRY, seed=1, neighbor2_weight=0.25)
+        base = model.disturbance(100, 100)
+        with_far = model.disturbance(100, 100, 200, 200)
+        assert with_far == pytest.approx(base + 0.25 * 400)
+
+    def test_zero_weight_ignores_far(self):
+        model = VulnerabilityModel(FRAGILE, GEOMETRY, seed=1)
+        assert model.disturbance(100, 100, 999, 999) == model.disturbance(100, 100)
+
+
+class TestHalfDoubleFlips:
+    def test_distance2_pattern_flips_with_coupling(self):
+        """A (r-2, r+2) hammer pattern at elevated rate flips row r only
+        when the second-shell coupling is on."""
+        coupled = make_module(neighbor2_weight=0.5)
+        fill_row(coupled, 9)
+        result = coupled.hammer(
+            [(0, 7), (0, 11)], total_accesses=100_000, access_rate=50_000
+        )
+        middle_flips = [f for f in result.flips if f.row == 9]
+        assert middle_flips, "half-double coupling must reach row 9"
+
+        plain = make_module(neighbor2_weight=0.0)
+        fill_row(plain, 9)
+        result = plain.hammer(
+            [(0, 7), (0, 11)], total_accesses=100_000, access_rate=50_000
+        )
+        assert [f for f in result.flips if f.row == 9] == []
+
+    def test_exact_path_matches_batch(self):
+        pattern = [(0, 7), (0, 11)]
+        rate, accesses = 50_000.0, 6400
+
+        exact = make_module(neighbor2_weight=0.5, seed=23)
+        fill_row(exact, 9)
+        for i in range(accesses):
+            bank, row = pattern[i % 2]
+            addr = exact.mapping.address_of(DramAddress(bank, row, 0))
+            exact.read(addr, 4)
+            exact.clock.advance(1 / rate)
+
+        batch = make_module(neighbor2_weight=0.5, seed=23)
+        fill_row(batch, 9)
+        batch.hammer(pattern, total_accesses=accesses, access_rate=rate)
+
+        def keys(module):
+            return sorted((f.bank, f.row, f.byte_offset, f.bit) for f in module.flips)
+
+        assert keys(exact) == keys(batch)
+
+    def test_direct_neighbours_still_dominate(self):
+        """With coupling on, the classic double-sided pattern still flips
+        the sandwiched row at a lower rate than the distance-2 pattern
+        needs."""
+        coupled = make_module(neighbor2_weight=0.25, seed=31)
+        fill_row(coupled, 9)
+        result = coupled.hammer(
+            [(0, 8), (0, 10)], total_accesses=20_000, access_rate=10_000
+        )
+        assert [f for f in result.flips if f.row == 9]

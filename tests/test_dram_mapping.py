@@ -1,0 +1,135 @@
+"""Tests for controller address-mapping functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import (
+    BankInterleavedMapping,
+    DramAddress,
+    DramGeometry,
+    SequentialMapping,
+    XorBankMapping,
+)
+from repro.dram.mapping import MAPPINGS, make_mapping
+from repro.errors import DramAddressError
+from repro.units import KIB
+
+GEOMETRY = DramGeometry.small(rows_per_bank=256, row_bytes=KIB)
+ALL_MAPPINGS = [cls(GEOMETRY) for cls in (SequentialMapping, BankInterleavedMapping, XorBankMapping)]
+
+
+@pytest.fixture(params=ALL_MAPPINGS, ids=lambda m: m.name)
+def mapping(request):
+    return request.param
+
+
+class TestRoundTrip:
+    @given(addr=st.integers(min_value=0, max_value=GEOMETRY.capacity_bytes - 1))
+    @settings(max_examples=200)
+    def test_locate_address_roundtrip_all(self, addr):
+        for mapping in ALL_MAPPINGS:
+            coords = mapping.locate(addr)
+            assert mapping.address_of(coords) == addr
+
+    def test_locate_rejects_out_of_range(self, mapping):
+        with pytest.raises(DramAddressError):
+            mapping.locate(GEOMETRY.capacity_bytes)
+
+    def test_locate_rejects_negative(self, mapping):
+        with pytest.raises(DramAddressError):
+            mapping.locate(-1)
+
+    def test_address_of_validates(self, mapping):
+        with pytest.raises(DramAddressError):
+            mapping.address_of(DramAddress(bank=999, row=0, column=0))
+
+    def test_bijection_exhaustive_small(self, mapping):
+        # Full bijectivity over a small module.
+        seen = set()
+        for addr in range(0, GEOMETRY.capacity_bytes, 64):
+            coords = mapping.locate(addr)
+            key = (coords.bank, coords.row, coords.column)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestRowContiguity:
+    def test_rows_are_contiguous_spans(self, mapping):
+        span = mapping.row_span_addresses(bank=1, row=5)
+        assert len(span) == GEOMETRY.row_bytes
+        located = [mapping.locate(addr) for addr in (span[0], span[-1])]
+        for coords in located:
+            assert coords.bank == 1
+            assert coords.row == 5
+
+
+class TestSequential:
+    def test_consecutive_rows_are_adjacent_addresses(self):
+        mapping = SequentialMapping(GEOMETRY)
+        a = mapping.address_of(DramAddress(0, 10, 0))
+        b = mapping.address_of(DramAddress(0, 11, 0))
+        assert b - a == GEOMETRY.row_bytes
+
+
+class TestBankInterleaved:
+    def test_row_stripes_across_banks(self):
+        mapping = BankInterleavedMapping(GEOMETRY)
+        a = mapping.locate(0)
+        b = mapping.locate(GEOMETRY.row_bytes)
+        assert a.row == b.row == 0
+        assert b.bank == a.bank + 1
+
+
+class TestXorBank:
+    def test_xor_breaks_monotonic_adjacency(self):
+        """Physically adjacent rows of one bank come from physical address
+        regions that are not monotonically increasing — the property §4.2
+        exploits to sandwich a victim partition row."""
+        mapping = XorBankMapping(GEOMETRY)
+        non_monotonic = 0
+        for row in range(1, 64):
+            triple = [
+                mapping.address_of(DramAddress(2, r, 0)) for r in (row - 1, row, row + 1)
+            ]
+            if not (triple[0] < triple[1] < triple[2]):
+                non_monotonic += 1
+        assert non_monotonic > 0
+
+    def test_still_bijective(self):
+        mapping = XorBankMapping(GEOMETRY)
+        addresses = {
+            mapping.address_of(DramAddress(bank, row, 0))
+            for bank in range(GEOMETRY.total_banks)
+            for row in range(GEOMETRY.rows_per_bank)
+        }
+        assert len(addresses) == GEOMETRY.total_banks * GEOMETRY.rows_per_bank
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(MAPPINGS) == {"sequential", "bank-interleaved", "xor-bank"}
+
+    def test_make_mapping(self):
+        mapping = make_mapping("xor-bank", GEOMETRY)
+        assert isinstance(mapping, XorBankMapping)
+
+    def test_make_mapping_unknown(self):
+        with pytest.raises(DramAddressError):
+            make_mapping("nope", GEOMETRY)
+
+
+class TestDramAddress:
+    def test_neighbours_interior(self):
+        coords = DramAddress(0, 5, 0)
+        rows = [n.row for n in coords.neighbours(GEOMETRY)]
+        assert rows == [4, 6]
+
+    def test_neighbours_at_edges(self):
+        assert [n.row for n in DramAddress(0, 0, 0).neighbours(GEOMETRY)] == [1]
+        last = GEOMETRY.rows_per_bank - 1
+        assert [n.row for n in DramAddress(0, last, 0).neighbours(GEOMETRY)] == [last - 1]
+
+    def test_same_row(self):
+        assert DramAddress(1, 2, 3).same_row(DramAddress(1, 2, 99))
+        assert not DramAddress(1, 2, 3).same_row(DramAddress(1, 3, 3))

@@ -1,0 +1,99 @@
+"""Tests for the TRR and PARA mitigations."""
+
+import pytest
+
+from repro.dram import Para, TargetRowRefresh
+
+
+class TestTrrTracking:
+    def test_trigger_at_threshold(self):
+        trr = TargetRowRefresh(tracker_capacity=4, refresh_threshold=3)
+        assert trr.on_activation(0, 10) == []
+        assert trr.on_activation(0, 10) == []
+        assert trr.on_activation(0, 10) == [9, 11]
+        assert trr.refreshes_issued == 1
+
+    def test_count_resets_after_trigger(self):
+        trr = TargetRowRefresh(tracker_capacity=4, refresh_threshold=2)
+        trr.on_activation(0, 10)
+        assert trr.on_activation(0, 10) == [9, 11]
+        assert trr.on_activation(0, 10) == []  # count restarted
+
+    def test_banks_tracked_independently(self):
+        trr = TargetRowRefresh(tracker_capacity=1, refresh_threshold=100)
+        trr.on_activation(0, 10)
+        trr.on_activation(1, 20)
+        # Bank 1's tracker did not evict bank 0's entry.
+        assert trr.on_activation(0, 10) == []
+        trr2 = TargetRowRefresh(tracker_capacity=1, refresh_threshold=2)
+        trr2.on_activation(0, 10)
+        trr2.on_activation(1, 20)
+        assert trr2.on_activation(0, 10) == [9, 11]
+
+    def test_window_clears_tracker(self):
+        trr = TargetRowRefresh(tracker_capacity=4, refresh_threshold=2)
+        trr.on_activation(0, 10)
+        trr.on_window(0)
+        assert trr.on_activation(0, 10) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TargetRowRefresh(tracker_capacity=0)
+        with pytest.raises(ValueError):
+            TargetRowRefresh(refresh_threshold=0)
+
+
+class TestTrrEvasion:
+    def test_many_sided_thrashes_sampler(self):
+        """TRRespass-style: more aggressors than tracker entries means no
+        count ever reaches the threshold."""
+        trr = TargetRowRefresh(tracker_capacity=2, refresh_threshold=3)
+        rows = [10, 20, 30, 40]
+        refreshes = []
+        for _ in range(50):
+            for row in rows:
+                refreshes.extend(trr.on_activation(0, row))
+        assert refreshes == []
+        assert trr.evaded_by(len(rows))
+
+    def test_within_capacity_not_evaded(self):
+        trr = TargetRowRefresh(tracker_capacity=4)
+        assert not trr.evaded_by(2)
+        assert not trr.evaded_by(4)
+        assert trr.evaded_by(5)
+
+
+class TestPara:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            Para(probability=0)
+        with pytest.raises(ValueError):
+            Para(probability=1)
+
+    def test_refresh_rate_close_to_p(self):
+        para = Para(probability=0.05, seed=1)
+        triggers = sum(bool(para.on_activation(0, 10)) for _ in range(20_000))
+        assert 0.04 < triggers / 20_000 < 0.06
+        assert para.refreshes_issued == triggers
+
+    def test_refresh_targets_neighbours(self):
+        para = Para(probability=0.999, seed=1)
+        assert para.on_activation(0, 10) == [9, 11]
+
+    def test_survival_probability(self):
+        para = Para(probability=0.001, seed=1)
+        assert para.survival_probability(0) == 1.0
+        assert para.survival_probability(100_000) < 1e-40
+
+    def test_expected_refreshes(self):
+        para = Para(probability=0.01, seed=1)
+        assert para.expected_refreshes(0, 1000) == pytest.approx(10.0)
+
+    def test_draw_refresh_count_statistics(self):
+        para = Para(probability=0.01, seed=2)
+        draws = [para.draw_refresh_count(10_000) for _ in range(200)]
+        mean = sum(draws) / len(draws)
+        assert 80 < mean < 120  # expected 100
+
+    def test_draw_refresh_count_zero_accesses(self):
+        assert Para(seed=1).draw_refresh_count(0) == 0

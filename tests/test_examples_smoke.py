@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run and print its key lines.
+
+(The blind-recon example is exercised through its library tests in
+test_attack_timing_recon.py instead — its full sweep is slow.)
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, capsys):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location("example_" + name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Recon:" in out
+        assert "Attack finished" in out
+
+    def test_cloud_info_leak(self, capsys):
+        out = run_example("cloud_info_leak.py", capsys)
+        assert "[stage 1]" in out
+        assert "Privilege escalation" in out
+        assert "ROOT:" in out  # the setuid polyglot demo always lands
+
+    def test_mitigation_comparison(self, capsys):
+        out = run_example("mitigation_comparison.py", capsys)
+        assert "baseline (no defense)" in out
+        assert "LEAKS" in out
+        assert "HOLDS" in out
+
+    def test_probability_study(self, capsys):
+        out = run_example("probability_study.py", capsys)
+        assert "0.07" in out
+        assert "cycles to reach 50%" in out
+
+    @pytest.mark.slow
+    def test_dram_calibration(self, capsys):
+        out = run_example("dram_calibration.py", capsys)
+        assert "lpddr4-new-2020" in out
+        assert "no flips" not in out

@@ -1,0 +1,175 @@
+"""Tests for depth-1 extent trees and their CRC-32C leaf protection."""
+
+import pytest
+
+from repro.errors import FsCorruptionError
+from repro.ext4 import Credentials, Ext4Fs
+from repro.ext4.extent import leaf_capacity, pack_leaf, unpack_leaf
+from repro.ext4.inode import Extent
+from repro.host.blockdev import BlockDevice
+
+from tests.conftest import build_stack
+
+ALICE = Credentials(uid=1000, gid=1000)
+
+
+def make_fs(num_lbas=2048):
+    controller, dram, _ = build_stack(num_lbas=num_lbas)
+    controller.create_namespace(1, 0, num_lbas)
+    device = BlockDevice(controller, 1)
+    return Ext4Fs.mkfs(device), device
+
+
+def fragment_file(fs, path, blocks, other="/interleaver"):
+    """Write `blocks` single blocks interleaved with another file so the
+    allocator cannot merge them into one extent."""
+    fs.create(path, ALICE)
+    fs.create(other, ALICE)
+    bs = fs.block_bytes
+    for i in range(blocks):
+        fs.write(path, bytes([i % 251]) * bs, ALICE, offset=i * bs)
+        fs.write(other, bytes([(i + 7) % 251]) * bs, ALICE, offset=i * bs)
+
+
+class TestLeafCodec:
+    def test_capacity(self):
+        assert leaf_capacity(512) == (512 - 16) // 12
+
+    def test_roundtrip(self):
+        extents = [Extent(0, 3, 100), Extent(12, 1, 300)]
+        raw = pack_leaf(extents, 512)
+        assert len(raw) == 512
+        assert unpack_leaf(raw) == extents
+
+    def test_empty_leaf(self):
+        assert unpack_leaf(pack_leaf([], 512)) == []
+
+    def test_checksum_detects_any_flip(self):
+        raw = bytearray(pack_leaf([Extent(0, 1, 5)], 512))
+        raw[20] ^= 0x01
+        with pytest.raises(FsCorruptionError):
+            unpack_leaf(bytes(raw))
+
+    def test_checksum_detects_substituted_block(self):
+        """The attack scenario: the block read back is a completely
+        different (e.g. forged-pointer) block."""
+        forged = b"\x64\x00\x00\x00" * 128  # a malicious indirect block
+        with pytest.raises(FsCorruptionError):
+            unpack_leaf(forged)
+
+    def test_overfull_leaf_rejected(self):
+        many = [Extent(i * 2, 1, 100 + i) for i in range(leaf_capacity(512) + 1)]
+        with pytest.raises(FsCorruptionError):
+            pack_leaf(many, 512)
+
+    def test_bad_magic_detected(self):
+        raw = bytearray(pack_leaf([Extent(0, 1, 5)], 512))
+        raw[0] ^= 0xFF
+        with pytest.raises(FsCorruptionError):
+            unpack_leaf(bytes(raw))
+
+
+class TestTreeGrowth:
+    def test_contiguous_file_stays_depth0(self):
+        fs, _ = make_fs()
+        fs.create("/seq", ALICE)
+        fs.write("/seq", b"x" * (20 * fs.block_bytes), ALICE)
+        inode = fs._read_inode(fs.stat("/seq", ALICE).ino)
+        assert inode.extent_depth == 0
+        assert len(inode.extents) >= 1
+
+    def test_fragmented_file_grows_to_depth1(self):
+        fs, _ = make_fs()
+        fragment_file(fs, "/frag", blocks=8)
+        stat = fs.stat("/frag", ALICE)
+        inode = fs._read_inode(stat.ino)
+        assert inode.extent_depth == 1
+        assert inode.extent_indexes
+        # All data still readable.
+        for i in range(8):
+            data = fs.read("/frag", ALICE, offset=i * fs.block_bytes, length=4)
+            assert data == bytes([i % 251]) * 4
+
+    def test_depth1_roundtrips_through_inode_table(self):
+        fs, device = make_fs()
+        fragment_file(fs, "/frag", blocks=8)
+        remounted = Ext4Fs.mount(device)
+        for i in range(8):
+            data = remounted.read("/frag", ALICE, offset=i * fs.block_bytes, length=4)
+            assert data == bytes([i % 251]) * 4
+
+    def test_heavily_fragmented_file_multiple_leaves(self):
+        fs, _ = make_fs(num_lbas=4096)
+        blocks = leaf_capacity(fs.block_bytes) + 10
+        fragment_file(fs, "/big", blocks=blocks)
+        inode = fs._read_inode(fs.stat("/big", ALICE).ino)
+        assert inode.extent_depth == 1
+        assert len(inode.extent_indexes) >= 2
+        for i in range(blocks):
+            data = fs.read("/big", ALICE, offset=i * fs.block_bytes, length=4)
+            assert data == bytes([i % 251]) * 4
+
+    def test_layout_reports_leaf_blocks(self):
+        fs, _ = make_fs()
+        fragment_file(fs, "/frag", blocks=8)
+        layout = fs.file_layout("/frag", ALICE)
+        assert layout.metadata_blocks, "leaf blocks are metadata"
+        assert len(layout.data_blocks) == 8
+
+    def test_unlink_frees_leaf_blocks(self):
+        fs, _ = make_fs()
+        fs.create("/anchor", ALICE)
+        before = fs.block_alloc.free_count
+        fragment_file(fs, "/frag", blocks=8, other="/other")
+        fs.unlink("/frag", ALICE)
+        fs.unlink("/other", ALICE)
+        assert fs.block_alloc.free_count == before
+
+    def test_holes_in_depth1_tree(self):
+        fs, _ = make_fs()
+        fragment_file(fs, "/frag", blocks=6)
+        bs = fs.block_bytes
+        # Write far beyond: hole in between must read zeros.
+        fs.write("/frag", b"tail", ALICE, offset=40 * bs)
+        assert fs.read("/frag", ALICE, offset=20 * bs, length=8) == b"\x00" * 8
+        assert fs.read("/frag", ALICE, offset=40 * bs, length=4) == b"tail"
+
+
+class TestLeafCorruptionDetection:
+    def test_redirected_leaf_detected_not_followed(self):
+        """§5: 'the checksum protection on the extent tree should make it
+        much more difficult to exploit' — a substituted leaf block fails
+        its CRC and the read errors out instead of following forged
+        pointers."""
+        fs, device = make_fs()
+        fragment_file(fs, "/frag", blocks=8)
+        layout = fs.file_layout("/frag", ALICE)
+        leaf_block = layout.metadata_blocks[0]
+        # Simulate the L2P redirect: leaf block now reads as a forged
+        # pointer array (valid as an *indirect* block, which has no CRC).
+        device.controller.ftl.write(
+            leaf_block, b"\x64\x00\x00\x00" * (fs.block_bytes // 4)
+        )
+        with pytest.raises(FsCorruptionError):
+            fs.read("/frag", ALICE)
+
+    def test_same_attack_on_indirect_file_succeeds(self):
+        """Control: the identical substitution against an *indirect* file
+        is followed silently — the asymmetry the whole exploit rides on."""
+        import struct
+
+        from repro.ext4.consts import ADDR_INDIRECT
+
+        fs, device = make_fs()
+        bs = fs.block_bytes
+        fs.create("/secret-holder", ALICE)
+        fs.write("/secret-holder", b"S" * bs, ALICE)
+        secret_block = fs.file_layout("/secret-holder", ALICE).data_blocks[0]
+
+        fs.create("/victim", ALICE, addressing=ADDR_INDIRECT)
+        fs.write("/victim", b"V" * bs, ALICE, offset=12 * bs)
+        indirect = fs.file_layout("/victim", ALICE).indirect_block
+        forged = struct.pack("<I", secret_block) + b"\x00" * (bs - 4)
+        device.controller.ftl.write(indirect, forged)
+        # Followed without any error:
+        assert fs.read("/victim", ALICE, offset=12 * bs, length=bs) == b"S" * bs

@@ -1,0 +1,127 @@
+"""Tests for the L2P table layouts (design decision D1)."""
+
+import pytest
+
+from repro.dram import (
+    CacheMode,
+    DramGeometry,
+    DramModule,
+    FtlCpuCache,
+    GenerationProfile,
+    VulnerabilityModel,
+)
+from repro.errors import ConfigError
+from repro.ftl import HashedL2p, LinearL2p, UNMAPPED
+from repro.sim import SimClock
+
+GEOMETRY = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
+GRANITE = GenerationProfile(name="granite", year=2021, ddr_type="T", min_rate_kps=1e9)
+
+
+def make_memory(mode=CacheMode.NONE):
+    clock = SimClock()
+    vuln = VulnerabilityModel(GRANITE, GEOMETRY, seed=1)
+    dram = DramModule(GEOMETRY, vuln, clock)
+    return dram, FtlCpuCache(dram, mode)
+
+
+class TestLinear:
+    def test_entry_addresses_are_contiguous(self):
+        _, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=1024)
+        assert table.entry_address(0) == 0
+        assert table.entry_address(1) == 4
+        assert table.entry_address(256) == 1024
+
+    def test_initialize_then_lookup_unmapped(self):
+        _, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=64)
+        table.initialize()
+        assert all(table.lookup(lba) is None for lba in range(64))
+
+    def test_update_lookup_roundtrip(self):
+        _, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=64)
+        table.initialize()
+        table.update(7, 12345)
+        assert table.lookup(7) == 12345
+        assert table.lookup(8) is None
+
+    def test_clear(self):
+        _, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=64)
+        table.initialize()
+        table.update(7, 1)
+        table.clear(7)
+        assert table.lookup(7) is None
+
+    def test_oversized_ppa_rejected(self):
+        _, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=64)
+        with pytest.raises(ConfigError):
+            table.update(0, UNMAPPED)
+
+    def test_lba_bounds_checked(self):
+        _, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=64)
+        with pytest.raises(ConfigError):
+            table.lookup(64)
+
+    def test_row_of_figure1(self):
+        """Figure 1's simplification: with 1 KiB DRAM rows, LBA 256's entry
+        is the first entry of the second row."""
+        dram, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=1024)
+        coords = dram.mapping.locate(table.entry_address(256))
+        assert coords.row == 1
+        assert coords.column == 0
+
+    def test_lookups_reach_dram(self):
+        dram, memory = make_memory()
+        table = LinearL2p(memory, base_addr=0, num_lbas=64)
+        table.initialize()
+        before = dram.metrics.counter("reads").value
+        table.lookup(1)
+        assert dram.metrics.counter("reads").value == before + 1
+
+    def test_base_offset_applies(self):
+        _, memory = make_memory()
+        table = LinearL2p(memory, base_addr=4096, num_lbas=64)
+        assert table.entry_address(0) == 4096
+
+
+class TestHashed:
+    def test_requires_power_of_two(self):
+        _, memory = make_memory()
+        with pytest.raises(ConfigError):
+            HashedL2p(memory, base_addr=0, num_lbas=100)
+
+    def test_slots_are_a_permutation(self):
+        _, memory = make_memory()
+        table = HashedL2p(memory, base_addr=0, num_lbas=256, key=12345)
+        slots = {table.slot_of(lba) for lba in range(256)}
+        assert len(slots) == 256
+
+    def test_different_keys_differ(self):
+        _, memory = make_memory()
+        a = HashedL2p(memory, base_addr=0, num_lbas=256, key=1)
+        b = HashedL2p(memory, base_addr=0, num_lbas=256, key=999999)
+        assert any(a.slot_of(lba) != b.slot_of(lba) for lba in range(256))
+
+    def test_roundtrip(self):
+        _, memory = make_memory()
+        table = HashedL2p(memory, base_addr=0, num_lbas=256)
+        table.initialize()
+        table.update(10, 777)
+        assert table.lookup(10) == 777
+
+    def test_adjacent_lbas_scatter(self):
+        """Unlike the linear layout, consecutive LBAs do not land in
+        consecutive slots — the randomization mitigation's point."""
+        _, memory = make_memory()
+        table = HashedL2p(memory, base_addr=0, num_lbas=256, key=0x12345678ABCD)
+        deltas = {
+            (table.slot_of(lba + 1) - table.slot_of(lba)) % 256 for lba in range(32)
+        }
+        # A linear table would have a single delta of 1.
+        assert deltas != {1}

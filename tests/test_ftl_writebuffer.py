@@ -1,0 +1,173 @@
+"""Tests for the DRAM write-staging buffer (§2.1's 'incoming writes')."""
+
+import pytest
+
+from repro.dram import (
+    CacheMode,
+    DramGeometry,
+    DramModule,
+    FtlCpuCache,
+    GenerationProfile,
+    VulnerabilityModel,
+)
+from repro.errors import ConfigError
+from repro.flash import FlashArray, FlashGeometry
+from repro.ftl import FtlConfig, PageMappingFtl
+from repro.ftl.writebuffer import WriteBuffer
+from repro.sim import SimClock
+
+GRANITE = GenerationProfile(name="granite", year=2021, ddr_type="T", min_rate_kps=1e9)
+
+
+def make_ftl(buffer_pages=4, num_lbas=64):
+    clock = SimClock()
+    dram_geometry = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
+    dram = DramModule(
+        dram_geometry, VulnerabilityModel(GRANITE, dram_geometry, seed=1), clock
+    )
+    flash = FlashArray(
+        FlashGeometry(
+            channels=1,
+            chips_per_channel=1,
+            planes_per_chip=1,
+            blocks_per_plane=16,
+            pages_per_block=8,
+            page_bytes=512,
+        )
+    )
+    ftl = PageMappingFtl(
+        flash,
+        FtlCpuCache(dram, CacheMode.NONE),
+        FtlConfig(num_lbas=num_lbas, write_buffer_pages=buffer_pages),
+    )
+    return ftl, dram
+
+
+def page(fill):
+    return bytes([fill % 256]) * 512
+
+
+class TestBuffering:
+    def test_staged_write_readable_before_flush(self):
+        ftl, _ = make_ftl()
+        result = ftl.write(3, page(0xAB))
+        assert result.ppa is None  # not on flash yet
+        assert ftl.write_buffer.contains(3)
+        assert ftl.read(3).data == page(0xAB)
+
+    def test_staged_read_skips_flash(self):
+        ftl, _ = make_ftl()
+        ftl.write(3, page(1))
+        result = ftl.read(3)
+        assert result.flash_time == 0.0
+        assert result.mapped
+
+    def test_overwrite_in_buffer_updates_in_place(self):
+        ftl, _ = make_ftl()
+        ftl.write(3, page(1))
+        ftl.write(3, page(2))
+        assert ftl.write_buffer.staged_count == 1
+        assert ftl.read(3).data == page(2)
+
+    def test_fill_triggers_flush(self):
+        ftl, _ = make_ftl(buffer_pages=4)
+        for lba in range(4):
+            ftl.write(lba, page(lba))
+        assert ftl.write_buffer.staged_count == 0  # drained
+        for lba in range(4):
+            result = ftl.read(lba)
+            assert result.data == page(lba)
+            assert result.flash_time > 0  # now genuinely from flash
+
+    def test_explicit_flush(self):
+        ftl, _ = make_ftl()
+        ftl.write(5, page(9))
+        flash_time = ftl.flush()
+        assert flash_time > 0
+        assert not ftl.write_buffer.contains(5)
+        assert ftl.read(5).data == page(9)
+
+    def test_flush_idempotent(self):
+        ftl, _ = make_ftl()
+        ftl.write(5, page(9))
+        ftl.flush()
+        assert ftl.flush() == 0.0
+
+    def test_trim_discards_staged_page(self):
+        ftl, _ = make_ftl()
+        ftl.write(5, page(9))
+        ftl.trim(5)
+        assert not ftl.write_buffer.contains(5)
+        assert not ftl.read(5).mapped
+
+    def test_buffer_region_sits_after_l2p_table(self):
+        ftl, _ = make_ftl()
+        assert ftl.write_buffer.base_addr == ftl.l2p.base_addr + ftl.l2p.table_bytes
+
+
+class TestBufferHammering:
+    def test_flip_in_staged_page_corrupts_data_end_to_end(self):
+        """A disturbance flip in the staging region corrupts the payload
+        — and the corruption is then *persisted* by the flush."""
+        ftl, dram = make_ftl(buffer_pages=4)
+        ftl.write(3, page(0x00))
+        # Locate the staged payload in DRAM and flip one of its bits the
+        # way a disturbance would.
+        index = ftl.write_buffer._by_lba[3]
+        addr = ftl.write_buffer.slot_address(index)
+        coords = dram.mapping.locate(addr)
+        change = dram.banks[coords.bank].flip_bit(
+            coords.row, coords.column, bit=5, flips_to=1
+        )
+        assert change is not None
+        corrupted = ftl.read(3).data
+        assert corrupted != page(0x00)
+        ftl.flush()
+        assert ftl.read(3).data == corrupted  # damage persisted to flash
+
+
+class TestWriteBufferUnit:
+    def make_buffer(self, capacity=2):
+        _, dram = make_ftl(buffer_pages=0)
+        memory = FtlCpuCache(dram, CacheMode.NONE)
+        return WriteBuffer(memory, base_addr=4096, capacity_pages=capacity, page_bytes=512)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            self.make_buffer(capacity=0)
+
+    def test_region_bounds_validated(self):
+        _, dram = make_ftl(buffer_pages=0)
+        memory = FtlCpuCache(dram, CacheMode.NONE)
+        with pytest.raises(ConfigError):
+            WriteBuffer(
+                memory,
+                base_addr=dram.geometry.capacity_bytes - 256,
+                capacity_pages=1,
+                page_bytes=512,
+            )
+
+    def test_payload_size_validated(self):
+        buffer = self.make_buffer()
+        with pytest.raises(ConfigError):
+            buffer.stage(0, b"short")
+
+    def test_drain_returns_everything_once(self):
+        buffer = self.make_buffer(capacity=3)
+        buffer.stage(1, page(1))
+        buffer.stage(2, page(2))
+        drained = dict(buffer.drain())
+        assert drained == {1: page(1), 2: page(2)}
+        assert buffer.drain() == []
+
+    def test_slot_reuse_after_discard(self):
+        buffer = self.make_buffer(capacity=1)
+        buffer.stage(1, page(1))
+        assert buffer.is_full
+        assert buffer.discard(1)
+        assert not buffer.is_full
+        buffer.stage(2, page(2))
+        assert buffer.read(2) == page(2)
+
+    def test_discard_missing(self):
+        assert not self.make_buffer().discard(42)

@@ -1,0 +1,60 @@
+"""Paper-scale (§4.1) testbed tests: 1 GiB SSD, 1 MiB L2P, 8 KiB rows."""
+
+import pytest
+
+from repro.attack import (
+    AttackConfig,
+    DeviceProfile,
+    FtlRowhammerAttack,
+    find_cross_partition_triples,
+)
+from repro.scenarios import build_paper_testbed
+from repro.units import GIB, MIB
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_paper_testbed(seed=3)
+
+
+class TestPaperScaleShape:
+    def test_capacity_and_table(self, testbed):
+        assert testbed.ftl.num_lbas * testbed.ftl.page_bytes == GIB
+        assert testbed.ftl.l2p.table_bytes == MIB  # the 1 MiB rule
+
+    def test_dram_rows_are_8kib(self, testbed):
+        assert testbed.dram.geometry.row_bytes == 8 * 1024
+        assert testbed.dram.geometry.total_banks == 8
+
+    def test_entries_per_row(self, testbed):
+        # 8 KiB row / 4 B entries = 2048 LBAs per row ("in practice, rows
+        # are much larger" than Figure 1's 256).
+        assert testbed.dram.geometry.row_bytes // 4 == 2048
+
+    def test_triples_at_least_paper_count(self, testbed):
+        profile = DeviceProfile.from_device(testbed.controller)
+        triples = find_cross_partition_triples(
+            profile, testbed.attacker_ns, testbed.victim_ns, limit=40
+        )
+        assert len(triples) >= 32  # the paper found 32 sets
+
+
+class TestPaperScaleAttack:
+    def test_one_cycle_flips(self):
+        testbed = build_paper_testbed(seed=3)
+        attack = FtlRowhammerAttack(
+            testbed,
+            AttackConfig(
+                max_cycles=1,
+                spray_files=32,
+                hammer_seconds=60,
+                max_triples=8,
+                attacker_spray_fraction=0.02,
+            ),
+        )
+        result = attack.run()
+        assert len(result.cycles) == 1
+        assert testbed.flips_observed() > 0
+        # Flips landed inside the 1 MiB table region.
+        for flip in testbed.dram.flips:
+            assert flip.bank < testbed.dram.geometry.total_banks

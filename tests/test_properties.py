@@ -1,0 +1,237 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.attack.probability import (
+    ProbabilityParameters,
+    monte_carlo_success_rate,
+    single_cycle_success_probability,
+)
+from repro.dram import (
+    DramAddress,
+    DramGeometry,
+    DramModule,
+    GenerationProfile,
+    VulnerabilityModel,
+    XorBankMapping,
+)
+from repro.sim import SimClock
+
+# ---------------------------------------------------------------------------
+# DRAM mapping bijectivity over *arbitrary* geometries
+# ---------------------------------------------------------------------------
+
+geometries = st.builds(
+    DramGeometry,
+    channels=st.sampled_from([1, 2]),
+    dimms_per_channel=st.just(1),
+    ranks_per_dimm=st.just(1),
+    banks_per_rank=st.sampled_from([2, 4, 8]),
+    rows_per_bank=st.sampled_from([16, 64, 256]),
+    row_bytes=st.sampled_from([256, 1024]),
+)
+
+
+class TestMappingProperties:
+    @given(geometry=geometries, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_xor_mapping_roundtrip_any_geometry(self, geometry, data):
+        mapping = XorBankMapping(geometry)
+        addr = data.draw(
+            st.integers(min_value=0, max_value=geometry.capacity_bytes - 1)
+        )
+        coords = mapping.locate(addr)
+        assert mapping.address_of(coords) == addr
+        coords.validate(geometry)
+
+    @given(geometry=geometries)
+    @settings(max_examples=20, deadline=None)
+    def test_xor_mapping_rows_cover_bank(self, geometry):
+        """Every row of bank 0 is reachable from some physical address."""
+        mapping = XorBankMapping(geometry)
+        rows = set()
+        for row in range(geometry.rows_per_bank):
+            addr = mapping.address_of(DramAddress(0, row, 0))
+            assert 0 <= addr < geometry.capacity_bytes
+            rows.add(mapping.locate(addr).row)
+        assert rows == set(range(geometry.rows_per_bank))
+
+
+# ---------------------------------------------------------------------------
+# Hammer accounting invariants
+# ---------------------------------------------------------------------------
+
+FRAGILE = GenerationProfile(
+    name="fragile",
+    year=2021,
+    ddr_type="T",
+    min_rate_kps=1.0,
+    row_vulnerable_fraction=1.0,
+    mean_weak_cells=4.0,
+    threshold_spread=0.2,
+)
+
+GEOMETRY = DramGeometry.small(rows_per_bank=64, row_bytes=1024)
+
+
+def make_module(seed):
+    clock = SimClock()
+    return DramModule(
+        GEOMETRY, VulnerabilityModel(FRAGILE, GEOMETRY, seed=seed), clock
+    )
+
+
+class TestHammerProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        accesses=st.integers(min_value=100, max_value=50_000),
+        rate=st.sampled_from([2_000.0, 10_000.0, 100_000.0]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_accesses_become_activations(self, seed, accesses, rate):
+        """An alternating two-row pattern has no row-buffer hits: every
+        access is an activation."""
+        dram = make_module(seed)
+        dram.hammer([(0, 8), (0, 10)], total_accesses=accesses, access_rate=rate)
+        assert dram.metrics.counter("activations").value == accesses
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_flips_monotone_in_rate(self, seed):
+        """More hammering per window never flips fewer cells."""
+        low = make_module(seed)
+        addr = low.mapping.address_of(DramAddress(0, 9, 0))
+        low.write(addr, b"\x00" * GEOMETRY.row_bytes)
+        low_result = low.hammer([(0, 8), (0, 10)], 20_000, access_rate=3_000)
+
+        high = make_module(seed)
+        high.write(addr, b"\x00" * GEOMETRY.row_bytes)
+        high_result = high.hammer([(0, 8), (0, 10)], 20_000, access_rate=30_000)
+
+        low_cells = {(f.row, f.byte_offset, f.bit) for f in low_result.flips}
+        high_cells = {(f.row, f.byte_offset, f.bit) for f in high_result.flips}
+        assert low_cells <= high_cells
+
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_flips_only_change_victim_rows(self, seed, value):
+        """Hammering rows 8 and 10 never touches bytes outside rows 7-11."""
+        dram = make_module(seed)
+        for row in range(16):
+            addr = dram.mapping.address_of(DramAddress(0, row, 0))
+            dram.write(addr, bytes([value]) * GEOMETRY.row_bytes)
+        dram.hammer([(0, 8), (0, 10)], total_accesses=50_000, access_rate=20_000)
+        for flip in dram.flips:
+            assert flip.row in (7, 9, 11)
+
+
+# ---------------------------------------------------------------------------
+# §4.3 formula vs Monte Carlo over random parameters
+# ---------------------------------------------------------------------------
+
+class TestProbabilityProperties:
+    @given(
+        victim_blocks=st.integers(min_value=200, max_value=5000),
+        spray_fraction=st.floats(min_value=0.05, max_value=1.0),
+        attacker_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_monte_carlo_tracks_formula(
+        self, victim_blocks, spray_fraction, attacker_fraction, seed
+    ):
+        params = ProbabilityParameters(
+            victim_blocks=victim_blocks,
+            attacker_blocks=victim_blocks,
+            victim_sprayed=int(victim_blocks * spray_fraction),
+            attacker_sprayed=int(victim_blocks * attacker_fraction),
+            physical_blocks=2 * victim_blocks,
+        )
+        analytic = single_cycle_success_probability(params)
+        simulated = monte_carlo_success_rate(params, trials=60_000, seed=seed)
+        assert abs(analytic - simulated) < max(0.25 * analytic, 0.01)
+
+    @given(
+        base=st.integers(min_value=400, max_value=4000),
+        extra=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=30)
+    def test_formula_monotone_in_spray(self, base, extra):
+        def params(f_v):
+            return ProbabilityParameters(
+                victim_blocks=base * 4,
+                attacker_blocks=base * 4,
+                victim_sprayed=f_v,
+                attacker_sprayed=base,
+                physical_blocks=base * 8,
+            )
+
+        assert single_cycle_success_probability(
+            params(base + extra)
+        ) >= single_cycle_success_probability(params(base))
+
+
+# ---------------------------------------------------------------------------
+# Filesystem allocator consistency under random operations
+# ---------------------------------------------------------------------------
+
+class TestFsAllocatorProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["create", "write", "unlink"]),
+                st.integers(min_value=0, max_value=7),  # file id
+                st.integers(min_value=0, max_value=2000),  # payload size
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_no_block_leaks(self, ops):
+        """After any operation sequence, every allocated data block is
+        reachable from some live file (or a directory)."""
+        from repro.ext4 import Credentials, Ext4Fs, ROOT
+        from repro.host.blockdev import BlockDevice
+        from tests.conftest import build_stack
+
+        alice = Credentials(uid=1000, gid=1000)
+        controller, _, _ = build_stack(num_lbas=2048)
+        controller.create_namespace(1, 0, 2048)
+        fs = Ext4Fs.mkfs(BlockDevice(controller, 1))
+
+        live = set()
+        for op, fid, size in ops:
+            path = "/f%d" % fid
+            if op == "create" and fid not in live:
+                fs.create(path, alice)
+                live.add(fid)
+            elif op == "write" and fid in live:
+                fs.write(path, b"x" * size, alice)
+            elif op == "unlink" and fid in live:
+                fs.unlink(path, alice)
+                live.remove(fid)
+
+        reachable = set()
+        for fid in live:
+            layout = fs.file_layout("/f%d" % fid, alice)
+            reachable.update(layout.data_blocks)
+            reachable.update(layout.metadata_blocks)
+        root = fs._read_inode(1)
+        count = -(-root.size // fs.block_bytes)
+        for logical in range(count):
+            block = fs._block_lookup(root, logical)
+            if block:
+                reachable.add(block)
+
+        allocated = {
+            fs.sb.data_start + i
+            for i in range(fs.block_alloc.count)
+            if fs.block_alloc.is_allocated(i)
+        }
+        assert allocated == reachable

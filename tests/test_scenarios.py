@@ -1,0 +1,126 @@
+"""Tests for the prebuilt cloud testbed."""
+
+import pytest
+
+from repro.dram import CacheMode
+from repro.dram.mapping import SequentialMapping
+from repro.errors import ConfigError
+from repro.ext4 import ROOT
+from repro.scenarios import ATTACKER_PROCESS, FAKE_SSH_KEY, build_cloud_testbed
+from repro.units import GIB, MIB
+
+
+class TestBuildDefaults:
+    def test_default_shape(self):
+        testbed = build_cloud_testbed(seed=1)
+        assert testbed.ftl.num_lbas == (8 * MIB) // (4 * 1024)
+        assert testbed.victim_ns.num_lbas == testbed.ftl.num_lbas // 2
+        assert testbed.controller.timing.hammer_amplification == 5
+
+    def test_l2p_sizing_rule(self):
+        """§2.3/§4.1: ~1 MiB of mapping table per 1 GiB of capacity."""
+        testbed = build_cloud_testbed(ssd_capacity=GIB, seed=1, plant_secrets=False)
+        assert testbed.ftl.l2p.table_bytes == 1 * MIB
+
+    def test_dram_sized_to_table(self):
+        testbed = build_cloud_testbed(seed=1, plant_secrets=False)
+        assert testbed.dram.geometry.capacity_bytes >= testbed.ftl.l2p.table_bytes
+
+    def test_capacity_must_be_page_aligned(self):
+        with pytest.raises(ConfigError):
+            build_cloud_testbed(ssd_capacity=4097, page_bytes=4096)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            build_cloud_testbed(ssd_capacity=16 * 4096)
+
+    def test_secrets_optional(self):
+        testbed = build_cloud_testbed(seed=1, plant_secrets=False)
+        assert testbed.secret_paths == {}
+
+    def test_planted_secrets(self):
+        testbed = build_cloud_testbed(seed=1)
+        fs = testbed.victim_fs
+        assert fs.read(testbed.secret_paths["ssh-key"], ROOT).startswith(
+            FAKE_SSH_KEY[:30]
+        )
+        sudo = fs.stat(testbed.secret_paths["setuid-sudo"], ROOT)
+        assert sudo.mode & 0o4000, "sudo must be setuid"
+
+    def test_secret_fs_blocks_ground_truth(self):
+        testbed = build_cloud_testbed(seed=1)
+        blocks = testbed.secret_fs_blocks()
+        assert len(blocks) >= 3
+        assert all(0 <= b < testbed.victim_ns.num_lbas for b in blocks)
+
+    def test_block_translation(self):
+        testbed = build_cloud_testbed(seed=1)
+        assert testbed.victim_fs_block_to_device_lba(0) == 0
+        assert (
+            testbed.victim_fs_block_to_device_lba(10)
+            == testbed.victim_ns.start_lba + 10
+        )
+
+
+class TestKnobs:
+    def test_cache_mode_applied(self):
+        testbed = build_cloud_testbed(seed=1, cache_mode=CacheMode.LRU, plant_secrets=False)
+        assert testbed.ftl.memory.mode is CacheMode.LRU
+
+    def test_mapping_class_applied(self):
+        testbed = build_cloud_testbed(
+            seed=1, mapping_cls=SequentialMapping, plant_secrets=False
+        )
+        assert isinstance(testbed.dram.mapping, SequentialMapping)
+
+    def test_hashed_layout_applied(self):
+        testbed = build_cloud_testbed(seed=1, l2p_layout="hashed", plant_secrets=False)
+        assert testbed.ftl.l2p.layout == "hashed"
+
+    def test_refresh_interval_applied_without_recalibration(self):
+        normal = build_cloud_testbed(seed=1, plant_secrets=False)
+        fast = build_cloud_testbed(seed=1, refresh_interval=0.032, plant_secrets=False)
+        assert fast.dram.refresh_interval == 0.032
+        # Physical cell thresholds unchanged — same silicon.
+        assert (
+            fast.dram.vulnerability.min_disturbance_threshold
+            == normal.dram.vulnerability.min_disturbance_threshold
+        )
+
+    def test_encrypted_tenants_wrap_devices(self):
+        from repro.mitigations.encryption import EncryptedBlockDevice
+
+        testbed = build_cloud_testbed(seed=1, encrypt_tenants=True)
+        assert isinstance(testbed.victim_vm.blockdev, EncryptedBlockDevice)
+        assert isinstance(testbed.attacker_vm.blockdev, EncryptedBlockDevice)
+        # The filesystem still works over it.
+        assert testbed.victim_fs.read(
+            testbed.secret_paths["ssh-key"], ROOT
+        ).startswith(FAKE_SSH_KEY[:30])
+
+    def test_dif_applied(self):
+        testbed = build_cloud_testbed(seed=1, dif=True, plant_secrets=False)
+        assert testbed.ftl.config.dif
+
+    def test_enforce_extents_applied(self):
+        from repro.errors import FsPermissionError
+        from repro.ext4.consts import ADDR_INDIRECT
+
+        testbed = build_cloud_testbed(seed=1, enforce_extents=True, plant_secrets=False)
+        with pytest.raises(FsPermissionError):
+            testbed.victim_fs.create("/x", ATTACKER_PROCESS, addressing=ADDR_INDIRECT)
+
+    def test_seed_changes_vulnerability_map(self):
+        a = build_cloud_testbed(seed=1, plant_secrets=False)
+        b = build_cloud_testbed(seed=2, plant_secrets=False)
+        rows_a = [
+            row
+            for row in range(a.dram.geometry.rows_per_bank)
+            if a.dram.vulnerability.row_vulnerability(0, row).is_vulnerable
+        ]
+        rows_b = [
+            row
+            for row in range(b.dram.geometry.rows_per_bank)
+            if b.dram.vulnerability.row_vulnerability(0, row).is_vulnerable
+        ]
+        assert rows_a != rows_b

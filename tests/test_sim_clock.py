@@ -1,0 +1,57 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=1.5).now == 1.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            SimClock(start=-1)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(0.5)
+        clock.advance(0.25)
+        assert clock.now == pytest.approx(0.75)
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(2.0) == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigError):
+            clock.advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(ConfigError):
+            clock.advance_to(4.0)
+
+    def test_epoch_indexing(self):
+        clock = SimClock()
+        assert clock.epoch(0.064) == 0
+        clock.advance(0.064)
+        assert clock.epoch(0.064) == 1
+        clock.advance(0.1)
+        assert clock.epoch(0.064) == 2
+
+    def test_epoch_requires_positive_period(self):
+        with pytest.raises(ConfigError):
+            SimClock().epoch(0)
+
+    def test_repr_mentions_time(self):
+        assert "now=" in repr(SimClock(start=1.0))

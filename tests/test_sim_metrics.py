@@ -1,0 +1,102 @@
+"""Tests for counters, histograms, and the metric registry."""
+
+import pytest
+
+from repro.sim import Counter, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add_default(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add()
+        assert counter.value == 2
+
+    def test_add_amount(self):
+        counter = Counter("x")
+        counter.add(10)
+        assert counter.value == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_requires_ascending_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [3, 1, 2])
+
+    def test_requires_nonempty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+    def test_observations_bucketed(self):
+        hist = Histogram("h", [1.0, 10.0])
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)
+        assert hist.counts == [1, 1, 1]
+
+    def test_mean(self):
+        hist = Histogram("h", [100.0])
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_mean_empty(self):
+        assert Histogram("h", [1.0]).mean == 0.0
+
+    def test_quantile(self):
+        hist = Histogram("h", [1.0, 2.0, 4.0])
+        for value in [0.5, 0.5, 1.5, 3.0]:
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0]).quantile(1.5)
+
+
+class TestMetricRegistry:
+    def test_counter_is_memoized(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_prefix_qualifies_names(self):
+        registry = MetricRegistry("dram")
+        registry.counter("reads").add(2)
+        assert registry.snapshot() == {"dram.reads": 2}
+
+    def test_histogram_needs_bounds_on_first_use(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("lat")
+
+    def test_histogram_memoized_after_bounds(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat", bounds=[1.0])
+        assert registry.histogram("lat") is hist
+
+    def test_snapshot_includes_histograms(self):
+        registry = MetricRegistry()
+        registry.histogram("lat", bounds=[1.0]).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["lat.count"] == 1
+        assert snap["lat.mean"] == pytest.approx(0.5)
+
+    def test_reset_clears(self):
+        registry = MetricRegistry()
+        registry.counter("a").add(5)
+        registry.reset()
+        assert registry.snapshot()["a"] == 0

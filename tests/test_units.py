@@ -1,0 +1,79 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    ceil_div,
+    format_duration,
+    format_rate,
+    format_size,
+    is_power_of_two,
+    ms,
+    ns,
+    us,
+)
+
+
+class TestSizes:
+    def test_size_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024 * 1024
+        assert GIB == 1024 ** 3
+
+    def test_format_size_bytes(self):
+        assert format_size(17) == "17 B"
+
+    def test_format_size_kib(self):
+        assert format_size(4096) == "4.0 KiB"
+
+    def test_format_size_gib(self):
+        assert format_size(16 * GIB) == "16.0 GiB"
+
+    def test_format_size_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+
+class TestTime:
+    def test_time_converters(self):
+        assert ns(50) == pytest.approx(50e-9)
+        assert us(100) == pytest.approx(100e-6)
+        assert ms(64) == pytest.approx(0.064)
+
+    def test_format_duration_hours(self):
+        assert format_duration(7200) == "2.00h"
+
+    def test_format_duration_ms(self):
+        assert format_duration(0.064) == "64.0ms"
+
+    def test_format_duration_us(self):
+        assert format_duration(25e-6) == "25.0us"
+
+    def test_format_rate_millions(self):
+        assert format_rate(2_200_000) == "2.20M/s"
+
+    def test_format_rate_thousands(self):
+        assert format_rate(313_000) == "313.0K/s"
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 2 ** 15])
+    def test_powers_of_two(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1023])
+    def test_non_powers_of_two(self, value):
+        assert not is_power_of_two(value)
+
+    def test_ceil_div_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_ceil_div_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_ceil_div_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
