@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Run the micro-benchmarks and drop a dated result file at the repo root.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+Runs ``benchmarks/test_perf_micro.py`` under pytest-benchmark, saves the
+raw machine-readable output to ``BENCH_<YYYY-MM-DD>.json``, and prints a
+per-benchmark median table.  Pass extra pytest args after ``--``::
+
+    PYTHONPATH=src python benchmarks/run_bench.py -- -k read_burst
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks", "test_perf_micro.py")
+
+
+def main(argv: list) -> int:
+    date = datetime.date.today().isoformat()
+    out_path = os.path.join(REPO_ROOT, "BENCH_%s.json" % date)
+
+    extra = []
+    if "--" in argv:
+        extra = argv[argv.index("--") + 1 :]
+
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        BENCH_FILE,
+        "-q",
+        "--benchmark-only",
+        "--benchmark-json=%s" % out_path,
+    ] + extra
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        return proc.returncode
+
+    with open(out_path) as handle:
+        report = json.load(handle)
+    print()
+    print("%-38s %12s %12s" % ("benchmark", "median (us)", "mean (us)"))
+    for bench in report["benchmarks"]:
+        stats = bench["stats"]
+        print(
+            "%-38s %12.2f %12.2f"
+            % (bench["name"], stats["median"] * 1e6, stats["mean"] * 1e6)
+        )
+    print("\nwrote %s" % os.path.relpath(out_path, REPO_ROOT))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

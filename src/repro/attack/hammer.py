@@ -18,7 +18,7 @@ to split the I/O budget.  Patterns:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.attack.recon import AttackTriple
 from repro.errors import ConfigError
@@ -30,8 +30,11 @@ class HammerPlan:
     """The read loop the attacker will issue."""
 
     name: str
-    #: Namespace-relative LBAs, in loop order.
-    lbas: List[int]
+    #: Namespace-relative LBAs, in loop order.  Stored as a tuple: the
+    #: controller memoizes burst setup per (nsid, tuple(lbas)), so an
+    #: already-hashable LBA sequence keeps the millions of re-issued
+    #: hammer bursts on the cache-hit path.
+    lbas: Tuple[int, ...]
     #: Triples this plan attacks (for reporting).
     triples: List[AttackTriple]
 
@@ -56,7 +59,7 @@ def double_sided_plan(triple: AttackTriple, namespace) -> HammerPlan:
     left, right = triple.aggressor_pair
     return HammerPlan(
         name="double-sided",
-        lbas=[_relative(left, namespace), _relative(right, namespace)],
+        lbas=(_relative(left, namespace), _relative(right, namespace)),
         triples=[triple],
     )
 
@@ -78,7 +81,7 @@ def single_sided_plan(
         )
     return HammerPlan(
         name="single-sided",
-        lbas=[_relative(aggressor, namespace), _relative(conflict_lba, namespace)],
+        lbas=(_relative(aggressor, namespace), _relative(conflict_lba, namespace)),
         triples=[triple],
     )
 
@@ -95,11 +98,11 @@ def many_sided_plan(triples: Sequence[AttackTriple], namespace) -> HammerPlan:
         left, right = triple.aggressor_pair
         lbas.append(_relative(left, namespace))
         lbas.append(_relative(right, namespace))
-    return HammerPlan(name="many-sided", lbas=lbas, triples=list(triples))
+    return HammerPlan(name="many-sided", lbas=tuple(lbas), triples=list(triples))
 
 
 def one_location_plan(lba: int, namespace) -> HammerPlan:
     """A single repeatedly-read address (closed-page controllers only)."""
     return HammerPlan(
-        name="one-location", lbas=[_relative(lba, namespace)], triples=[]
+        name="one-location", lbas=(_relative(lba, namespace),), triples=[]
     )

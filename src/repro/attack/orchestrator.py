@@ -170,8 +170,8 @@ class FtlRowhammerAttack:
         # the flip threshold.  Bonus: the malicious payloads just written
         # there remain in flash as stale pages a flip can still land on.
         aggressor_lbas = sorted({lba for plan in plans for lba in plan.lbas})
-        for lba in aggressor_lbas:
-            testbed.attacker_vm.blockdev.trim_block(lba)
+        if aggressor_lbas:
+            testbed.attacker_vm.blockdev.trim_burst(aggressor_lbas)
 
         io_rate = testbed.attacker_vm.achieved_io_rate(mapped=False)
         ios_per_cycle = int(io_rate * config.hammer_seconds)

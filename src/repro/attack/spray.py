@@ -135,11 +135,17 @@ def spray_attacker_partition(
 ) -> List[bytes]:
     """Blanket raw attacker-partition LBAs with malicious indirect blocks.
 
+    The blocks go down through one :meth:`BlockDevice.write_burst` — the
+    attacker partition is raw storage, so the whole spray is a single
+    amortized command batch instead of one NVMe round trip per LBA.
+
     Returns the payloads written (one per LBA, for later recognition)."""
+    lbas = list(lbas)
     target_sets = spread_targets(target_fs_blocks, len(lbas), targets_per_block)
-    payloads = []
-    for lba, targets in zip(lbas, target_sets):
-        payload = craft_indirect_block(targets, device.block_bytes)
-        device.write_block(lba, payload)
-        payloads.append(payload)
+    block_bytes = device.block_bytes
+    payloads = [
+        craft_indirect_block(targets, block_bytes) for targets in target_sets
+    ]
+    if lbas:
+        device.write_burst(lbas, payloads)
     return payloads

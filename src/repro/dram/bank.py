@@ -46,8 +46,10 @@ class Bank:
         self.check_rows: Dict[int, np.ndarray] = {}
         #: Activations per row in the current epoch.
         self.acts: Dict[int, int] = {}
-        #: Victim row -> (left_count_at_refresh, right_count_at_refresh).
-        self.victim_baseline: Dict[int, Tuple[int, int]] = {}
+        #: Victim row -> activation counters snapshotted when the victim was
+        #: last refreshed mid-window: (left, right, left2, right2) — the two
+        #: adjacent neighbours plus the distance-2 (Half-Double) shell.
+        self.victim_baseline: Dict[int, Tuple[int, int, int, int]] = {}
         #: Epoch index currently being accounted.
         self.epoch = -1
         #: Row currently held in the row buffer, or None after precharge.
@@ -94,7 +96,9 @@ class Bank:
 
     def refresh_victim(self, row: int) -> None:
         """Record that ``row`` was refreshed mid-window: its disturbance
-        restarts from the neighbours' *current* counters (both shells)."""
+        restarts from the neighbours' *current* counters.  The stored
+        baseline is the 4-tuple ``(left, right, left2, right2)`` covering
+        both the adjacent and the distance-2 (Half-Double) shells."""
         self.victim_baseline[row] = (
             self.acts.get(row - 1, 0),
             self.acts.get(row + 1, 0),
@@ -166,6 +170,31 @@ class Bank:
             )
         array = self._data(row, allocate=True)
         array[column : column + length] = data
+
+    # -- batched storage (the vectorized I/O engine) -------------------------
+
+    def read_gather(self, row: int, columns: np.ndarray, length: int) -> np.ndarray:
+        """Read ``length`` bytes starting at each of ``columns`` in one row.
+
+        Returns a ``(len(columns), length)`` uint8 matrix.  Every span must
+        lie inside the row; the caller (DramModule.read_batch) guarantees
+        that.  Unwritten rows read as zeros, like :meth:`read`.
+        """
+        array = self._data(row, allocate=False)
+        if array is None:
+            return np.zeros((len(columns), length), dtype=np.uint8)
+        return array[np.asarray(columns)[:, None] + np.arange(length)]
+
+    def write_scatter(self, row: int, columns: np.ndarray, data: np.ndarray) -> None:
+        """Write ``data[i]`` at ``columns[i]``; the inverse of
+        :meth:`read_gather`.  ``data`` is ``(len(columns), length)`` uint8.
+
+        Overlapping spans follow numpy fancy-assignment semantics (last
+        writer wins per byte), matching a sequential scalar write loop.
+        """
+        length = data.shape[1]
+        array = self._data(row, allocate=True)
+        array[np.asarray(columns)[:, None] + np.arange(length)] = data
 
     # -- disturbance application ---------------------------------------------
 

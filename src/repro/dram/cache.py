@@ -95,6 +95,34 @@ class FtlCpuCache:
         self.dram.write(phys_addr, data)
         self._update_cached_lines(phys_addr, data)
 
+    def read_many(self, phys_addrs, length: int) -> np.ndarray:
+        """Bulk read: ``length`` bytes at each address, as ``(n, length)``.
+
+        The burst path calls this once per batch instead of once per line.
+        ``NONE`` forwards straight to :meth:`DramModule.read_batch`;
+        ``INVALIDATE_EACH_ACCESS`` flushes once up front — equivalent to
+        flushing per access, since reads never populate the cache in that
+        mode — then forwards; ``LRU`` must walk line-by-line because hits
+        depend on the recency order the batch itself creates.
+        """
+        if self.mode is CacheMode.INVALIDATE_EACH_ACCESS:
+            self.invalidate_all()
+        if self.mode is not CacheMode.LRU:
+            return self.dram.read_batch(phys_addrs, length)
+        out = np.empty((len(phys_addrs), length), dtype=np.uint8)
+        for i, addr in enumerate(phys_addrs):
+            out[i] = np.frombuffer(self._read_lru(int(addr), length), dtype=np.uint8)
+        return out
+
+    def write_many(self, phys_addrs, data: np.ndarray) -> None:
+        """Bulk write-through: ``data[i]`` (equal lengths) at each address."""
+        if self.mode is CacheMode.INVALIDATE_EACH_ACCESS:
+            self.invalidate_all()
+        self.dram.write_batch(phys_addrs, data)
+        if self.mode is CacheMode.LRU:
+            for i, addr in enumerate(phys_addrs):
+                self._update_cached_lines(int(addr), data[i].tobytes())
+
     def invalidate_all(self) -> None:
         """Drop every cached line."""
         if self._sets:

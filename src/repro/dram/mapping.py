@@ -25,33 +25,85 @@ and the attack toolkit uses to place aggressors.
 
 from __future__ import annotations
 
+from typing import Tuple
+
+import numpy as np
+
 from repro.dram.address import DramAddress
 from repro.dram.geometry import DramGeometry
 from repro.errors import DramAddressError
 
 
 class AddressMapping:
-    """Base class: a bijection between physical addresses and coordinates."""
+    """Base class: a bijection between physical addresses and coordinates.
+
+    Derived geometry quantities (masks, shifts, capacity) are cached at
+    construction: ``locate`` sits on every DRAM access and the dataclass
+    properties on :class:`DramGeometry` recompute their products per call.
+    """
 
     #: Short identifier used in profiles and reports.
     name = "abstract"
 
     def __init__(self, geometry: DramGeometry):
         self.geometry = geometry
+        self._capacity = geometry.capacity_bytes
+        self._col_bits = geometry.column_bits
+        self._col_mask = geometry.row_bytes - 1
+        self._row_bits = geometry.row_bits
+        self._row_mask = geometry.rows_per_bank - 1
+        self._bank_bits = geometry.bank_bits
+        self._bank_mask = geometry.total_banks - 1
 
     def locate(self, phys_addr: int) -> DramAddress:
         """Map a physical byte address to (bank, row, column)."""
         raise NotImplementedError
 
+    def locate3(self, phys_addr: int) -> Tuple[int, int, int]:
+        """:meth:`locate` as a plain ``(bank, row, column)`` tuple.
+
+        Hot scalar paths use this to skip the DramAddress construction;
+        concrete mappings override it with the raw bit arithmetic.
+        """
+        coords = self.locate(phys_addr)
+        return coords.bank, coords.row, coords.column
+
     def address_of(self, coords: DramAddress) -> int:
         """Inverse of :meth:`locate`."""
         raise NotImplementedError
 
+    def locate_many(
+        self, phys_addrs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate`: ``addrs -> (banks, rows, columns)``.
+
+        The generic fallback loops; the concrete mappings override it with
+        pure numpy bit arithmetic (this is the gather the batch I/O engine
+        rides on).
+        """
+        banks = np.empty(len(phys_addrs), dtype=np.int64)
+        rows = np.empty(len(phys_addrs), dtype=np.int64)
+        columns = np.empty(len(phys_addrs), dtype=np.int64)
+        for i, addr in enumerate(phys_addrs):
+            coords = self.locate(int(addr))
+            banks[i] = coords.bank
+            rows[i] = coords.row
+            columns[i] = coords.column
+        return banks, rows, columns
+
+    def _check_addrs_array(self, phys_addrs: np.ndarray) -> None:
+        if len(phys_addrs) and (
+            int(phys_addrs.min()) < 0 or int(phys_addrs.max()) >= self._capacity
+        ):
+            raise DramAddressError(
+                "physical address batch exceeds module of %d bytes" % self._capacity
+            )
+
     def _check_addr(self, phys_addr: int) -> None:
-        if not 0 <= phys_addr < self.geometry.capacity_bytes:
+        if not 0 <= phys_addr < self._capacity:
             raise DramAddressError(
                 "physical address 0x%x outside module of %d bytes"
-                % (phys_addr, self.geometry.capacity_bytes)
+                % (phys_addr, self._capacity)
             )
 
     def row_span_addresses(self, bank: int, row: int) -> range:
@@ -73,13 +125,19 @@ class SequentialMapping(AddressMapping):
     name = "sequential"
 
     def locate(self, phys_addr: int) -> DramAddress:
+        return DramAddress(*self.locate3(phys_addr))
+
+    def locate3(self, phys_addr: int) -> Tuple[int, int, int]:
         self._check_addr(phys_addr)
-        geometry = self.geometry
-        column = phys_addr & (geometry.row_bytes - 1)
-        rest = phys_addr >> geometry.column_bits
-        row = rest & (geometry.rows_per_bank - 1)
-        bank = rest >> geometry.row_bits
-        return DramAddress(bank, row, column)
+        rest = phys_addr >> self._col_bits
+        return rest >> self._row_bits, rest & self._row_mask, phys_addr & self._col_mask
+
+    def locate_many(self, phys_addrs):
+        phys_addrs = np.asarray(phys_addrs, dtype=np.int64)
+        self._check_addrs_array(phys_addrs)
+        columns = phys_addrs & self._col_mask
+        rest = phys_addrs >> self._col_bits
+        return rest >> self._row_bits, rest & self._row_mask, columns
 
     def address_of(self, coords: DramAddress) -> int:
         coords.validate(self.geometry)
@@ -95,13 +153,19 @@ class BankInterleavedMapping(AddressMapping):
     name = "bank-interleaved"
 
     def locate(self, phys_addr: int) -> DramAddress:
+        return DramAddress(*self.locate3(phys_addr))
+
+    def locate3(self, phys_addr: int) -> Tuple[int, int, int]:
         self._check_addr(phys_addr)
-        geometry = self.geometry
-        column = phys_addr & (geometry.row_bytes - 1)
-        rest = phys_addr >> geometry.column_bits
-        bank = rest & (geometry.total_banks - 1)
-        row = rest >> geometry.bank_bits
-        return DramAddress(bank, row, column)
+        rest = phys_addr >> self._col_bits
+        return rest & self._bank_mask, rest >> self._bank_bits, phys_addr & self._col_mask
+
+    def locate_many(self, phys_addrs):
+        phys_addrs = np.asarray(phys_addrs, dtype=np.int64)
+        self._check_addrs_array(phys_addrs)
+        columns = phys_addrs & self._col_mask
+        rest = phys_addrs >> self._col_bits
+        return rest & self._bank_mask, rest >> self._bank_bits, columns
 
     def address_of(self, coords: DramAddress) -> int:
         coords.validate(self.geometry)
@@ -161,15 +225,35 @@ class XorBankMapping(AddressMapping):
         return (rotated >> 1) | (lsb << (bits - 1))
 
     def locate(self, phys_addr: int) -> DramAddress:
+        return DramAddress(*self.locate3(phys_addr))
+
+    def locate3(self, phys_addr: int) -> Tuple[int, int, int]:
         self._check_addr(phys_addr)
-        geometry = self.geometry
-        column = phys_addr & (geometry.row_bytes - 1)
-        rest = phys_addr >> geometry.column_bits
-        bank_field = rest & (geometry.total_banks - 1)
-        row_field = rest >> geometry.bank_bits
+        column = phys_addr & self._col_mask
+        rest = phys_addr >> self._col_bits
+        bank_field = rest & self._bank_mask
+        row_field = rest >> self._bank_bits
         row = self._field_to_row(row_field)
-        bank = bank_field ^ (row_field & (geometry.total_banks - 1))
-        return DramAddress(bank, row, column)
+        bank = bank_field ^ (row_field & self._bank_mask)
+        return bank, row, column
+
+    def locate_many(self, phys_addrs):
+        phys_addrs = np.asarray(phys_addrs, dtype=np.int64)
+        self._check_addrs_array(phys_addrs)
+        columns = phys_addrs & self._col_mask
+        rest = phys_addrs >> self._col_bits
+        bank_fields = rest & self._bank_mask
+        row_fields = rest >> self._bank_bits
+        bits = self._row_bits
+        if bits <= 1:
+            rows = row_fields
+        else:
+            msb = (row_fields >> (bits - 1)) & 1
+            rows = ((row_fields << 1) & self._row_mask) | msb
+            if bits > 2:
+                rows = rows ^ ((rows >> 2) & 1)
+        banks = bank_fields ^ (row_fields & self._bank_mask)
+        return banks, rows, columns
 
     def address_of(self, coords: DramAddress) -> int:
         coords.validate(self.geometry)

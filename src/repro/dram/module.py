@@ -23,6 +23,7 @@ mitigation is active.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -40,8 +41,11 @@ from repro.sim.clock import SimClock
 from repro.sim.metrics import MetricRegistry
 from repro.units import ms
 
+_INF = float("inf")
+_MISSING = object()
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class FlipEvent:
     """One disturbance bitflip that actually changed stored state."""
 
@@ -53,14 +57,13 @@ class FlipEvent:
     flips_to: int
     old_byte: int
     new_byte: int
+    #: True when the flip hit ECC check bits rather than data.  Derived at
+    #: creation from ``byte_offset >= geometry.row_bytes`` (offsets at or
+    #: past the data bytes index the check region).
+    in_check_region: bool = False
 
-    @property
-    def in_check_region(self) -> bool:
-        """True when the flip hit ECC check bits rather than data."""
-        return self.old_byte is None
 
-
-@dataclass
+@dataclass(slots=True)
 class HammerResult:
     """Outcome of one :meth:`DramModule.hammer` campaign."""
 
@@ -74,6 +77,83 @@ class HammerResult:
     @property
     def flip_count(self) -> int:
         return len(self.flips)
+
+
+class _PatternPlan:
+    """Precomputed per-pattern state for the batch hammer fast path.
+
+    Validating a pattern, splitting accesses over its positions, and
+    enumerating its victim rows is pure function of (pattern, geometry,
+    vulnerability) — all fixed for a module's lifetime — yet the seed code
+    redid it every refresh window.  A plan is built once per distinct
+    pattern and cached on the module.
+    """
+
+    __slots__ = (
+        "length",
+        "entries",
+        "simple_entries",
+        "banks",
+        "victims",
+        "min_victim_threshold",
+        "ub_coeff",
+    )
+
+    def __init__(self, module: "DramModule", pattern: Tuple[Tuple[int, int], ...]):
+        self.length = len(pattern)
+        # Unique (bank, row) keys in first-seen order, each with the sorted
+        # pattern positions it occupies (for the round-robin access split).
+        positions: Dict[Tuple[int, int], List[int]] = {}
+        for index, key in enumerate(pattern):
+            positions.setdefault(key, []).append(index)
+        self.entries: List[Tuple[int, int, List[int]]] = [
+            (key[0], key[1], pos) for key, pos in positions.items()
+        ]
+        # When every (bank, row) occupies exactly one pattern position — the
+        # overwhelmingly common case — the round-robin split degenerates to
+        # ``base + (position < extra)`` and the window loops skip the bisect.
+        if all(len(pos) == 1 for _b, _r, pos in self.entries):
+            self.simple_entries: Optional[List[Tuple[int, int, int]]] = [
+                (bank_idx, row, pos[0]) for bank_idx, row, pos in self.entries
+            ]
+        else:
+            self.simple_entries = None
+        self.banks: List[int] = []
+        rows_in_bank: Dict[int, set] = {}
+        for bank_idx, row, _pos in self.entries:
+            if bank_idx not in rows_in_bank:
+                self.banks.append(bank_idx)
+                rows_in_bank[bank_idx] = set()
+            rows_in_bank[bank_idx].add(row)
+
+        vulnerability = module.vulnerability
+        reach = (-2, -1, 1, 2) if vulnerability.neighbor2_weight else (-1, 1)
+        victim_sets: Dict[int, set] = {}
+        for bank_idx, row, _pos in self.entries:
+            for delta in reach:
+                victim = row + delta
+                if 0 <= victim < module.geometry.rows_per_bank:
+                    victim_sets.setdefault(bank_idx, set()).add(victim)
+        #: (bank, sorted victim rows, distinct aggressor rows in bank).
+        self.victims: List[Tuple[int, List[int], int]] = [
+            (bank_idx, sorted(rows), len(rows_in_bank[bank_idx]))
+            for bank_idx, rows in victim_sets.items()
+        ]
+        #: Lowest flip threshold over every victim the pattern can disturb.
+        self.min_victim_threshold = min(
+            (
+                vulnerability.min_threshold(bank_idx, victim)
+                for bank_idx, rows, _d in self.victims
+                for victim in rows
+            ),
+            default=float("inf"),
+        )
+        # Upper bound on achievable disturbance per access in one window:
+        # left+right <= accesses, min(left,right) <= accesses/2, and the
+        # distance-2 shell contributes at most neighbor2_weight * accesses.
+        self.ub_coeff = (
+            1.0 + vulnerability.synergy / 2.0 + vulnerability.neighbor2_weight
+        )
 
 
 class DramModule:
@@ -114,6 +194,33 @@ class DramModule:
         self.banks = [Bank(i, geometry, ecc_enabled=ecc) for i in range(geometry.total_banks)]
         #: Every flip that changed stored state, in time order.
         self.flips: List[FlipEvent] = []
+        # Cached geometry scalars: the dataclass properties recompute their
+        # products on every call, which adds up on per-access paths.
+        self._capacity = geometry.capacity_bytes
+        self._row_bytes = geometry.row_bytes
+        self._rows_per_bank = geometry.rows_per_bank
+        #: Neighbour offsets that can be disturbed (fixed by the model).
+        self._victim_deltas = (
+            (-2, -1, 1, 2) if vulnerability.neighbor2_weight else (-1, 1)
+        )
+        # Disturbance coefficients, cached for the inlined arithmetic on
+        # the per-access victim check (both fixed at model construction).
+        self._synergy = vulnerability.synergy
+        self._neighbor2_weight = vulnerability.neighbor2_weight
+        # Direct handle on the model's memoized per-row thresholds: victim
+        # checks sit on every access, and the method-call round trip is
+        # measurable there.
+        self._min_thresholds = vulnerability._min_cache
+        #: Validated per-pattern plans for the batch hammer path.
+        self._pattern_plans: Dict[Tuple[Tuple[int, int], ...], _PatternPlan] = {}
+        #: (addrs, length) -> located coordinate lists.  Attack loops probe
+        #: the same few L2P entry addresses millions of times; the mapping
+        #: is a pure function so the translation can be memoized.  Bounded:
+        #: cleared wholesale if an adversarial workload floods it.
+        self._locate_cache: Dict[
+            Tuple[Tuple[int, ...], int],
+            Optional[Tuple[List[int], List[int], List[int]]],
+        ] = {}
         self._reads = self.metrics.counter("reads")
         self._writes = self.metrics.counter("writes")
         self._activations = self.metrics.counter("activations")
@@ -130,7 +237,7 @@ class DramModule:
         """Split a byte span into per-row segments (bank, row, column, len)."""
         if length < 0:
             raise DramAddressError("negative length")
-        if phys_addr < 0 or phys_addr + length > self.geometry.capacity_bytes:
+        if phys_addr < 0 or phys_addr + length > self._capacity:
             raise DramAddressError(
                 "span [0x%x, 0x%x) exceeds module" % (phys_addr, phys_addr + length)
             )
@@ -138,7 +245,7 @@ class DramModule:
         remaining = length
         while remaining > 0:
             coords = self.mapping.locate(offset)
-            chunk = min(remaining, self.geometry.row_bytes - coords.column)
+            chunk = min(remaining, self._row_bytes - coords.column)
             yield coords.bank, coords.row, coords.column, chunk
             offset += chunk
             remaining -= chunk
@@ -209,41 +316,73 @@ class DramModule:
     # ------------------------------------------------------------------
 
     def _touch(self, bank_idx: int, row: int) -> None:
-        """Account one access to (bank, row) on the exact path."""
+        """Account one access to (bank, row) on the exact path.
+
+        Equivalent to ``roll_epoch`` + ``record_activation`` + mitigation
+        hooks + per-victim checks, with the bank bookkeeping inlined — this
+        sits under every scalar read/write and small-batch access.
+        """
         bank = self.banks[bank_idx]
-        epoch = self.clock.epoch(self.refresh_interval)
-        if bank.roll_epoch(epoch) and self.trr is not None:
-            self.trr.on_window(bank_idx)
-        if not bank.record_activation(row, self.row_policy):
-            self._row_hits.add()
-            return  # row buffer hit: no activation, no disturbance
-        self._activations.add()
+        rows_per_bank = self._rows_per_bank
+        if not 0 <= row < rows_per_bank:
+            raise DramAddressError(
+                "row %d out of range in bank %d" % (row, bank_idx)
+            )
+        epoch = int(self.clock._now / self.refresh_interval)
+        if bank.epoch != epoch:
+            bank.roll_epoch(epoch)
+            if self.trr is not None:
+                self.trr.on_window(bank_idx)
+        if self.row_policy == OPEN_PAGE:
+            if bank.open_row == row:
+                self._row_hits.value += 1
+                return  # row buffer hit: no activation, no disturbance
+            bank.open_row = row
+        else:
+            bank.open_row = None
+        acts = bank.acts
+        acts[row] = acts.get(row, 0) + 1
+        self._activations.value += 1
         if self.trr is not None:
             for victim in self.trr.on_activation(bank_idx, row):
-                if 0 <= victim < self.geometry.rows_per_bank:
+                if 0 <= victim < rows_per_bank:
                     bank.refresh_victim(victim)
         if self.para is not None:
             for victim in self.para.on_activation(bank_idx, row):
-                if 0 <= victim < self.geometry.rows_per_bank:
+                if 0 <= victim < rows_per_bank:
                     bank.refresh_victim(victim)
-        victims = (row - 1, row + 1)
-        if self.vulnerability.neighbor2_weight:
-            victims = (row - 2, row - 1, row + 1, row + 2)
-        for victim in victims:
-            if 0 <= victim < self.geometry.rows_per_bank:
-                self._check_victim(bank, victim)
+        min_thresholds = self._min_thresholds
+        for delta in self._victim_deltas:
+            victim = row + delta
+            if 0 <= victim < rows_per_bank:
+                min_threshold = min_thresholds.get((bank_idx, victim))
+                if min_threshold is None:
+                    min_threshold = self.vulnerability.min_threshold(
+                        bank_idx, victim
+                    )
+                if min_threshold != _INF:
+                    self._check_victim(bank, victim, min_threshold)
 
-    def _check_victim(self, bank: Bank, victim: int) -> None:
+    def _check_victim(
+        self, bank: Bank, victim: int, min_threshold: Optional[float] = None
+    ) -> None:
         """Apply any flips the victim's current disturbance has earned."""
-        min_threshold = self.vulnerability.min_threshold(bank.index, victim)
-        if min_threshold == float("inf"):
-            return
+        if min_threshold is None:
+            min_threshold = self._min_thresholds.get((bank.index, victim))
+            if min_threshold is None:
+                min_threshold = self.vulnerability.min_threshold(bank.index, victim)
+            if min_threshold == _INF:
+                return
         left, right = bank.victim_side_counts(victim)
-        if self.vulnerability.neighbor2_weight:
+        # Inlined VulnerabilityModel.disturbance (counts are non-negative
+        # by construction, so the model's validation is redundant here).
+        disturbance = left + right + self._synergy * (
+            left if left < right else right
+        )
+        if self._neighbor2_weight:
             left2, right2 = bank.victim_far_counts(victim)
-            disturbance = self.vulnerability.disturbance(left, right, left2, right2)
-        else:
-            disturbance = self.vulnerability.disturbance(left, right)
+            if left2 or right2:
+                disturbance += self._neighbor2_weight * (left2 + right2)
         if disturbance < min_threshold:
             return
         self._apply_flips(bank, victim, disturbance)
@@ -268,6 +407,7 @@ class DramModule:
                 flips_to=cell.flips_to,
                 old_byte=old,
                 new_byte=new,
+                in_check_region=cell.byte_offset >= self._row_bytes,
             )
             self.flips.append(event)
             self._flip_counter.add()
@@ -299,127 +439,536 @@ class DramModule:
         number of mid-window victim refreshes and scaling the achievable
         disturbance run.
         """
-        if not pattern:
-            raise ConfigError("hammer pattern must not be empty")
         if access_rate <= 0:
             raise ConfigError("access rate must be positive")
         if total_accesses < 0:
             raise ConfigError("total accesses cannot be negative")
-        for (bank_idx, row) in pattern:
-            if not 0 <= bank_idx < self.geometry.total_banks:
-                raise DramAddressError("bank %d out of range" % bank_idx)
-            if not 0 <= row < self.geometry.rows_per_bank:
-                raise DramAddressError("row %d out of range" % row)
-        for i in range(len(pattern)):
-            if len(pattern) > 1 and pattern[i] == pattern[(i + 1) % len(pattern)]:
-                raise ConfigError(
-                    "consecutive duplicate rows in pattern never re-activate "
-                    "under the open-page policy"
-                )
-        if len(set(pattern)) == 1 and self.row_policy == OPEN_PAGE:
-            raise ConfigError(
-                "a single-row pattern only hammers under the closed-page "
-                "policy (one-location hammering)"
-            )
+        plan = self._pattern_plans.get(tuple(pattern))
+        if plan is None:
+            plan = self._plan_for(pattern)
+
+        clock = self.clock
+        interval = self.refresh_interval
+
+        if (
+            self.trr is None
+            and self.para is None
+            and total_accesses * plan.ub_coeff < plan.min_victim_threshold
+        ):
+            # Inert campaign: even if EVERY access landed in one window it
+            # could not reach the weakest victim cell, so no window can
+            # flip anything.  Walk the windows with the exact same float
+            # arithmetic (durations/window counts must match the general
+            # path bit-for-bit) but only materialize the final window's
+            # activation counts — earlier windows' counts are cleared by
+            # the epoch rollover and are observable by nobody.
+            now = clock._now
+            epoch = int(now / interval)
+            if 0 < total_accesses <= int(
+                access_rate * ((epoch + 1) * interval - now)
+            ):
+                # Entirely inside the current window: one window's counts,
+                # one clock bump (always positive, so advance()'s check is
+                # redundant), no flips possible.
+                end = now + total_accesses / access_rate
+                clock._now = end
+                banks = self.banks
+                base, extra = divmod(total_accesses, plan.length)
+                simple = plan.simple_entries
+                if simple is not None:
+                    for bank_idx, row, position in simple:
+                        bank = banks[bank_idx]
+                        if bank.epoch != epoch:
+                            bank.roll_epoch(epoch)
+                        n = base + (position < extra)
+                        if n:
+                            acts = bank.acts
+                            acts[row] = acts.get(row, 0) + n
+                else:
+                    for bank_idx in plan.banks:
+                        banks[bank_idx].roll_epoch(epoch)
+                    for bank_idx, row, positions in plan.entries:
+                        n = base * len(positions)
+                        if extra:
+                            n += bisect_left(positions, extra)
+                        if n:
+                            acts = banks[bank_idx].acts
+                            acts[row] = acts.get(row, 0) + n
+                self._activations.value += total_accesses
+                return HammerResult(total_accesses, end - now, 1)
+            result = HammerResult(accesses=0, duration=0.0, windows=0)
+            self._hammer_inert(plan, total_accesses, access_rate, result)
+            result.duration = clock._now - now
+            return result
 
         result = HammerResult(accesses=0, duration=0.0, windows=0)
         flips_before = len(self.flips)
         remaining = total_accesses
-        start_time = self.clock.now
+        start_time = clock.now
+
         while remaining > 0:
-            epoch = self.clock.epoch(self.refresh_interval)
-            window_end = (epoch + 1) * self.refresh_interval
-            time_left = window_end - self.clock.now
-            budget = int(access_rate * time_left)
+            now = clock.now
+            epoch = int(now / interval)
+            window_end = (epoch + 1) * interval
+            budget = int(access_rate * (window_end - now))
             if budget <= 0:
                 # Skip to the next window.  Guard against float rounding:
                 # advancing exactly to (epoch+1)*interval can leave
                 # epoch() unchanged, which would spin forever.
-                self.clock.advance_to(max(window_end, self.clock.now))
-                if self.clock.epoch(self.refresh_interval) == epoch:
-                    self.clock.advance(self.refresh_interval * 1e-6)
+                clock.advance_to(max(window_end, now))
+                if clock.epoch(interval) == epoch:
+                    clock.advance(interval * 1e-6)
                 continue
-            accesses = min(remaining, budget)
+            accesses = budget if budget < remaining else remaining
             # Advance first so flip events are stamped when the window's
             # hammering has actually happened.
-            self.clock.advance(accesses / access_rate)
-            self._hammer_window(pattern, accesses, epoch, result)
+            clock.advance(accesses / access_rate)
+            self._hammer_window(plan, accesses, epoch, result)
             remaining -= accesses
             result.accesses += accesses
             result.windows += 1
-        result.duration = self.clock.now - start_time
+        result.duration = clock.now - start_time
         result.flips = self.flips[flips_before:]
         return result
 
+    def _hammer_inert(
+        self,
+        plan: _PatternPlan,
+        remaining: int,
+        access_rate: float,
+        result: HammerResult,
+    ) -> None:
+        """Window walk for campaigns that provably cannot flip: replicates
+        the general loop's clock/window arithmetic, then applies only the
+        final window's counts."""
+        clock = self.clock
+        interval = self.refresh_interval
+        last_epoch = -1
+        last_accesses = 0
+        while remaining > 0:
+            now = clock._now
+            epoch = int(now / interval)
+            window_end = (epoch + 1) * interval
+            budget = int(access_rate * (window_end - now))
+            if budget <= 0:
+                clock.advance_to(max(window_end, now))
+                if clock.epoch(interval) == epoch:
+                    clock.advance(interval * 1e-6)
+                continue
+            accesses = budget if budget < remaining else remaining
+            # Same float step as the general loop's advance() (always a
+            # positive increment, so its validation is redundant).
+            clock._now = now + accesses / access_rate
+            if epoch == last_epoch:
+                last_accesses += accesses
+            else:
+                last_epoch = epoch
+                last_accesses = accesses
+            remaining -= accesses
+            result.accesses += accesses
+            result.windows += 1
+        if last_epoch < 0:
+            return
+        banks = self.banks
+        base, extra = divmod(last_accesses, plan.length)
+        simple = plan.simple_entries
+        if simple is not None:
+            for bank_idx, row, position in simple:
+                bank = banks[bank_idx]
+                if bank.epoch != last_epoch:
+                    bank.roll_epoch(last_epoch)
+                n = base + (position < extra)
+                if n:
+                    acts = bank.acts
+                    acts[row] = acts.get(row, 0) + n
+        else:
+            for bank_idx in plan.banks:
+                banks[bank_idx].roll_epoch(last_epoch)
+            for bank_idx, row, positions in plan.entries:
+                n = base * len(positions)
+                if extra:
+                    n += bisect_left(positions, extra)
+                if n:
+                    acts = banks[bank_idx].acts
+                    acts[row] = acts.get(row, 0) + n
+        self._activations.value += result.accesses
+
+    def _plan_for(self, pattern: Sequence[Tuple[int, int]]) -> _PatternPlan:
+        """Validate a hammer pattern and return its cached plan."""
+        key = tuple(pattern)
+        plan = self._pattern_plans.get(key)
+        if plan is not None:
+            return plan
+        if not key:
+            raise ConfigError("hammer pattern must not be empty")
+        for (bank_idx, row) in key:
+            if not 0 <= bank_idx < self.geometry.total_banks:
+                raise DramAddressError("bank %d out of range" % bank_idx)
+            if not 0 <= row < self._rows_per_bank:
+                raise DramAddressError("row %d out of range" % row)
+        for i in range(len(key)):
+            if len(key) > 1 and key[i] == key[(i + 1) % len(key)]:
+                raise ConfigError(
+                    "consecutive duplicate rows in pattern never re-activate "
+                    "under the open-page policy"
+                )
+        if len(set(key)) == 1 and self.row_policy == OPEN_PAGE:
+            raise ConfigError(
+                "a single-row pattern only hammers under the closed-page "
+                "policy (one-location hammering)"
+            )
+        plan = _PatternPlan(self, key)
+        self._pattern_plans[key] = plan
+        return plan
+
     def _hammer_window(
         self,
-        pattern: Sequence[Tuple[int, int]],
+        plan: _PatternPlan,
         accesses: int,
         epoch: int,
         result: HammerResult,
     ) -> None:
         """Apply one window's worth of a pattern and evaluate flips."""
-        # Round-robin split of accesses over the pattern positions.
-        base, extra = divmod(accesses, len(pattern))
-        counts: Dict[Tuple[int, int], int] = {}
-        rows_per_bank: Dict[int, set] = {}
-        for index, key in enumerate(pattern):
-            n = base + (1 if index < extra else 0)
-            counts[key] = counts.get(key, 0) + n
-            rows_per_bank.setdefault(key[0], set()).add(key[1])
+        trr = self.trr
+        banks = self.banks
+        for bank_idx in plan.banks:
+            if banks[bank_idx].roll_epoch(epoch) and trr is not None:
+                trr.on_window(bank_idx)
+        # Round-robin split of the window's accesses over the pattern
+        # positions, coalesced per (bank, row): every unique key receives
+        # one full share per position it occupies, plus one more for each
+        # of its positions below the remainder cutoff.
+        base, extra = divmod(accesses, plan.length)
+        for bank_idx, row, positions in plan.entries:
+            n = base * len(positions)
+            if extra:
+                n += bisect_left(positions, extra)
+            if n:
+                acts = banks[bank_idx].acts
+                acts[row] = acts.get(row, 0) + n
+        self._activations.add(accesses)
 
-        touched_banks = set()
+        # Closed-form skip: when no mitigation is drawing per-window state
+        # and even the best-case disturbance this window cannot reach the
+        # weakest victim cell, the per-victim evaluation is a no-op — don't
+        # pay for it.  This is what makes paper-scale campaigns on
+        # non-fragile DRAM generations run at interpreter-free cost.
+        if (
+            trr is None
+            and self.para is None
+            and accesses * plan.ub_coeff < plan.min_victim_threshold
+        ):
+            return
+
+        for bank_idx, victim_rows, distinct_rows in plan.victims:
+            bank = banks[bank_idx]
+            trr_capped = trr is not None and not trr.evaded_by(distinct_rows)
+            for victim in victim_rows:
+                self._evaluate_victim(bank, victim, trr_capped, result)
+
+    def _evaluate_victim(
+        self,
+        bank: Bank,
+        victim: int,
+        trr_capped: bool,
+        result: Optional[HammerResult],
+    ) -> None:
+        """Evaluate one victim's disturbance with the window's final counts
+        and apply any earned flips (shared by every batch path)."""
+        if self.trr is None and self.para is None:
+            min_threshold = self._min_thresholds.get((bank.index, victim))
+            if min_threshold is None:
+                min_threshold = self.vulnerability.min_threshold(bank.index, victim)
+        else:
+            min_threshold = None
+        if min_threshold == _INF:
+            # No weak cells and no mitigation state to advance: nothing any
+            # disturbance value could do.  (With TRR/PARA active we still
+            # run the full evaluation — it sets the trr_capped flag and
+            # consumes PARA's random draws in the same order as the seed.)
+            return
+        left, right = bank.victim_side_counts(victim)
+        if self.vulnerability.neighbor2_weight:
+            left2, right2 = bank.victim_far_counts(victim)
+            disturbance = self.vulnerability.disturbance(left, right, left2, right2)
+        else:
+            disturbance = self.vulnerability.disturbance(left, right)
+        if trr_capped:
+            cap = self.vulnerability.disturbance(
+                self.trr.refresh_threshold, self.trr.refresh_threshold
+            )
+            if disturbance > cap:
+                disturbance = cap
+                if result is not None:
+                    result.trr_capped = True
+        if self.para is not None:
+            adjacent = left + right
+            refreshes = self.para.draw_refresh_count(adjacent)
+            if refreshes:
+                # Disturbance must accumulate inside one refresh-free
+                # run; with k refreshes the longest run is ~1/(k+1)
+                # of the window.
+                disturbance /= refreshes + 1
+                if result is not None:
+                    result.para_refreshes += refreshes
+        self._apply_flips(bank, victim, disturbance)
+
+    # ------------------------------------------------------------------
+    # vectorized batch access path
+    # ------------------------------------------------------------------
+
+    #: Below this batch size a plain Python gather loop beats numpy setup.
+    _GROUP_MIN = 64
+
+    def _batch_needs_exact_path(self) -> bool:
+        """Whether batch accesses must fall back to the exact per-access
+        path: ECC decodes word-by-word, and TRR/PARA sample per activation
+        in order, so their semantics cannot be replayed from a histogram."""
+        return self.ecc_enabled or self.trr is not None or self.para is not None
+
+    def access_batch(self, activations: Sequence[Tuple[int, int, int]]) -> List[FlipEvent]:
+        """Apply a coalesced ``(bank, row) -> count`` activation histogram.
+
+        This is the general-pattern sibling of :meth:`hammer`: all
+        activations land in the *current* refresh window (the caller owns
+        the clock), per-victim disturbance is evaluated once with the
+        batch's final counts, and flips are applied exactly as a scalar
+        access loop would have — flips are idempotent and monotone in the
+        counts, so evaluating once at the end yields the same flip set as
+        evaluating after every access.  Returns the new flip events.
+        """
+        counts: Dict[Tuple[int, int], int] = {}
+        for bank_idx, row, n in activations:
+            if n < 0:
+                raise ConfigError("activation count cannot be negative")
+            if not 0 <= bank_idx < self.geometry.total_banks:
+                raise DramAddressError("bank %d out of range" % bank_idx)
+            if not 0 <= row < self._rows_per_bank:
+                raise DramAddressError("row %d out of range" % row)
+            if n:
+                key = (bank_idx, row)
+                counts[key] = counts.get(key, 0) + n
+        if not counts:
+            return []
+        flips_before = len(self.flips)
+        epoch = self.clock.epoch(self.refresh_interval)
+        trr = self.trr
+        bank_rows: Dict[int, List[int]] = {}
+        total = 0
         for (bank_idx, row), n in counts.items():
             bank = self.banks[bank_idx]
-            if bank_idx not in touched_banks:
+            if bank_idx not in bank_rows:
+                if bank.roll_epoch(epoch) and trr is not None:
+                    trr.on_window(bank_idx)
+                bank_rows[bank_idx] = []
+            bank_rows[bank_idx].append(row)
+            bank.acts[row] = bank.acts.get(row, 0) + n
+            total += n
+        self._activations.add(total)
+        self._evaluate_batch_victims(bank_rows)
+        return self.flips[flips_before:]
+
+    def _evaluate_batch_victims(self, bank_rows: Dict[int, List[int]]) -> None:
+        """Victim evaluation for a batch: ``bank_rows`` holds the distinct
+        rows activated per bank, in activation order."""
+        reach = self._victim_deltas
+        trr = self.trr
+        for bank_idx, rows in bank_rows.items():
+            victim_rows = set()
+            for row in rows:
+                for delta in reach:
+                    victim = row + delta
+                    if 0 <= victim < self._rows_per_bank:
+                        victim_rows.add(victim)
+            bank = self.banks[bank_idx]
+            trr_capped = trr is not None and not trr.evaded_by(len(set(rows)))
+            for victim in sorted(victim_rows):
+                self._evaluate_victim(bank, victim, trr_capped, None)
+
+    def _locate_batch(self, phys_addrs: Sequence[int], length: int):
+        """(banks, rows, columns) lists for a batch of equal-length spans,
+        or None when any span crosses a row boundary (caller falls back).
+
+        Results are memoized per (addrs, length): callers treat the lists
+        as read-only, and hammer loops re-probe identical batches.
+        """
+        n = len(phys_addrs)
+        if n <= 8:
+            key = (tuple(phys_addrs), length)
+            cached = self._locate_cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                return cached
+            if len(self._locate_cache) >= 4096:
+                self._locate_cache.clear()
+            located = self._locate_batch_uncached(phys_addrs, length)
+            self._locate_cache[key] = located
+            return located
+        return self._locate_batch_uncached(phys_addrs, length)
+
+    def _locate_batch_uncached(self, phys_addrs: Sequence[int], length: int):
+        n = len(phys_addrs)
+        if n < self._GROUP_MIN:
+            locate3 = self.mapping.locate3
+            banks: List[int] = []
+            rows: List[int] = []
+            columns: List[int] = []
+            limit = self._row_bytes - length
+            for addr in phys_addrs:
+                bank, row, column = locate3(int(addr))
+                if column > limit:
+                    return None
+                banks.append(bank)
+                rows.append(row)
+                columns.append(column)
+            return banks, rows, columns
+        addrs = np.asarray(phys_addrs, dtype=np.int64)
+        banks_a, rows_a, columns_a = self.mapping.locate_many(addrs)
+        if length and int(columns_a.max()) > self._row_bytes - length:
+            return None
+        return banks_a.tolist(), rows_a.tolist(), columns_a.tolist()
+
+    def _account_batch(self, banks: List[int], rows: List[int]) -> None:
+        """Activation accounting for an in-order batch of row touches:
+        mirrors a loop of :meth:`_touch` calls — per-bank open-row collapse,
+        epoch rollover, counters — then evaluates victims once."""
+        if len(banks) <= 16:
+            # Tiny batch: per-access exact accounting is cheaper than the
+            # dict machinery below, and it IS the reference semantics.
+            touch = self._touch
+            for bank_idx, row in zip(banks, rows):
+                touch(bank_idx, row)
+            return
+        epoch = self.clock.epoch(self.refresh_interval)
+        open_page = self.row_policy == OPEN_PAGE
+        bank_objs: Dict[int, Bank] = {}
+        open_rows: Dict[int, Optional[int]] = {}
+        bank_rows: Dict[int, List[int]] = {}
+        counts: Dict[Tuple[int, int], int] = {}
+        row_hits = 0
+        for bank_idx, row in zip(banks, rows):
+            bank = bank_objs.get(bank_idx)
+            if bank is None:
+                bank = self.banks[bank_idx]
+                bank_objs[bank_idx] = bank
                 if bank.roll_epoch(epoch) and self.trr is not None:
                     self.trr.on_window(bank_idx)
-                touched_banks.add(bank_idx)
-            bank.add_activations(row, n)
-            self._activations.add(n)
+                open_rows[bank_idx] = bank.open_row
+                bank_rows[bank_idx] = []
+            if open_page:
+                if open_rows[bank_idx] == row:
+                    row_hits += 1
+                    continue
+                open_rows[bank_idx] = row
+            key = (bank_idx, row)
+            if key not in counts:
+                counts[key] = 1
+                bank_rows[bank_idx].append(row)
+            else:
+                counts[key] += 1
+        for (bank_idx, row), n in counts.items():
+            acts = bank_objs[bank_idx].acts
+            acts[row] = acts.get(row, 0) + n
+        for bank_idx, bank in bank_objs.items():
+            bank.open_row = open_rows[bank_idx] if open_page else None
+        if row_hits:
+            self._row_hits.value += row_hits
+        total = len(banks) - row_hits
+        if total:
+            self._activations.value += total
+        self._evaluate_batch_victims(bank_rows)
 
-        # Evaluate every victim adjacent to any hammered row (second shell
-        # too when Half-Double coupling is enabled).
-        victims: Dict[int, set] = {}
-        reach = (-2, -1, 1, 2) if self.vulnerability.neighbor2_weight else (-1, 1)
-        for (bank_idx, row) in counts:
-            for delta in reach:
-                victim = row + delta
-                if 0 <= victim < self.geometry.rows_per_bank:
-                    victims.setdefault(bank_idx, set()).add(victim)
+    def read_batch(self, phys_addrs: Sequence[int], length: int) -> np.ndarray:
+        """Read ``length`` bytes at each address; returns ``(n, length)``.
 
-        for bank_idx, victim_rows in victims.items():
-            bank = self.banks[bank_idx]
-            trr_capped = (
-                self.trr is not None
-                and not self.trr.evaded_by(len(rows_per_bank.get(bank_idx, ())))
-            )
-            for victim in sorted(victim_rows):
-                left, right = bank.victim_side_counts(victim)
-                if self.vulnerability.neighbor2_weight:
-                    left2, right2 = bank.victim_far_counts(victim)
-                    disturbance = self.vulnerability.disturbance(
-                        left, right, left2, right2
-                    )
+        The vectorized sibling of a :meth:`read` loop with identical
+        accounting (reads counter, open-row collapse, activations, flips).
+        All of the batch's disturbance is applied *before* the data gather,
+        so returned bytes reflect every flip the batch itself caused.
+        Falls back to the exact per-access path under ECC or an active
+        TRR/PARA mitigation, and for spans that cross a row boundary.
+        """
+        n = len(phys_addrs)
+        out = np.empty((n, length), dtype=np.uint8)
+        if n == 0:
+            return out
+        located = None
+        if not (self.ecc_enabled or self.trr is not None or self.para is not None):
+            located = self._locate_batch(phys_addrs, length)
+        if located is None:
+            for i, addr in enumerate(phys_addrs):
+                out[i] = np.frombuffer(self.read(int(addr), length), dtype=np.uint8)
+            return out
+        banks, rows, columns = located
+        self._reads.value += n
+        self._account_batch(banks, rows)
+        if n < self._GROUP_MIN:
+            for i in range(n):
+                array = self.banks[banks[i]].data_rows.get(rows[i])
+                if array is None:
+                    out[i] = 0
                 else:
-                    disturbance = self.vulnerability.disturbance(left, right)
-                if trr_capped:
-                    cap = self.vulnerability.disturbance(
-                        self.trr.refresh_threshold, self.trr.refresh_threshold
-                    )
-                    if disturbance > cap:
-                        disturbance = cap
-                        result.trr_capped = True
-                if self.para is not None:
-                    adjacent = left + right
-                    refreshes = self.para.draw_refresh_count(adjacent)
-                    if refreshes:
-                        # Disturbance must accumulate inside one refresh-free
-                        # run; with k refreshes the longest run is ~1/(k+1)
-                        # of the window.
-                        disturbance /= refreshes + 1
-                        result.para_refreshes += refreshes
-                self._apply_flips(bank, victim, disturbance)
+                    column = columns[i]
+                    out[i] = array[column : column + length]
+            return out
+        banks_a = np.asarray(banks)
+        rows_a = np.asarray(rows)
+        columns_a = np.asarray(columns)
+        key = banks_a * self._rows_per_bank + rows_a
+        order = np.argsort(key, kind="stable")
+        boundaries = np.flatnonzero(np.diff(key[order])) + 1
+        for group in np.split(order, boundaries):
+            first = int(group[0])
+            gathered = self.banks[banks_a[first]].read_gather(
+                int(rows_a[first]), columns_a[group], length
+            )
+            out[group] = gathered
+        return out
+
+    def write_batch(self, phys_addrs: Sequence[int], data: np.ndarray) -> None:
+        """Write ``data[i]`` (all equal length) at each address.
+
+        Accounting mirrors a loop of :meth:`write` calls.  Disturbance from
+        the batch's own activations is evaluated against pre-batch contents
+        (all flips land before any payload byte), so a batch that hammers
+        rows it also writes sees its payload win — the same end state as
+        the scalar loop for non-self-hammering batches, which is what every
+        internal caller issues.  Falls back to the exact path under ECC or
+        TRR/PARA, and for row-crossing spans.
+        """
+        n = len(phys_addrs)
+        if n == 0:
+            return
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] != n:
+            raise DramAddressError("write_batch data must be (n, length) bytes")
+        length = data.shape[1]
+        located = None
+        if not (self.ecc_enabled or self.trr is not None or self.para is not None):
+            located = self._locate_batch(phys_addrs, length)
+        if located is None:
+            for i, addr in enumerate(phys_addrs):
+                self.write(int(addr), data[i].tobytes())
+            return
+        banks, rows, columns = located
+        self._writes.value += n
+        self._account_batch(banks, rows)
+        if n < self._GROUP_MIN:
+            for i in range(n):
+                array = self.banks[banks[i]]._data(rows[i], allocate=True)
+                column = columns[i]
+                array[column : column + length] = data[i]
+            return
+        banks_a = np.asarray(banks)
+        rows_a = np.asarray(rows)
+        columns_a = np.asarray(columns)
+        key = banks_a * self._rows_per_bank + rows_a
+        order = np.argsort(key, kind="stable")
+        boundaries = np.flatnonzero(np.diff(key[order])) + 1
+        for group in np.split(order, boundaries):
+            first = int(group[0])
+            self.banks[banks_a[first]].write_scatter(
+                int(rows_a[first]), columns_a[group], data[group]
+            )
 
     # ------------------------------------------------------------------
     # observability helpers

@@ -20,11 +20,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
+import numpy as np
+
 from repro.dram.cache import FtlCpuCache
 from repro.errors import ConfigError, FtlCapacityError
 from repro.flash.array import FlashArray
 from repro.ftl.gc import GcStats, GreedyGarbageCollector
-from repro.ftl.l2p import HashedL2p, L2pTable, LinearL2p
+from repro.ftl.l2p import HashedL2p, L2pTable, LinearL2p, UNMAPPED
 from repro.sim.metrics import MetricRegistry
 
 
@@ -297,6 +299,44 @@ class PageMappingFtl:
         """Whether ``lba`` currently has a translation (costs a DRAM read)."""
         self._check_lba(lba)
         return self.l2p.lookup(lba) is not None
+
+    def is_mapped_many(self, lbas) -> np.ndarray:
+        """Vectorized :meth:`is_mapped`: one batched L2P gather instead of
+        a DRAM round-trip per LBA, with identical activation accounting."""
+        lbas = np.asarray(lbas, dtype=np.int64)
+        if len(lbas) == 0:
+            return np.zeros(0, dtype=bool)
+        return self.l2p.lookup_many(lbas) != UNMAPPED
+
+    def trim_many(self, lbas) -> None:
+        """Vectorized :meth:`trim` over a batch of LBAs.
+
+        Same per-LBA effects as the scalar loop — staged pages discarded,
+        previous translations invalidated, entries cleared — but the L2P
+        traffic collapses to one gather (old mappings) plus one scatter
+        (the UNMAPPED stores).
+        """
+        lbas = np.asarray(lbas, dtype=np.int64)
+        n = len(lbas)
+        if n == 0:
+            return
+        for lba in lbas:
+            self._check_lba(int(lba))
+        self._host_trims.add(n)
+        if self.write_buffer is not None:
+            for lba in lbas:
+                self.write_buffer.discard(int(lba))
+        total_pages = self.flash.geometry.total_pages
+        block_of_ppa = self.flash.geometry.block_of_ppa
+        old_ppas = self.l2p.lookup_many(lbas)
+        for lba, old in zip(lbas, old_ppas):
+            old = int(old)
+            if old == UNMAPPED or old >= total_pages:
+                continue
+            if self.reverse.get(old) == int(lba):
+                del self.reverse[old]
+                self.valid_count[block_of_ppa(old)] -= 1
+        self.l2p.clear_many(lbas)
 
     # ------------------------------------------------------------------
     # allocation & GC plumbing (used by the collector too)

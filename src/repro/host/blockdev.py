@@ -43,3 +43,13 @@ class BlockDevice:
         return self.controller.read_burst(
             self.nsid, lbas, repeats, host_iops_cap=host_iops_cap
         )
+
+    def write_burst(self, lbas: Sequence[int], payloads) -> BurstResult:
+        """Write many blocks with one command-accounting pass (the
+        spray primitive).  ``payloads`` is one page reused everywhere or a
+        per-LBA sequence."""
+        return self.controller.write_burst(self.nsid, lbas, payloads)
+
+    def trim_burst(self, lbas: Sequence[int]) -> BurstResult:
+        """Deallocate many blocks in one batched L2P clear."""
+        return self.controller.trim_burst(self.nsid, lbas)

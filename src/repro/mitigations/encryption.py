@@ -100,3 +100,14 @@ class EncryptedBlockDevice:
     def read_burst(self, lbas, repeats, host_iops_cap=None):
         # Hammering does not look at payloads; pass straight through.
         return self.inner.read_burst(lbas, repeats, host_iops_cap=host_iops_cap)
+
+    def write_burst(self, lbas, payloads):
+        if isinstance(payloads, (bytes, bytearray, memoryview)):
+            payloads = [bytes(payloads)] * len(lbas)
+        encrypted = [
+            encrypt_block(self.key, lba, data) for lba, data in zip(lbas, payloads)
+        ]
+        return self.inner.write_burst(lbas, encrypted)
+
+    def trim_burst(self, lbas):
+        return self.inner.trim_burst(lbas)

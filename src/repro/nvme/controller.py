@@ -32,10 +32,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.dram.cache import CacheMode
 from repro.dram.module import FlipEvent
 from repro.errors import EccUncorrectableError, NvmeNamespaceError
 from repro.ftl.ftl import PageMappingFtl
+from repro.ftl.l2p import ENTRY_BYTES, UNMAPPED
 from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, StatusCode
 from repro.nvme.namespace import Namespace
 from repro.nvme.queue import QueuePair
@@ -43,6 +46,12 @@ from repro.nvme.ratelimit import IopsRateLimiter
 from repro.sim.clock import SimClock
 from repro.sim.metrics import MetricRegistry
 from repro.units import us
+
+
+#: Below this many LBAs the scalar translation loop beats numpy setup
+#: (hammer bursts typically name a handful of aggressors; spray/trim
+#: bursts name thousands).
+_BATCH_MIN = 32
 
 
 @dataclass(frozen=True)
@@ -69,7 +78,7 @@ class DeviceTimingModel:
         return 1.0 / self.base_command_time
 
 
-@dataclass
+@dataclass(slots=True)
 class BurstResult:
     """Outcome of a closed-form read burst (hammering campaign)."""
 
@@ -113,6 +122,27 @@ class NvmeController:
         self.namespaces: Dict[int, Namespace] = {}
         self._commands = self.metrics.counter("commands")
         self._errors = self.metrics.counter("errors")
+        # Timing scalars, cached off the frozen dataclasses: the burst path
+        # re-reads them per call and the attribute chains add up.
+        self._base_time = timing.base_command_time
+        self._parallelism = timing.flash_parallelism
+        self._read_page_time = ftl.flash.timing.read_page
+        #: Burst setup cache: (nsid, lbas) -> (device_lbas, entry_addrs,
+        #: activation pattern as tuple (hammer-plan key) and as list
+        #: (result field), pattern-has-multiple-rows).  All are pure
+        #: functions of the key (namespace extents and L2P entry addresses
+        #: never move), and attack loops re-issue the same burst millions
+        #: of times.
+        self._burst_plans: Dict[
+            Tuple[int, Tuple[int, ...]],
+            Tuple[
+                List[int],
+                List[int],
+                Tuple[Tuple[int, int], ...],
+                List[Tuple[int, int]],
+                bool,
+            ],
+        ] = {}
 
     # ------------------------------------------------------------------
     # namespace management
@@ -289,28 +319,65 @@ class NvmeController:
         hammer directly.  Semantics match a loop of :meth:`submit` calls
         (tests pin this for the uncached configuration).
         """
-        namespace = self.namespace(nsid)
-        device_lbas = [namespace.translate(lba) for lba in lbas]
+        n_lbas = len(lbas)
+        plan = self._burst_plans.get((nsid, tuple(lbas)))
+        if plan is None:
+            # A cached plan implies the namespace check already passed, and
+            # namespaces are never detached — so the hit path skips it.
+            namespace = self.namespace(nsid)
+            if n_lbas >= _BATCH_MIN:
+                device_lbas = namespace.translate_many(lbas).tolist()
+                entry_addrs = self.ftl.l2p.entry_addresses(device_lbas).tolist()
+            else:
+                device_lbas = [namespace.translate(lba) for lba in lbas]
+                l2p = self.ftl.l2p
+                entry_addrs = [l2p.entry_address(lba) for lba in device_lbas]
+            # The pattern is kept in both shapes: hammer() keys its plan
+            # cache on tuple(pattern) (free when it already is one) while
+            # BurstResult.pattern_rows stays a list.
+            pattern_list = self._pattern_from_addrs(entry_addrs)
+            plan = (
+                device_lbas,
+                entry_addrs,
+                tuple(pattern_list),
+                pattern_list,
+                len(set(pattern_list)) >= 2,
+            )
+            self._burst_plans[(nsid, tuple(lbas))] = plan
+        device_lbas, entry_addrs, pattern, pattern_list, multi_row = plan
         if repeats <= 0 or not device_lbas:
             return BurstResult(ios=0, duration=0.0, io_rate=0.0, activation_rate=0.0)
 
-        # One real lookup per distinct LBA: establishes mapped-ness (cost
-        # model) and the entry->row pattern, and matches the first pass a
-        # real attacker issues anyway.
-        mapped_flags = [self.ftl.is_mapped(lba) for lba in device_lbas]
-        pass_cost = sum(self.io_cost(mapped) for mapped in mapped_flags)
-        io_rate = len(device_lbas) / pass_cost
+        # One real lookup per distinct LBA — a single batched L2P gather:
+        # it establishes mapped-ness (cost model) and the entry->row
+        # pattern, and matches the first pass a real attacker issues
+        # anyway.
+        entries = self.ftl.memory.read_many(entry_addrs, ENTRY_BYTES)
+        if n_lbas < _BATCH_MIN:
+            raw = entries.tobytes()
+            unmapped_raw = b"\xff" * ENTRY_BYTES
+            mapped_count = sum(
+                1
+                for i in range(0, ENTRY_BYTES * n_lbas, ENTRY_BYTES)
+                if raw[i : i + ENTRY_BYTES] != unmapped_raw
+            )
+        else:
+            ppas = entries.view("<u4").ravel()
+            mapped_count = int(np.count_nonzero(ppas != UNMAPPED))
+        pass_cost = (
+            self._base_time * n_lbas
+            + mapped_count * self._read_page_time / self._parallelism
+        )
+        io_rate = n_lbas / pass_cost
         if host_iops_cap is not None:
             io_rate = min(io_rate, host_iops_cap)
         if self.rate_limiter is not None:
             io_rate = self.rate_limiter.effective_rate(io_rate)
 
-        total_ios = repeats * len(device_lbas)
-        dram = self.ftl.memory.dram
-        pattern = self._activation_pattern(device_lbas)
+        total_ios = repeats * n_lbas
         amplification = self.timing.hammer_amplification
         activation_rate = io_rate * amplification
-        self._commands.add(total_ios)
+        self._commands.value += total_ios
 
         if self.ftl.memory.mode is CacheMode.LRU:
             # Hot L2P entries are served from the FTL CPU cache: DRAM sees
@@ -324,11 +391,11 @@ class NvmeController:
                 duration=total_ios / io_rate,
                 io_rate=io_rate,
                 activation_rate=0.0,
-                pattern_rows=pattern,
+                pattern_rows=pattern_list,
                 cache_absorbed=True,
             )
 
-        if len(set(pattern)) < 2:
+        if not multi_row:
             # All entries share one DRAM row: open-page row-buffer hits, no
             # alternating activations, no hammering.
             self.clock.advance(total_ios / io_rate)
@@ -337,10 +404,10 @@ class NvmeController:
                 duration=total_ios / io_rate,
                 io_rate=io_rate,
                 activation_rate=0.0,
-                pattern_rows=pattern,
+                pattern_rows=pattern_list,
             )
 
-        hammer = dram.hammer(
+        hammer = self.ftl.memory.dram.hammer(
             pattern,
             total_accesses=total_ios * amplification,
             access_rate=activation_rate,
@@ -351,20 +418,113 @@ class NvmeController:
             io_rate=io_rate,
             activation_rate=activation_rate,
             flips=hammer.flips,
-            pattern_rows=pattern,
+            pattern_rows=pattern_list,
         )
 
     def _activation_pattern(self, device_lbas: Sequence[int]) -> List[Tuple[int, int]]:
         """(bank, row) sequence the LBAs' L2P lookups activate, with
         consecutive row-buffer hits collapsed."""
+        l2p = self.ftl.l2p
+        return self._pattern_from_addrs(
+            [l2p.entry_address(lba) for lba in device_lbas]
+        )
+
+    def _pattern_from_addrs(self, entry_addrs) -> List[Tuple[int, int]]:
+        """Activation pattern from already-computed entry addresses."""
         dram = self.ftl.memory.dram
+        if len(entry_addrs) >= _BATCH_MIN:
+            banks, row_ids, _columns = dram.mapping.locate_many(
+                np.asarray(entry_addrs, dtype=np.int64)
+            )
+            pairs = zip(banks.tolist(), row_ids.tolist())
+        else:
+            locate3 = dram.mapping.locate3
+            pairs = (locate3(int(addr))[:2] for addr in entry_addrs)
         rows: List[Tuple[int, int]] = []
-        for lba in device_lbas:
-            coords = dram.mapping.locate(self.ftl.l2p.entry_address(lba))
-            key = (coords.bank, coords.row)
+        for key in pairs:
             if rows and rows[-1] == key:
                 continue  # open-page hit, no activation
             rows.append(key)
+        # The pattern repeats: a trailing key equal to the leading one is a
+        # row-buffer hit on wraparound, not an activation.
         while len(rows) > 1 and rows[0] == rows[-1]:
             rows.pop()
         return rows
+
+    def write_burst(
+        self,
+        nsid: int,
+        lbas: Sequence[int],
+        payloads,
+    ) -> BurstResult:
+        """Write a batch of blocks with one clock advance and one
+        submission-cost accounting pass.
+
+        ``payloads`` is either one ``bytes`` page reused for every LBA or a
+        sequence of per-LBA pages.  The writes themselves run through the
+        FTL scalar path (flash allocation order matters), but the NVMe
+        bookkeeping — namespace translation, permission checks, command
+        counters, the clock — is amortized over the burst, which is what
+        makes priming an attacker partition cheap.
+        """
+        namespace = self.namespace(nsid)
+        n_lbas = len(lbas)
+        if isinstance(payloads, (bytes, bytearray, memoryview)):
+            payloads = [bytes(payloads)] * n_lbas
+        if len(payloads) != n_lbas:
+            raise NvmeNamespaceError(
+                "write_burst needs one payload per LBA (%d != %d)"
+                % (len(payloads), n_lbas)
+            )
+        if n_lbas >= _BATCH_MIN:
+            device_lbas = namespace.translate_many(lbas).tolist()
+        else:
+            device_lbas = [namespace.translate(lba) for lba in lbas]
+        if not device_lbas:
+            return BurstResult(ios=0, duration=0.0, io_rate=0.0, activation_rate=0.0)
+        dram = self.ftl.memory.dram
+        flips_before = len(dram.flips)
+        self._commands.add(n_lbas)
+        total_flash = 0.0
+        for device_lba, data in zip(device_lbas, payloads):
+            result = self.ftl.write(device_lba, data)
+            total_flash += result.flash_time
+        cost = (
+            self.timing.base_command_time * n_lbas
+            + total_flash / self.timing.flash_parallelism
+        )
+        io_rate = n_lbas / cost
+        if self.rate_limiter is not None:
+            io_rate = self.rate_limiter.effective_rate(io_rate)
+        duration = n_lbas / io_rate
+        self.clock.advance(duration)
+        return BurstResult(
+            ios=n_lbas,
+            duration=duration,
+            io_rate=io_rate,
+            activation_rate=0.0,
+            flips=dram.flips[flips_before:],
+        )
+
+    def trim_burst(self, nsid: int, lbas: Sequence[int]) -> BurstResult:
+        """Deallocate a batch of blocks: one translation pass, one batched
+        L2P clear, one clock advance (trims never touch flash)."""
+        namespace = self.namespace(nsid)
+        n_lbas = len(lbas)
+        if n_lbas >= _BATCH_MIN:
+            device_lbas = namespace.translate_many(lbas)
+        else:
+            device_lbas = [namespace.translate(lba) for lba in lbas]
+        if not len(device_lbas):
+            return BurstResult(ios=0, duration=0.0, io_rate=0.0, activation_rate=0.0)
+        self._commands.add(n_lbas)
+        self.ftl.trim_many(device_lbas)
+        cost = self.timing.base_command_time * n_lbas
+        io_rate = n_lbas / cost
+        if self.rate_limiter is not None:
+            io_rate = self.rate_limiter.effective_rate(io_rate)
+        duration = n_lbas / io_rate
+        self.clock.advance(duration)
+        return BurstResult(
+            ios=n_lbas, duration=duration, io_rate=io_rate, activation_rate=0.0
+        )

@@ -11,7 +11,18 @@ from typing import Dict, List, Optional
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
+
+    Hot paths call :meth:`add` millions of times per campaign, so the class
+    is slotted (no per-instance dict) and batched increments (``add(n)``)
+    are preferred over per-I/O ``add()`` calls wherever a caller knows the
+    batch size up front.  The very hottest paths (the DRAM access loop, the
+    burst engines) may bump :attr:`value` directly when the amount is
+    non-negative by construction — the method call itself is measurable
+    there.
+    """
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str):
         self.name = name
@@ -36,6 +47,8 @@ class Histogram:
     last bound land in an overflow bucket.
     """
 
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
     def __init__(self, name: str, bounds: List[float]):
         if not bounds or sorted(bounds) != list(bounds):
             raise ValueError("bounds must be a non-empty ascending list")
@@ -53,6 +66,21 @@ class Histogram:
                 self.counts[i] += 1
                 return
         self.counts[-1] += 1
+
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in one call (batch paths
+        observe one representative latency per burst, not one per I/O)."""
+        if count < 0:
+            raise ValueError("observation count cannot be negative")
+        if count == 0:
+            return
+        self.total += count
+        self.sum += value * count
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += count
+                return
+        self.counts[-1] += count
 
     @property
     def mean(self) -> float:

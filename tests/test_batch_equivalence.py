@@ -1,0 +1,281 @@
+"""Batch-vs-scalar equivalence properties of the vectorized I/O engine.
+
+The batch paths (``read_batch``/``write_batch``/``access_batch`` on the DRAM
+module, ``lookup_many``/``update_many`` on the L2P) must be *semantically
+invisible*: with no randomized mitigation active, pushing a workload through
+the batch engine and replaying the same workload access-by-access must yield
+identical flip events, identical activation accounting, and identical bytes.
+These tests pin that property on a deliberately fragile DRAM profile so that
+real flips are part of what is compared.
+
+Also here: the regression test for ``FlipEvent.in_check_region`` (it must be
+derived from the flip's byte offset, not default to False).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dram import (
+    DramAddress,
+    DramGeometry,
+    DramModule,
+    GenerationProfile,
+    VulnerabilityModel,
+)
+from repro.ftl.l2p import UNMAPPED
+from repro.sim import SimClock
+from tests.conftest import build_stack
+
+GEOMETRY = DramGeometry.small(rows_per_bank=64, row_bytes=1024)
+
+#: Every row vulnerable, flips after ~64 aggressor accesses in one window.
+FRAGILE = GenerationProfile(
+    name="equiv-fragile",
+    year=2021,
+    ddr_type="TEST",
+    min_rate_kps=1.0,
+    row_vulnerable_fraction=1.0,
+    mean_weak_cells=4.0,
+    threshold_spread=0.2,
+)
+
+
+def make_module(seed=7, include_check_bits=False, **kwargs):
+    clock = SimClock()
+    vuln = VulnerabilityModel(
+        FRAGILE, GEOMETRY, seed=seed, include_check_bits=include_check_bits
+    )
+    return DramModule(GEOMETRY, vuln, clock, **kwargs)
+
+
+def make_pair(seed=7):
+    """Two independent but identically seeded modules (no shared state)."""
+    return make_module(seed=seed), make_module(seed=seed)
+
+
+def addr_of(dram, bank, row, column=0):
+    return dram.mapping.address_of(DramAddress(bank, row, column))
+
+
+#: Alternating fill: even bytes fully charged, odd bytes fully discharged,
+#: so weak cells of either flip direction land on a chargeable stored bit
+#: regardless of their (seed-random) byte offset's parity bias.
+PRIME_PATTERN = bytes(
+    0xFF if i % 2 == 0 else 0x00 for i in range(GEOMETRY.row_bytes)
+)
+
+
+def prime_rows(dram, rows):
+    """Give the victim rows real content so flips have bits to change."""
+    for bank, row in rows:
+        dram.write(addr_of(dram, bank, row), PRIME_PATTERN)
+
+
+def hammer_addrs(dram, accesses):
+    """A mixed read workload: alternate two aggressor rows in bank 0 (a
+    double-sided pattern on victim row 9), detour through bank 1, and
+    include back-to-back same-row touches (row-buffer hits)."""
+    out = []
+    for i in range(accesses):
+        out.append(addr_of(dram, 0, 8, (i * 8) % (GEOMETRY.row_bytes - 4)))
+        out.append(addr_of(dram, 0, 10, (i * 16) % (GEOMETRY.row_bytes - 4)))
+        if i % 7 == 0:
+            out.append(addr_of(dram, 1, 20, 4 * i % 64))
+            out.append(addr_of(dram, 1, 20, 4 * i % 64))  # row-buffer hit
+    return out
+
+
+def strip_times(flips):
+    """Flip identity without the timestamp (clock policies differ between
+    the closed-form and caller-driven paths)."""
+    return [
+        (f.bank, f.row, f.byte_offset, f.bit, f.flips_to, f.old_byte, f.new_byte)
+        for f in flips
+    ]
+
+
+def counters(dram):
+    snap = dram.metrics.snapshot()
+    return {
+        key: snap[key]
+        for key in (
+            "dram.reads",
+            "dram.writes",
+            "dram.activations",
+            "dram.row_buffer_hits",
+            "dram.flips",
+        )
+    }
+
+
+class TestReadBatchEquivalence:
+    # 6 stays under the exact-loop threshold, 30 exercises the dict-based
+    # accounting, 120 additionally takes the numpy gather path.
+    @pytest.mark.parametrize("accesses", [6, 40, 120])
+    def test_mixed_reads_match_scalar_loop(self, accesses):
+        scalar, batch = make_pair()
+        for dram in (scalar, batch):
+            prime_rows(dram, [(0, 7), (0, 9), (0, 11), (1, 19), (1, 21)])
+        baseline = counters(scalar)
+        assert baseline == counters(batch)
+
+        addrs = hammer_addrs(scalar, accesses)
+        expected = [scalar.read(addr, 4) for addr in addrs]
+        got = batch.read_batch(addrs, 4)
+
+        assert got.shape == (len(addrs), 4)
+        assert [bytes(row) for row in got] == expected
+        assert scalar.flips == batch.flips
+        assert counters(scalar) == counters(batch)
+        if accesses >= 40:
+            # The workload is strong enough that the comparison includes
+            # actual corruption, not just clean reads.
+            assert scalar.flips
+
+    def test_batch_sees_its_own_flips(self):
+        """All disturbance lands before the data gather: bytes returned for
+        a flipped victim must match what a scalar loop would have read."""
+        scalar, batch = make_pair()
+        for dram in (scalar, batch):
+            prime_rows(dram, [(0, 7), (0, 9), (0, 11)])
+        victim_addr = addr_of(scalar, 0, 9)
+        addrs = hammer_addrs(scalar, 80) + [victim_addr]
+        expected = [scalar.read(addr, 8) for addr in addrs]
+        got = batch.read_batch(addrs, 8)
+        assert scalar.flips
+        assert [bytes(row) for row in got] == expected
+
+
+class TestWriteBatchEquivalence:
+    @pytest.mark.parametrize("accesses", [6, 40, 120])
+    def test_mixed_writes_match_scalar_loop(self, accesses):
+        scalar, batch = make_pair()
+        for dram in (scalar, batch):
+            prime_rows(dram, [(0, 7), (0, 9), (0, 11), (1, 19), (1, 21)])
+
+        addrs = hammer_addrs(scalar, accesses)
+        payloads = np.array(
+            [[(i + j) & 0xFF for j in range(4)] for i in range(len(addrs))],
+            dtype=np.uint8,
+        )
+        for i, addr in enumerate(addrs):
+            scalar.write(addr, payloads[i].tobytes())
+        batch.write_batch(addrs, payloads)
+
+        assert scalar.flips == batch.flips
+        assert counters(scalar) == counters(batch)
+        for bank_s, bank_b in zip(scalar.banks, batch.banks):
+            assert bank_s.data_rows.keys() == bank_b.data_rows.keys()
+            for row, data in bank_s.data_rows.items():
+                assert np.array_equal(data, bank_b.data_rows[row]), (
+                    bank_s.index,
+                    row,
+                )
+
+
+class TestAccessBatchEquivalence:
+    def test_histogram_matches_single_window_hammer(self):
+        """A coalesced activation histogram flips exactly what the
+        closed-form hammer flips for the same per-row counts."""
+        closed_form, histogram = make_pair()
+        for dram in (closed_form, histogram):
+            prime_rows(dram, [(0, 7), (0, 9), (0, 11)])
+
+        # 400 alternating accesses, all inside the first refresh window.
+        closed_form.hammer([(0, 8), (0, 10)], total_accesses=400, access_rate=1e9)
+        flips = histogram.access_batch([(0, 8, 200), (0, 10, 200)])
+
+        assert strip_times(closed_form.flips) == strip_times(histogram.flips)
+        assert flips == histogram.flips
+        assert closed_form.flips  # the comparison covered real corruption
+        for bank_c, bank_h in zip(closed_form.banks, histogram.banks):
+            assert bank_c.acts == bank_h.acts
+        snap_c = closed_form.metrics.snapshot()
+        snap_h = histogram.metrics.snapshot()
+        assert snap_c["dram.activations"] == snap_h["dram.activations"]
+        assert snap_c["dram.flips"] == snap_h["dram.flips"]
+
+
+class TestL2pBatchEquivalence:
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    def test_lookup_many_matches_scalar(self, layout):
+        controller, _dram, ftl = build_stack(layout=layout)
+        payload = b"\x42" * ftl.page_bytes
+        for lba in (0, 5, 17, 100, 191):
+            ftl.write(lba, payload)
+        ftl.flush()
+        lbas = [0, 1, 5, 17, 18, 100, 150, 191]
+
+        many = ftl.l2p.lookup_many(lbas)
+        for lba, raw in zip(lbas, many.tolist()):
+            scalar = ftl.l2p.lookup(lba)
+            assert (scalar if scalar is not None else UNMAPPED) == raw
+        mapped = ftl.is_mapped_many(lbas)
+        assert mapped.tolist() == [ftl.is_mapped(lba) for lba in lbas]
+
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    def test_update_many_matches_scalar(self, layout):
+        _c1, _d1, ftl_many = build_stack(layout=layout)
+        _c2, _d2, ftl_scalar = build_stack(layout=layout)
+        lbas = [3, 9, 64, 120, 191]
+        ppas = [11, 29, 47, 5, 92]
+
+        ftl_many.l2p.update_many(lbas, ppas)
+        for lba, ppa in zip(lbas, ppas):
+            ftl_scalar.l2p.update(lba, ppa)
+
+        for lba in range(ftl_many.num_lbas):
+            assert ftl_many.l2p.lookup(lba) == ftl_scalar.l2p.lookup(lba)
+
+        ftl_many.l2p.clear_many(lbas[:2])
+        for lba in lbas[:2]:
+            ftl_scalar.l2p.clear(lba)
+        for lba in lbas:
+            assert ftl_many.l2p.lookup(lba) == ftl_scalar.l2p.lookup(lba)
+
+
+class TestCheckRegionFlag:
+    def find_check_region_row(self, dram):
+        """A row whose weak cells include a check-region cell that flips
+        0 -> 1 (so all-zero check bytes are guaranteed to change)."""
+        row_bytes = GEOMETRY.row_bytes
+        for row in range(2, GEOMETRY.rows_per_bank - 2):
+            cells = dram.vulnerability.row_vulnerability(0, row).cells
+            if any(
+                c.byte_offset >= row_bytes and c.flips_to == 1 for c in cells
+            ):
+                return row
+        raise AssertionError("no check-region weak cell in this seed")
+
+    def test_in_check_region_derived_from_offset(self):
+        """Regression: ``in_check_region`` must be True exactly for flips
+        whose byte offset indexes past the data bytes (the seed code left
+        the field at its default for every event)."""
+        dram = make_module(include_check_bits=True, ecc=True)
+        victim = self.find_check_region_row(dram)
+        row_bytes = GEOMETRY.row_bytes
+        # Writing the row materializes both its data and its check bytes
+        # (all-zero data encodes to all-zero check words under SECDED).
+        dram.write(addr_of(dram, 0, victim), b"\x00" * row_bytes)
+        dram.hammer(
+            [(0, victim - 1), (0, victim + 1)],
+            total_accesses=4000,
+            access_rate=1e9,
+        )
+        check_flips = [f for f in dram.flips if f.byte_offset >= row_bytes]
+        assert check_flips, "hammering did not reach the check-region cell"
+        for flip in dram.flips:
+            assert flip.in_check_region == (flip.byte_offset >= row_bytes)
+
+    def test_flipped_addresses_skip_check_region(self):
+        dram = make_module(include_check_bits=True, ecc=True)
+        victim = self.find_check_region_row(dram)
+        dram.write(addr_of(dram, 0, victim), b"\x00" * GEOMETRY.row_bytes)
+        dram.hammer(
+            [(0, victim - 1), (0, victim + 1)],
+            total_accesses=4000,
+            access_rate=1e9,
+        )
+        data_flips = [f for f in dram.flips if not f.in_check_region]
+        addresses = dram.flipped_addresses()
+        assert len(addresses) == len(data_flips)
