@@ -5,9 +5,11 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py
 
-Runs ``benchmarks/test_perf_micro.py`` under pytest-benchmark, saves the
-raw machine-readable output to ``BENCH_<YYYY-MM-DD>.json``, and prints a
-per-benchmark median table.  Pass extra pytest args after ``--``::
+Runs ``benchmarks/test_perf_micro.py`` under pytest-benchmark, then a
+sweep-throughput measurement (trials/sec through the sweep engine, serial
+vs. worker pool), saves the combined machine-readable output to
+``BENCH_<YYYY-MM-DD>.json``, and prints per-benchmark tables.  Pass extra
+pytest args after ``--``::
 
     PYTHONPATH=src python benchmarks/run_bench.py -- -k read_burst
 """
@@ -19,9 +21,57 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks", "test_perf_micro.py")
+
+#: Sweep-throughput workload: enough Monte Carlo trials that scheduling
+#: overhead is visible but the whole measurement stays in seconds.
+SWEEP_TRIALS = 16
+SWEEP_SAMPLES_PER_TRIAL = 2_000_000
+#: Size the pool to the host: on a single-vCPU container the pool cannot
+#: beat serial (the measurement then records the scheduler's overhead,
+#: honestly); on multi-core hosts it records the fan-out speedup.
+SWEEP_POOL_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def run_sweep_bench() -> dict:
+    """Measure sweep engine throughput (trials/sec), serial vs. pool.
+
+    Same spec both ways; the engine guarantees identical results, so the
+    only thing this measures is scheduling and process fan-out.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.engine import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="bench-sweep",
+        kind="monte_carlo",
+        seed=7,
+        repeats=SWEEP_TRIALS,
+        base={"trials": SWEEP_SAMPLES_PER_TRIAL, "physical_blocks": 262_144},
+    )
+    results = {
+        "trials": SWEEP_TRIALS,
+        "samples_per_trial": SWEEP_SAMPLES_PER_TRIAL,
+        "workers": SWEEP_POOL_WORKERS,
+    }
+    started = time.perf_counter()
+    serial = run_sweep(spec, workers=0)
+    serial_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    pooled = run_sweep(spec, workers=SWEEP_POOL_WORKERS)
+    pool_seconds = time.perf_counter() - started
+    if serial.summary_json() != pooled.summary_json():
+        raise AssertionError("serial and pooled sweep summaries diverged")
+    results["serial_seconds"] = serial_seconds
+    results["pool_seconds"] = pool_seconds
+    results["serial_trials_per_sec"] = SWEEP_TRIALS / serial_seconds
+    results["pool_trials_per_sec"] = SWEEP_TRIALS / pool_seconds
+    results["speedup"] = serial_seconds / pool_seconds
+    results["pool_degraded_to_serial"] = pooled.degraded_to_serial
+    return results
 
 
 def main(argv: list) -> int:
@@ -59,6 +109,23 @@ def main(argv: list) -> int:
             "%-38s %12.2f %12.2f"
             % (bench["name"], stats["median"] * 1e6, stats["mean"] * 1e6)
         )
+
+    sweep = run_sweep_bench()
+    report["sweep_throughput"] = sweep
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print()
+    print("sweep throughput (%d Monte Carlo trials x %d samples):"
+          % (sweep["trials"], sweep["samples_per_trial"]))
+    print("%-38s %12s %12s" % ("mode", "seconds", "trials/sec"))
+    print("%-38s %12.3f %12.1f"
+          % ("serial", sweep["serial_seconds"], sweep["serial_trials_per_sec"]))
+    print("%-38s %12.3f %12.1f"
+          % ("pool (%d workers)" % sweep["workers"], sweep["pool_seconds"],
+             sweep["pool_trials_per_sec"]))
+    print("pool speedup: %.2fx%s"
+          % (sweep["speedup"],
+             " (degraded to serial)" if sweep["pool_degraded_to_serial"] else ""))
     print("\nwrote %s" % os.path.relpath(out_path, REPO_ROOT))
     return 0
 

@@ -7,17 +7,29 @@ the baseline leaks; everything else holds — except refresh-2x, which is
 too small a step against an attacker with 4x rate headroom (refresh-8x
 works, at the power cost the paper calls prohibitive).
 
-Run:  python examples/mitigation_comparison.py
+The grid runs on the sweep engine — one trial per mitigation.  Pass
+``--workers N`` to attack several configurations in parallel; results
+are identical to the serial run.
+
+Run:  python examples/mitigation_comparison.py [--workers N]
 """
+
+import argparse
 
 from repro.attack import AttackConfig
 from repro.mitigations import evaluate_all_mitigations
 
 
-def main() -> None:
+def main(argv=()) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the mitigation grid")
+    args = parser.parse_args(list(argv))
+
     print("=== §5 mitigation scorecard ===\n")
     config = AttackConfig(max_cycles=6, spray_files=64, hammer_seconds=60)
-    rows = evaluate_all_mitigations(seed=7, attack_config=config)
+    rows = evaluate_all_mitigations(seed=7, attack_config=config,
+                                    workers=args.workers)
 
     header = "%-34s %6s %5s %7s %7s %6s %9s" % (
         "mitigation", "flips", "hits", "usable", "p-text", "recon", "verdict",
@@ -50,4 +62,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

@@ -5,24 +5,37 @@ Reproduces the paper's headline numbers — ~7% per attack cycle for the
 illustrative parameters, >50% within 10 cycles — then sweeps the spray
 fractions to show how the attacker's patience trades against footprint.
 
-Run:  python examples/probability_study.py
+The Monte Carlo runs through the sweep engine, sharded into independent
+seed streams — pass ``--workers N`` to fan the shards out over processes
+(the estimate is identical for any worker count).
+
+Run:  python examples/probability_study.py [--workers N]
 """
+
+import argparse
 
 from repro.attack import (
     cumulative_success_probability,
-    monte_carlo_success_rate,
+    monte_carlo_study,
     paper_example_parameters,
     single_cycle_success_probability,
 )
 from repro.attack.probability import ProbabilityParameters, cycles_to_reach
 
 
-def main() -> None:
+def main(argv=()) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the Monte Carlo shards")
+    args = parser.parse_args(list(argv))
+
     print("=== §4.3 probability of a useful bitflip ===\n")
 
     params = paper_example_parameters()
     analytic = single_cycle_success_probability(params)
-    simulated = monte_carlo_success_rate(params, trials=2_000_000, seed=42)
+    simulated = monte_carlo_study(
+        params, trials=2_000_000, seed=42, workers=args.workers
+    )
     print("Paper's illustration (C_a = C_v = PB/2, F_v = C_v/4, F_a = C_a):")
     print("  analytic single-cycle success:     %.4f  (paper: ~7%%)" % analytic)
     print("  Monte-Carlo (2M trials):           %.4f" % simulated)
@@ -75,4 +88,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

@@ -24,9 +24,18 @@ from repro.attack import (
     DeviceProfile,
     FtlRowhammerAttack,
     cumulative_success_probability,
+    monte_carlo_study,
     monte_carlo_success_rate,
     paper_example_parameters,
     single_cycle_success_probability,
+)
+from repro.engine import (
+    EngineConfig,
+    SweepEngine,
+    SweepReport,
+    SweepSpec,
+    register_trial_kind,
+    run_sweep,
 )
 from repro.dram import (
     CacheMode,
@@ -69,7 +78,15 @@ __all__ = [
     "single_cycle_success_probability",
     "cumulative_success_probability",
     "monte_carlo_success_rate",
+    "monte_carlo_study",
     "paper_example_parameters",
+    # sweep engine
+    "SweepSpec",
+    "SweepEngine",
+    "SweepReport",
+    "EngineConfig",
+    "run_sweep",
+    "register_trial_kind",
     # dram
     "DramGeometry",
     "DramModule",

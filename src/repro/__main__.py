@@ -5,6 +5,7 @@ Commands:
 * ``demo``         — run the end-to-end cloud attack and print the outcome.
 * ``mitigations``  — grade every §5 defense against the same attack.
 * ``probability``  — the §4.3 analysis (analytic + Monte Carlo).
+* ``sweep``        — run a declarative parameter sweep from a JSON spec.
 * ``table1``       — re-measure Table 1's minimal flip rates.
 * ``info``         — describe the default testbed.
 """
@@ -12,6 +13,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import (
@@ -59,7 +61,11 @@ def cmd_mitigations(args: argparse.Namespace) -> int:
         attack_config=AttackConfig(
             max_cycles=args.cycles, spray_files=args.spray_files, hammer_seconds=60
         ),
+        workers=args.workers,
     )
+    if args.json:
+        print(json.dumps([row.to_dict() for row in rows], sort_keys=True, indent=2))
+        return 0
     print("%-34s %6s %5s %7s %8s" % ("mitigation", "flips", "hits", "p-text", "verdict"))
     for row in rows:
         print(
@@ -76,14 +82,77 @@ def cmd_mitigations(args: argparse.Namespace) -> int:
 
 
 def cmd_probability(args: argparse.Namespace) -> int:
+    from repro.attack.probability import monte_carlo_study
+
     params = paper_example_parameters()
     analytic = single_cycle_success_probability(params)
-    simulated = monte_carlo_success_rate(params, trials=args.trials, seed=args.seed)
+    if args.workers > 0:
+        simulated = monte_carlo_study(
+            params, trials=args.trials, seed=args.seed, workers=args.workers
+        )
+    else:
+        simulated = monte_carlo_success_rate(params, trials=args.trials, seed=args.seed)
+    cumulative = cumulative_success_probability(analytic, 10)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "analytic": analytic,
+                    "monte_carlo": simulated,
+                    "trials": args.trials,
+                    "seed": args.seed,
+                    "cumulative_10_cycles": cumulative,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
     print("single-cycle success (analytic):    %.4f" % analytic)
     print("single-cycle success (monte-carlo): %.4f" % simulated)
-    print("cumulative after 10 cycles:         %.4f"
-          % cumulative_success_probability(analytic, 10))
+    print("cumulative after 10 cycles:         %.4f" % cumulative)
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import EngineConfig, SweepEngine, SweepSpec
+
+    spec = SweepSpec.load(args.spec)
+    store_path = args.out
+    if store_path is None:
+        base = args.spec[:-5] if args.spec.endswith(".json") else args.spec
+        store_path = base + ".results.jsonl"
+    engine = SweepEngine(
+        spec,
+        store_path=store_path,
+        config=EngineConfig(
+            workers=args.workers, timeout=args.timeout, retries=args.retries
+        ),
+        fresh=args.fresh,
+    )
+    report = engine.run()
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            handle.write(report.summary_json())
+    if args.json:
+        sys.stdout.write(report.summary_json())
+        return 0 if report.ok else 1
+    totals = report.summary["totals"]
+    print("sweep %r (%s): %d trials — %d ok, %d failed, %d resumed from %s"
+          % (spec.name, spec.kind, totals["trials"], totals["ok"],
+             totals["failed"], report.skipped, store_path))
+    if report.degraded_to_serial:
+        print("note: worker pool unavailable; degraded to serial execution")
+    for point in report.summary["points"]:
+        label = ", ".join("%s=%r" % kv for kv in sorted(point["params"].items()))
+        print("  point %d (%s): %d trials" % (point["point_index"], label or "-",
+                                              point["trials"]))
+        for name, stats in point["metrics"].items():
+            print("    %-24s mean=%.6g min=%.6g max=%.6g"
+                  % (name, stats["mean"], stats["min"], stats["max"]))
+    for trial_id in report.failed_trials:
+        print("  FAILED trial %s" % trial_id)
+    return 0 if report.ok else 1
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -166,11 +235,40 @@ def build_parser() -> argparse.ArgumentParser:
     mitigations = sub.add_parser("mitigations", help="grade the §5 defenses")
     mitigations.add_argument("--cycles", type=int, default=6)
     mitigations.add_argument("--spray-files", type=int, default=64)
+    mitigations.add_argument("--workers", type=int, default=0,
+                             help="worker processes (0 = serial)")
+    mitigations.add_argument("--json", action="store_true",
+                             help="machine-readable output")
     mitigations.set_defaults(func=cmd_mitigations)
 
     probability = sub.add_parser("probability", help="the §4.3 analysis")
     probability.add_argument("--trials", type=int, default=500_000)
+    probability.add_argument("--workers", type=int, default=0,
+                             help="shard the Monte Carlo over N workers")
+    probability.add_argument("--json", action="store_true",
+                             help="machine-readable output")
     probability.set_defaults(func=cmd_probability)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative parameter sweep from a JSON spec"
+    )
+    sweep.add_argument("spec", help="path to the SweepSpec JSON file")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = serial in-process)")
+    sweep.add_argument("--out", default=None,
+                       help="JSONL checkpoint/result path "
+                            "(default: <spec>.results.jsonl)")
+    sweep.add_argument("--summary", default=None,
+                       help="also write the aggregated summary JSON here")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-trial timeout in seconds (pool mode)")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="retries per failed/timed-out trial")
+    sweep.add_argument("--fresh", action="store_true",
+                       help="ignore an existing checkpoint and restart")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the aggregated summary as JSON")
+    sweep.set_defaults(func=cmd_sweep)
 
     table1 = sub.add_parser("table1", help="re-measure Table 1")
     table1.set_defaults(func=cmd_table1)

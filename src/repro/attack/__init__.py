@@ -39,6 +39,7 @@ from repro.attack.timing_recon import (
 )
 from repro.attack.probability import (
     cumulative_success_probability,
+    monte_carlo_study,
     monte_carlo_success_rate,
     paper_example_parameters,
     single_cycle_success_probability,
@@ -70,6 +71,7 @@ __all__ = [
     "FtlRowhammerAttack",
     "single_cycle_success_probability",
     "cumulative_success_probability",
+    "monte_carlo_study",
     "monte_carlo_success_rate",
     "paper_example_parameters",
     "render_attack_report",

@@ -22,6 +22,7 @@ The paper's illustration (equal partitions, victim 25 % sprayed, attacker
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -94,17 +95,28 @@ def paper_example_parameters(physical_blocks: int = 262_144) -> ProbabilityParam
 
 
 def monte_carlo_success_rate(
-    params: ProbabilityParameters, trials: int, seed: int = 0
+    params: ProbabilityParameters,
+    trials: int,
+    seed: int = 0,
+    spawn_key: Optional[Sequence[object]] = None,
 ) -> float:
     """Simulate the two-event model directly: a flip lands on a uniform
     victim LBA, and its new PBA is uniform over the device.
 
     Vectorized; agreement with the closed form validates the formula (and
     our reading of it).
+
+    ``spawn_key`` names the RNG stream drawn under ``seed``: the stream is
+    ``RngStream(seed, *spawn_key)``, defaulting to the historical
+    ``("monte-carlo",)``.  The sweep engine passes each trial's spawn key
+    here, so an engine-driven trial and a direct call with the same
+    ``(seed, spawn_key)`` consume identical random streams — no hidden
+    dependence on global RNG ordering.
     """
     if trials <= 0:
         raise ConfigError("need at least one trial")
-    rng = RngStream(seed, "monte-carlo").generator
+    labels = tuple(spawn_key) if spawn_key is not None else ("monte-carlo",)
+    rng = RngStream(seed, *labels).generator
     sprayed_indirect = params.victim_sprayed // 2
     malicious_total = params.victim_sprayed // 2 + params.attacker_sprayed
     # Event A: flipped entry belongs to a sprayed indirect block.  Model
@@ -116,3 +128,50 @@ def monte_carlo_success_rate(
     new_pba = rng.integers(0, params.physical_blocks, size=trials)
     hit_malicious = new_pba < malicious_total
     return float(np.mean(hit_indirect & hit_malicious))
+
+
+def monte_carlo_study(
+    params: ProbabilityParameters,
+    trials: int,
+    seed: int = 0,
+    workers: int = 0,
+    shard_size: int = 250_000,
+) -> float:
+    """Monte Carlo estimate via the sweep engine, sharded for parallelism.
+
+    The trial count is split into equal shards (each at most ``shard_size``
+    draws, each with its own spawn-key-derived stream) that the engine runs
+    serially or on a worker pool; shard rates are averaged.  The estimate
+    is identical for any ``workers`` value, and every shard can be replayed
+    in isolation from its spawn key.  The effective trial count is rounded
+    up to ``shards * per_shard`` — never below ``trials``.
+    """
+    if trials <= 0:
+        raise ConfigError("need at least one trial")
+    if shard_size <= 0:
+        raise ConfigError("shard_size must be positive")
+    from repro.engine import EngineConfig, SweepEngine, SweepSpec
+
+    shards = -(-trials // shard_size)
+    per_shard = -(-trials // shards)
+    spec = SweepSpec(
+        name="monte-carlo-study",
+        kind="monte_carlo",
+        seed=seed,
+        repeats=shards,
+        base={
+            "trials": per_shard,
+            "victim_blocks": params.victim_blocks,
+            "attacker_blocks": params.attacker_blocks,
+            "victim_sprayed": params.victim_sprayed,
+            "attacker_sprayed": params.attacker_sprayed,
+            "physical_blocks": params.physical_blocks,
+        },
+    )
+    report = SweepEngine(spec, config=EngineConfig(workers=workers)).run()
+    if not report.ok:
+        raise ConfigError(
+            "monte carlo shards failed: %s" % report.failed_trials
+        )
+    rates = [record["result"]["success_rate"] for record in report.records]
+    return float(sum(rates) / len(rates))

@@ -1,0 +1,125 @@
+"""Fold per-trial records into metrics and a deterministic summary.
+
+The summary is the sweep's *scientific* output: per-point statistics over
+every numeric result field, plus totals.  It deliberately contains no
+wall-clock or scheduling information, so a sweep run serially, with a
+worker pool, or resumed after a kill produces byte-identical summaries
+(``json.dumps(summary, sort_keys=True)``) — the property the tier-1
+determinism tests pin.
+
+Operational data (trial seconds, retry counts) goes into a
+:class:`~repro.sim.metrics.MetricRegistry` instead, alongside the
+simulator's own counters, where the benchmark harness can read it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.engine.spec import SweepSpec
+from repro.sim.metrics import MetricRegistry
+
+#: Bucket bounds (seconds) for the per-trial wall-time histogram.
+TRIAL_SECONDS_BOUNDS = [0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0]
+
+
+def _numeric_fields(result: Dict[str, Any]) -> Dict[str, float]:
+    """Numeric (and boolean, as 0/1) result fields, flat."""
+    out: Dict[str, float] = {}
+    for key, value in result.items():
+        if isinstance(value, bool):
+            out[key] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def _stats(values: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def fold_metrics(records: List[Dict[str, Any]], registry: MetricRegistry) -> None:
+    """Record operational counters/histograms for a batch of records."""
+    ok = registry.counter("sweep.trials.ok")
+    failed = registry.counter("sweep.trials.failed")
+    retries = registry.counter("sweep.trials.retries")
+    seconds = registry.histogram("sweep.trial_seconds", TRIAL_SECONDS_BOUNDS)
+    for record in records:
+        if record.get("status") == "ok":
+            ok.add()
+        else:
+            failed.add()
+        retries.add(max(0, int(record.get("attempts", 1)) - 1))
+        seconds.observe(float(record.get("elapsed", 0.0)))
+
+
+def summarize(
+    spec: SweepSpec,
+    records: List[Dict[str, Any]],
+    registry: Optional[MetricRegistry] = None,
+) -> Dict[str, Any]:
+    """The deterministic aggregated summary of a sweep.
+
+    ``records`` may arrive in any order (pool completion order, resumed
+    checkpoints first, ...); they are re-ordered by (point, repeat) before
+    folding so float accumulation order is fixed.
+    """
+    ordered = sorted(
+        records, key=lambda r: (int(r.get("point_index", 0)), int(r.get("repeat", 0)))
+    )
+    if registry is not None:
+        fold_metrics(ordered, registry)
+
+    by_point: Dict[int, List[Dict[str, Any]]] = {}
+    points_meta: Dict[int, Dict[str, Any]] = {}
+    failed_ids: List[str] = []
+    for record in ordered:
+        index = int(record.get("point_index", 0))
+        points_meta.setdefault(index, record.get("point", {}))
+        if record.get("status") == "ok":
+            by_point.setdefault(index, []).append(record)
+        else:
+            failed_ids.append(record["trial_id"])
+
+    points: List[Dict[str, Any]] = []
+    for index in sorted(points_meta):
+        completed = by_point.get(index, [])
+        fields: Dict[str, List[float]] = {}
+        for record in completed:
+            for key, value in _numeric_fields(record.get("result") or {}).items():
+                fields.setdefault(key, []).append(value)
+        points.append(
+            {
+                "point_index": index,
+                "params": points_meta[index],
+                "trials": len(completed),
+                "metrics": {key: _stats(vals) for key, vals in sorted(fields.items())},
+            }
+        )
+
+    ok_count = sum(len(v) for v in by_point.values())
+    return {
+        "name": spec.name,
+        "kind": spec.kind,
+        "seed": spec.seed,
+        "fingerprint": spec.fingerprint(),
+        "total_trials": spec.total_trials,
+        "points": points,
+        "totals": {
+            "trials": len(ordered),
+            "ok": ok_count,
+            "failed": len(failed_ids),
+            "failed_trials": sorted(failed_ids),
+        },
+    }
+
+
+def summary_to_json(summary: Dict[str, Any]) -> str:
+    """Canonical serialization — byte-comparable across runs."""
+    return json.dumps(summary, sort_keys=True, indent=2) + "\n"

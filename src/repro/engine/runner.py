@@ -1,0 +1,179 @@
+"""Trial kinds: the functions a sweep actually runs.
+
+A trial kind is a callable ``fn(trial: TrialSpec) -> dict`` registered
+under a name; the spec's ``kind`` field selects it.  Trial functions must
+be deterministic given the trial's seed/spawn key, and must return a
+JSON-serializable dict — that dict is the checkpointed record and the
+input to aggregation.
+
+Built-ins:
+
+* ``monte_carlo`` — one §4.3 Monte Carlo batch via
+  :func:`repro.attack.probability.monte_carlo_success_rate`;
+* ``mitigation`` — one §5 configuration attacked and graded via
+  :func:`repro.mitigations.evaluation.evaluate_mitigation`;
+* ``sleep`` / ``flaky`` — inert kinds for soak-testing the scheduler's
+  timeout and retry paths (used by the test suite and benchmarks).
+
+Heavy imports happen inside the trial functions so that importing the
+engine never drags in the whole attack stack, and so the registry stays
+import-cycle free (``mitigations.evaluation`` itself runs on the engine).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List
+
+from repro.engine.spec import TrialSpec
+from repro.errors import ConfigError
+
+TrialFn = Callable[[TrialSpec], Dict[str, Any]]
+
+_REGISTRY: Dict[str, TrialFn] = {}
+
+
+def register_trial_kind(name: str, fn: TrialFn, replace: bool = False) -> None:
+    """Register ``fn`` as trial kind ``name``.
+
+    Custom kinds registered at import time of a module both the parent and
+    (forked) workers share work transparently in pool mode; under a spawn
+    start method only built-ins resolve in workers, so custom kinds should
+    run serially there.
+    """
+    if name in _REGISTRY and not replace:
+        raise ConfigError("trial kind %r already registered" % name)
+    _REGISTRY[name] = fn
+
+
+def trial_kinds() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def execute_trial(trial: TrialSpec) -> Dict[str, Any]:
+    """Run one trial in the current process and return its result dict."""
+    try:
+        fn = _REGISTRY[trial.kind]
+    except KeyError:
+        raise ConfigError(
+            "unknown trial kind %r (registered: %s)" % (trial.kind, trial_kinds())
+        )
+    return fn(trial)
+
+
+# -- built-in: monte_carlo ----------------------------------------------
+
+
+def _resolve_probability_parameters(params: Dict[str, Any]):
+    """Accept either explicit §4.3 counts or the paper's fraction shorthand
+    (equal partitions, spray fractions of each half)."""
+    from repro.attack.probability import ProbabilityParameters
+
+    if "victim_blocks" in params:
+        return ProbabilityParameters(
+            victim_blocks=int(params["victim_blocks"]),
+            attacker_blocks=int(params["attacker_blocks"]),
+            victim_sprayed=int(params["victim_sprayed"]),
+            attacker_sprayed=int(params["attacker_sprayed"]),
+            physical_blocks=int(params["physical_blocks"]),
+        )
+    physical_blocks = int(params.get("physical_blocks", 262_144))
+    half = physical_blocks // 2
+    victim_fraction = float(params.get("victim_spray_fraction", 0.25))
+    attacker_fraction = float(params.get("attacker_spray_fraction", 1.0))
+    return ProbabilityParameters(
+        victim_blocks=half,
+        attacker_blocks=half,
+        victim_sprayed=int(half * victim_fraction),
+        attacker_sprayed=int(half * attacker_fraction),
+        physical_blocks=physical_blocks,
+    )
+
+
+def _trial_monte_carlo(trial: TrialSpec) -> Dict[str, Any]:
+    from repro.attack.probability import (
+        monte_carlo_success_rate,
+        single_cycle_success_probability,
+    )
+
+    params = dict(trial.params)
+    trials = int(params.pop("trials", 100_000))
+    model = _resolve_probability_parameters(params)
+    rate = monte_carlo_success_rate(
+        model, trials, seed=trial.root_seed, spawn_key=trial.spawn_key
+    )
+    return {
+        "success_rate": rate,
+        "trials": trials,
+        "analytic": single_cycle_success_probability(model),
+    }
+
+
+# -- built-in: mitigation -----------------------------------------------
+
+
+def _trial_mitigation(trial: TrialSpec) -> Dict[str, Any]:
+    from repro.attack.orchestrator import AttackConfig
+    from repro.mitigations.evaluation import evaluate_mitigation, standard_mitigations
+
+    params = dict(trial.params)
+    name = params.pop("mitigation", None)
+    if name is None:
+        raise ConfigError("mitigation trials need a 'mitigation' axis or base key")
+    catalogue = standard_mitigations()
+    if name not in catalogue:
+        raise ConfigError(
+            "unknown mitigation %r (known: %s)" % (name, sorted(catalogue))
+        )
+    seed = int(params.pop("seed", trial.seed))
+    attack_kwargs = dict(params.pop("attack", {}))
+    for short, long in (
+        ("cycles", "max_cycles"),
+        ("spray_files", "spray_files"),
+        ("hammer_seconds", "hammer_seconds"),
+    ):
+        if short in params:
+            attack_kwargs[long] = params.pop(short)
+    config = AttackConfig(**attack_kwargs) if attack_kwargs else None
+    outcome = evaluate_mitigation(
+        name, catalogue[name], seed=seed, attack_config=config
+    )
+    return outcome.to_dict()
+
+
+# -- built-in soak kinds (scheduler testing) ----------------------------
+
+
+def _trial_sleep(trial: TrialSpec) -> Dict[str, Any]:
+    """Sleep for ``seconds`` — exercises the pool's per-trial timeout."""
+    seconds = float(trial.params.get("seconds", 0.01))
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def _trial_flaky(trial: TrialSpec) -> Dict[str, Any]:
+    """Fail the first ``fail_times`` attempts — exercises retry/backoff.
+
+    Attempt state lives in the file at ``path`` (one line per attempt), so
+    flakiness survives worker restarts and process boundaries.
+    """
+    path = trial.params["path"]
+    fail_times = int(trial.params.get("fail_times", 1))
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            attempts_so_far = len(handle.readlines())
+    except FileNotFoundError:
+        attempts_so_far = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("attempt %d\n" % (attempts_so_far + 1))
+    if attempts_so_far < fail_times:
+        raise RuntimeError(
+            "flaky trial failing on purpose (attempt %d)" % (attempts_so_far + 1)
+        )
+    return {"attempts_seen": attempts_so_far + 1}
+
+
+register_trial_kind("monte_carlo", _trial_monte_carlo)
+register_trial_kind("mitigation", _trial_mitigation)
+register_trial_kind("sleep", _trial_sleep)
+register_trial_kind("flaky", _trial_flaky)

@@ -1,0 +1,206 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names an experiment (Monte Carlo batch, mitigation
+grid, ...) and the parameter space to cover: fixed ``base`` parameters,
+``grid`` axes (explicit value lists, combined as a cartesian product),
+``random`` axes (values sampled deterministically from the root seed),
+and a ``repeats`` count of independent trials per grid point.
+
+Expansion is pure and deterministic: the same spec always yields the
+same ordered list of :class:`TrialSpec` records, each carrying a stable
+``trial_id``, a spawn key, and a per-trial seed derived from the root
+seed via :func:`repro.sim.rng.derive_seed`.  Any trial can therefore be
+re-run in isolation, bit-for-bit, on any worker — the scheduling layer
+never influences results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.rng import RngStream, derive_seed
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully resolved trial: everything a worker needs, picklable."""
+
+    trial_id: str
+    kind: str
+    #: Merged parameters: spec ``base`` overlaid with this point's axis values.
+    params: Dict[str, Any]
+    #: Just this point's axis assignment (for grouping in reports).
+    point: Dict[str, Any]
+    point_index: int
+    repeat: int
+    #: The sweep's root seed (trial functions that take a seed-sequence pass
+    #: this plus :attr:`spawn_key`; see ``monte_carlo_success_rate``).
+    root_seed: int
+    #: Label path under the root seed that names this trial's RNG stream.
+    spawn_key: Tuple[Any, ...]
+    #: ``derive_seed(root_seed, *spawn_key)`` — for trial functions that
+    #: want a plain integer seed.
+    seed: int
+
+
+@dataclass
+class SweepSpec:
+    """A declarative parameter sweep."""
+
+    name: str
+    #: Trial kind, resolved through :mod:`repro.engine.runner`'s registry
+    #: (built-ins: ``monte_carlo``, ``mitigation``).
+    kind: str
+    seed: int = 7
+    #: Independent trials per grid point (distinct spawn keys).
+    repeats: int = 1
+    #: Parameters shared by every trial; axis values override them.
+    base: Dict[str, Any] = field(default_factory=dict)
+    #: Axis name -> explicit list of values; axes combine cartesian.
+    grid: Dict[str, List[Any]] = field(default_factory=dict)
+    #: Axis name -> sampler config ``{"low", "high", "count", "kind"}``
+    #: with ``kind`` one of ``uniform`` / ``int``.  Sampled values join the
+    #: cartesian product exactly like grid axes.
+    random: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("sweep spec needs a name")
+        if not self.kind:
+            raise ConfigError("sweep spec needs a trial kind")
+        if self.repeats <= 0:
+            raise ConfigError("repeats must be positive")
+        overlap = set(self.grid) & set(self.random)
+        if overlap:
+            raise ConfigError("axes defined both grid and random: %s" % sorted(overlap))
+        for axis, values in self.grid.items():
+            if not isinstance(values, list) or not values:
+                raise ConfigError("grid axis %r must be a non-empty list" % axis)
+        for axis, conf in self.random.items():
+            if not isinstance(conf, dict) or "count" not in conf:
+                raise ConfigError("random axis %r needs a 'count'" % axis)
+            if int(conf["count"]) <= 0:
+                raise ConfigError("random axis %r count must be positive" % axis)
+            if conf.get("kind", "uniform") not in ("uniform", "int"):
+                raise ConfigError("random axis %r kind must be uniform or int" % axis)
+
+    # -- (de)serialization ----------------------------------------------
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "SweepSpec":
+        known = {"name", "kind", "seed", "repeats", "base", "grid", "random"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError("unknown sweep spec keys: %s" % sorted(unknown))
+        try:
+            return cls(
+                name=raw["name"],
+                kind=raw["kind"],
+                seed=int(raw.get("seed", 7)),
+                repeats=int(raw.get("repeats", 1)),
+                base=dict(raw.get("base", {})),
+                grid={k: list(v) for k, v in raw.get("grid", {}).items()},
+                random={k: dict(v) for k, v in raw.get("random", {}).items()},
+            )
+        except KeyError as missing:
+            raise ConfigError("sweep spec missing required key %s" % missing)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            raw = json.loads(text)
+        except ValueError as error:
+            raise ConfigError("sweep spec is not valid JSON: %s" % error)
+        if not isinstance(raw, dict):
+            raise ConfigError("sweep spec must be a JSON object")
+        return cls.from_dict(raw)
+
+    @classmethod
+    def load(cls, path: str) -> "SweepSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "base": dict(self.base),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "random": {k: dict(v) for k, v in self.random.items()},
+        }
+
+    def fingerprint(self) -> str:
+        """Stable digest of the spec — guards checkpoint files against being
+        resumed with a different experiment."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # -- expansion ------------------------------------------------------
+
+    def axis_values(self) -> Dict[str, List[Any]]:
+        """Every axis resolved to its concrete value list (random axes are
+        sampled deterministically from the root seed and axis name)."""
+        resolved: Dict[str, List[Any]] = {k: list(v) for k, v in self.grid.items()}
+        for axis, conf in self.random.items():
+            rng = RngStream(self.seed, "sweep", self.name, "axis", axis)
+            low = float(conf.get("low", 0.0))
+            high = float(conf.get("high", 1.0))
+            count = int(conf["count"])
+            if conf.get("kind", "uniform") == "int":
+                values = [
+                    int(rng.randint(int(low), int(high))) for _ in range(count)
+                ]
+            else:
+                values = [
+                    low + (high - low) * rng.random() for _ in range(count)
+                ]
+            resolved[axis] = values
+        return resolved
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The cartesian product of all axes, in spec order."""
+        axes = self.axis_values()
+        if not axes:
+            return [{}]
+        names = list(axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(axes[n] for n in names))
+        ]
+
+    def expand(self) -> List[TrialSpec]:
+        """The full, ordered trial list."""
+        trials: List[TrialSpec] = []
+        for point_index, point in enumerate(self.points()):
+            params = dict(self.base)
+            params.update(point)
+            for repeat in range(self.repeats):
+                spawn_key = ("sweep", self.name, point_index, repeat)
+                trials.append(
+                    TrialSpec(
+                        trial_id="%04d.%02d" % (point_index, repeat),
+                        kind=self.kind,
+                        params=params,
+                        point=point,
+                        point_index=point_index,
+                        repeat=repeat,
+                        root_seed=self.seed,
+                        spawn_key=spawn_key,
+                        seed=derive_seed(self.seed, *spawn_key),
+                    )
+                )
+        return trials
+
+    @property
+    def total_trials(self) -> int:
+        count = self.repeats
+        for values in self.axis_values().values():
+            count *= len(values)
+        return count

@@ -22,7 +22,7 @@ detected errors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.attack.orchestrator import AttackConfig, FtlRowhammerAttack
@@ -64,6 +64,17 @@ class MitigationOutcome:
     def mitigated(self) -> bool:
         """The defense held: no intelligible data escaped."""
         return self.plaintext_leaks == 0
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (sweep-engine trial records, ``--json``)."""
+        out = asdict(self)
+        out["mitigated"] = self.mitigated
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "MitigationOutcome":
+        fields = {k: v for k, v in raw.items() if k != "mitigated"}
+        return cls(**fields)
 
 
 def standard_mitigations() -> Dict[str, TestbedBuilder]:
@@ -158,11 +169,44 @@ def evaluate_all_mitigations(
     seed: int = 7,
     attack_config: Optional[AttackConfig] = None,
     names: Optional[List[str]] = None,
+    workers: int = 0,
+    store_path: Optional[str] = None,
 ) -> List[MitigationOutcome]:
-    """Grade every standard mitigation (or the named subset)."""
+    """Grade every standard mitigation (or the named subset).
+
+    Runs on the sweep engine: one trial per mitigation, fanned out over
+    ``workers`` processes (0 = serial, identical results), checkpointed to
+    ``store_path`` when given so an interrupted grid resumes.
+    """
+    from dataclasses import asdict as config_asdict
+
+    from repro.engine import EngineConfig, SweepEngine, SweepSpec
+
     catalogue = standard_mitigations()
-    selected = names or list(catalogue)
-    return [
-        evaluate_mitigation(name, catalogue[name], seed=seed, attack_config=attack_config)
-        for name in selected
-    ]
+    selected = list(names) if names else list(catalogue)
+    unknown = [name for name in selected if name not in catalogue]
+    if unknown:
+        raise KeyError("unknown mitigations: %s" % unknown)
+    base: Dict[str, object] = {"seed": seed}
+    if attack_config is not None:
+        base["attack"] = config_asdict(attack_config)
+    spec = SweepSpec(
+        name="mitigation-grid",
+        kind="mitigation",
+        seed=seed,
+        base=base,
+        grid={"mitigation": selected},
+    )
+    report = SweepEngine(
+        spec, store_path=store_path, config=EngineConfig(workers=workers)
+    ).run()
+    by_name: Dict[str, MitigationOutcome] = {}
+    for record in report.records:
+        if record["status"] != "ok":
+            raise RuntimeError(
+                "mitigation trial %s failed:\n%s"
+                % (record["trial_id"], record.get("error"))
+            )
+        outcome = MitigationOutcome.from_dict(record["result"])
+        by_name[outcome.name] = outcome
+    return [by_name[name] for name in selected]

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line front end."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -48,3 +50,77 @@ class TestCommands:
         )
         assert code == 1
         assert "no leak" in capsys.readouterr().out
+
+    def test_probability_json(self, capsys):
+        assert main(["probability", "--trials", "50000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analytic"] == pytest.approx(0.0703125)
+        assert payload["monte_carlo"] == pytest.approx(0.07, abs=0.01)
+        assert payload["trials"] == 50000
+
+
+def write_spec(tmp_path, **overrides):
+    raw = {
+        "name": "cli-sweep",
+        "kind": "monte_carlo",
+        "seed": 7,
+        "repeats": 1,
+        "base": {"trials": 5000, "physical_blocks": 16384},
+        "grid": {"victim_spray_fraction": [0.1, 0.25, 0.5, 1.0]},
+    }
+    raw.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(raw))
+    return str(path)
+
+
+class TestSweepCommand:
+    def test_four_trial_sweep_serial(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        assert main(["sweep", spec, "--workers", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "4 trials — 4 ok, 0 failed" in out
+        assert (tmp_path / "spec.results.jsonl").exists()
+
+    def test_json_output_serial_vs_pool_identical(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        assert main(["sweep", spec, "--workers", "0", "--json",
+                     "--out", str(tmp_path / "a.jsonl")]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", spec, "--workers", "2", "--json",
+                     "--out", str(tmp_path / "b.jsonl")]) == 0
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+        summary = json.loads(serial)
+        assert summary["totals"]["ok"] == 4
+
+    def test_resume_skips_completed(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        out_path = str(tmp_path / "r.jsonl")
+        assert main(["sweep", spec, "--out", out_path]) == 0
+        capsys.readouterr()
+        assert main(["sweep", spec, "--out", out_path]) == 0
+        assert "4 resumed" in capsys.readouterr().out
+
+    def test_summary_file_written(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        summary_path = tmp_path / "summary.json"
+        assert main(["sweep", spec, "--summary", str(summary_path)]) == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["name"] == "cli-sweep"
+
+    def test_failed_sweep_exit_code(self, tmp_path, capsys):
+        spec = write_spec(
+            tmp_path, kind="flaky", grid={},
+            base={"path": str(tmp_path / "flaky.log"), "fail_times": 99},
+        )
+        assert main(["sweep", spec]) == 1
+        assert "FAILED trial" in capsys.readouterr().out
+
+    def test_mitigations_json(self, capsys):
+        code = main(["mitigations", "--cycles", "2", "--spray-files", "16",
+                     "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["name"] == "baseline (no defense)" for row in rows)
+        assert all("mitigated" in row for row in rows)
