@@ -6,6 +6,7 @@ Commands:
 * ``mitigations``  — grade every §5 defense against the same attack.
 * ``probability``  — the §4.3 analysis (analytic + Monte Carlo).
 * ``sweep``        — run a declarative parameter sweep from a JSON spec.
+* ``fuzz``         — differential fuzz campaign / reproducer replay.
 * ``table1``       — re-measure Table 1's minimal flip rates.
 * ``info``         — describe the default testbed.
 """
@@ -29,6 +30,40 @@ from repro import (
 from repro.units import format_duration, format_rate, format_size
 
 
+def _check_testbed(testbed) -> int:
+    """Run the invariant layer over a testbed; returns 0 if every layer
+    holds (flip-corrupted L2P entries are exempted — they are the attack
+    working, not a simulator bug)."""
+    from repro.testkit.invariants import (
+        InvariantViolation,
+        check_dram,
+        check_ftl,
+        check_fs,
+        flip_affected_lbas,
+    )
+
+    failures = 0
+    checks = [
+        ("dram", lambda: check_dram(testbed.dram)),
+        (
+            "ftl",
+            lambda: check_ftl(
+                testbed.ftl, exempt_lbas=flip_affected_lbas(testbed.ftl)
+            ),
+        ),
+        ("ext4", lambda: check_fs(testbed.victim_fs)),
+    ]
+    for layer, run in checks:
+        try:
+            run()
+        except InvariantViolation as violation:
+            failures += 1
+            print("check %-5s FAIL: %s" % (layer, violation))
+        else:
+            print("check %-5s ok" % layer)
+    return 0 if failures == 0 else 3
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     testbed = build_cloud_testbed(seed=args.seed)
     attack = FtlRowhammerAttack(
@@ -48,9 +83,59 @@ def cmd_demo(args: argparse.Namespace) -> int:
         print("RESULT: leak — the unprivileged tenant read foreign data")
         for leak in result.leaks:
             print("  %s (%s): %r..." % (leak.source_path, leak.category, leak.data[:24]))
+        if args.check:
+            return _check_testbed(testbed)
         return 0
     print("RESULT: no leak this run (probabilistic; raise --cycles)")
+    if args.check:
+        status = _check_testbed(testbed)
+        if status:
+            return status
     return 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testkit.fuzzer import replay_trace, run_campaign
+    from repro.testkit.trace import Trace
+
+    if args.replay:
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            trace = Trace.from_json(handle.read())
+        failed = False
+        for mode in args.modes:
+            found = replay_trace(trace, mode=mode, check_every=args.check_every or 1)
+            print(
+                "%-6s replay of %d op(s): %s"
+                % (mode, len(trace), "ok" if not found else "%d divergence(s)" % len(found))
+            )
+            for divergence in found:
+                print("  %s" % divergence)
+            failed = failed or bool(found)
+        return 1 if failed else 0
+
+    report = run_campaign(
+        seed=args.seed,
+        num_ops=args.ops,
+        num_lbas=args.lbas,
+        layout=args.layout,
+        profile=args.profile,
+        modes=tuple(args.modes),
+        check_every=args.check_every,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    if report.shrunk is not None and args.repro_out:
+        with open(args.repro_out, "w", encoding="utf-8") as handle:
+            handle.write(report.shrunk.to_json())
+            handle.write("\n")
+        print("shrunk reproducer written to %s" % args.repro_out)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_mitigations(args: argparse.Namespace) -> int:
@@ -230,7 +315,40 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--cycles", type=int, default=10)
     demo.add_argument("--spray-files", type=int, default=64)
     demo.add_argument("--hammer-seconds", type=float, default=120.0)
+    demo.add_argument("--check", action="store_true",
+                      help="run the invariant layer over the final stack "
+                           "state (exit 3 on violation)")
     demo.set_defaults(func=cmd_demo)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz campaign (real stack vs reference models)",
+    )
+    fuzz.add_argument("--ops", type=int, default=500,
+                      help="operations per generated trace")
+    fuzz.add_argument("--lbas", type=int, default=192,
+                      help="logical space size (192 keeps flash tight so GC "
+                           "fires; larger spans more DRAM rows)")
+    fuzz.add_argument("--layout", choices=["linear", "hashed"], default="linear")
+    fuzz.add_argument("--profile", choices=["granite", "fragile"],
+                      default="granite",
+                      help="granite never flips (exact agreement); fragile "
+                           "flips eagerly (agreement modulo flips)")
+    fuzz.add_argument("--modes", nargs="+", choices=["scalar", "batch"],
+                      default=["scalar", "batch"],
+                      help="replay modes to run and cross-compare")
+    fuzz.add_argument("--check-every", type=int, default=50,
+                      help="full invariant checkpoint period in ops")
+    fuzz.add_argument("--out", default=None,
+                      help="write the campaign report JSON here")
+    fuzz.add_argument("--repro-out", default=None,
+                      help="write the shrunk reproducer trace here on "
+                           "divergence")
+    fuzz.add_argument("--replay", default=None, metavar="TRACE_JSON",
+                      help="replay a saved reproducer instead of generating")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print the full report as JSON")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     mitigations = sub.add_parser("mitigations", help="grade the §5 defenses")
     mitigations.add_argument("--cycles", type=int, default=6)

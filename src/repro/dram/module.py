@@ -974,6 +974,35 @@ class DramModule:
     # observability helpers
     # ------------------------------------------------------------------
 
+    def inspect(self, phys_addr: int, length: int) -> bytes:
+        """Read bytes WITHOUT touching any accounting.
+
+        No activation, no row-buffer update, no disturbance evaluation, no
+        counters: this is the oracle's window into stored state, used by the
+        invariant layer (:mod:`repro.testkit.invariants`) to compare DRAM
+        contents against reference models without perturbing the very
+        disturbance state it is checking.  Pending flips below threshold are
+        not applied either — ``inspect`` sees exactly what a refresh-
+        preserving probe would.
+        """
+        out = bytearray()
+        for bank_idx, row, column, chunk in self._segments(phys_addr, length):
+            array = self.banks[bank_idx].data_rows.get(row)
+            if array is None:
+                out += b"\x00" * chunk
+            else:
+                out += array[column : column + chunk].tobytes()
+        return bytes(out)
+
+    def check(self) -> None:
+        """Verify the module's internal invariants (refresh-window
+        accounting, flip-event plausibility).  Raises
+        :class:`~repro.testkit.invariants.InvariantViolation` on breakage.
+        """
+        from repro.testkit.invariants import check_dram
+
+        check_dram(self)
+
     def flips_since(self, index: int) -> List[FlipEvent]:
         """Flip events appended after ``index`` (a previous len(flips))."""
         return self.flips[index:]

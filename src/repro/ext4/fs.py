@@ -584,6 +584,17 @@ class Ext4Fs:
         except (FsNotFoundError, FsPermissionError):
             return False
 
+    def check(self) -> None:
+        """Verify filesystem structural invariants: every tree walk from
+        the root parses, extent leaves pass their checksums, no two files
+        claim the same block, and every reachable block is marked allocated.
+        Performs real device reads (checking IS I/O); raises
+        :class:`~repro.testkit.invariants.InvariantViolation` on breakage.
+        """
+        from repro.testkit.invariants import check_fs
+
+        check_fs(self)
+
     # ------------------------------------------------------------------
     # layout inspection (experiments / the spray stage)
     # ------------------------------------------------------------------

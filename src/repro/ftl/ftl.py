@@ -413,8 +413,19 @@ class PageMappingFtl:
             raise ConfigError("LBA %d outside device of %d" % (lba, self.num_lbas))
 
     # ------------------------------------------------------------------
-    # reporting
+    # reporting & verification
     # ------------------------------------------------------------------
+
+    def check(self, exempt_lbas=()) -> None:
+        """Verify FTL structural invariants (L2P/reverse-map agreement,
+        valid-count conservation, free/sealed-pool disjointness) without
+        perturbing DRAM state.  ``exempt_lbas`` names LBAs whose entries a
+        disturbance flip legitimately corrupted; raises
+        :class:`~repro.testkit.invariants.InvariantViolation` otherwise.
+        """
+        from repro.testkit.invariants import check_ftl
+
+        check_ftl(self, exempt_lbas=exempt_lbas)
 
     @property
     def write_amplification(self) -> float:

@@ -59,6 +59,17 @@ class L2pTable:
         """Table slot holding the entry for ``lba``."""
         raise NotImplementedError
 
+    def lba_of_slot(self, slot: int) -> int:
+        """Inverse of :meth:`slot_of` (layouts are bijections).
+
+        The differential oracle uses this to name the LBA whose mapping a
+        DRAM flip at a given table offset corrupted.  The result may fall
+        outside the device's logical space for layouts whose table is
+        larger than ``num_lbas`` (the hashed table rounds up to a power of
+        two); callers filter those padding slots.
+        """
+        raise NotImplementedError
+
     def entry_address(self, lba: int) -> int:
         """Physical DRAM byte address of the entry for ``lba``.
 
@@ -89,6 +100,19 @@ class L2pTable:
         — this is the access the rowhammer workload multiplies.
         """
         raw = self.memory.read(self.entry_address(lba), ENTRY_BYTES)
+        (ppa,) = _ENTRY.unpack(raw)
+        return None if ppa == UNMAPPED else ppa
+
+    def peek(self, lba: int) -> Optional[int]:
+        """Side-effect-free :meth:`lookup` straight from DRAM storage.
+
+        Bypasses the FTL CPU cache and every activation/disturbance hook
+        (see :meth:`repro.dram.module.DramModule.inspect`); the cache is
+        write-through, so DRAM is always authoritative.  This is what the
+        invariant layer reads so that *checking* the table does not hammer
+        it.
+        """
+        raw = self.memory.dram.inspect(self.entry_address(lba), ENTRY_BYTES)
         (ppa,) = _ENTRY.unpack(raw)
         return None if ppa == UNMAPPED else ppa
 
@@ -162,6 +186,11 @@ class LinearL2p(L2pTable):
         self._check_lba(lba)
         return lba
 
+    def lba_of_slot(self, slot: int) -> int:
+        if not 0 <= slot < self.num_lbas:
+            raise ConfigError("slot %d outside table of %d" % (slot, self.num_lbas))
+        return slot
+
     def _slots_array(self, lbas: np.ndarray) -> np.ndarray:
         return lbas
 
@@ -184,10 +213,18 @@ class HashedL2p(L2pTable):
         self.key = key
         self._multiplier = (key | 1) & (num_lbas - 1) or 1
         self._tweak = (key >> 17) & (num_lbas - 1)
+        # Odd multipliers are units mod 2^k, so the permutation inverts
+        # exactly; the oracle maps corrupted slots back to their LBAs.
+        self._inverse_multiplier = pow(self._multiplier, -1, num_lbas)
 
     def slot_of(self, lba: int) -> int:
         self._check_lba(lba)
         return ((lba * self._multiplier) & (self.num_lbas - 1)) ^ self._tweak
+
+    def lba_of_slot(self, slot: int) -> int:
+        if not 0 <= slot < self.num_lbas:
+            raise ConfigError("slot %d outside table of %d" % (slot, self.num_lbas))
+        return ((slot ^ self._tweak) * self._inverse_multiplier) & (self.num_lbas - 1)
 
     def _slots_array(self, lbas: np.ndarray) -> np.ndarray:
         # multiplier and mask both fit well inside int64, so the wrapped

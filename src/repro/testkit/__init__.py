@@ -1,0 +1,76 @@
+"""Differential oracle, invariant layer, and deterministic workload fuzzer.
+
+The paper's attack chain rests on subtle cross-layer correctness: a flipped
+L2P entry must redirect reads exactly as §3 predicts, and mitigation layers
+must change outcomes only in the ways §5 claims.  After the vectorized
+batch engine (PR 1) and the parallel sweep engine (PR 2) the repo holds two
+independent implementations of several hot paths; this package is the
+machine-checked backstop that keeps them honest:
+
+* :mod:`repro.testkit.fixtures` — the shared small-stack builder and DRAM
+  profiles (GRANITE never flips, FRAGILE flips eagerly) used by tests,
+  examples, and the fuzzer.
+* :mod:`repro.testkit.reference` — deliberately naive reference models
+  (dict L2P shadow, logical-block shadow store, per-row disturbance
+  accumulator) that mirror every NVMe read/write/trim.
+* :mod:`repro.testkit.invariants` — ``check()`` implementations for the
+  FTL, the DRAM module, and the ext4 filesystem, callable from tests and
+  from the CLI ``--check`` flag.
+* :mod:`repro.testkit.trace` — seeded, JSON-serializable operation traces.
+* :mod:`repro.testkit.oracle` — replays one trace through the real stack
+  (scalar and batch variants) and the reference models, reporting any
+  divergence.
+* :mod:`repro.testkit.fuzzer` — campaign driver: generate, replay, and on
+  divergence auto-shrink to a minimal reproducer
+  (``python -m repro fuzz --replay <trace.json>``).
+"""
+
+from repro.testkit.fixtures import (
+    FRAGILE,
+    GRANITE,
+    SMALL_DRAM,
+    SMALL_FLASH,
+    build_stack,
+)
+from repro.testkit.invariants import (
+    InvariantViolation,
+    check_dram,
+    check_fs,
+    check_ftl,
+    check_stack,
+    flip_affected_lbas,
+)
+from repro.testkit.oracle import DifferentialOracle, Divergence
+from repro.testkit.reference import (
+    DisturbanceAccumulator,
+    ShadowL2p,
+    ShadowStore,
+)
+from repro.testkit.trace import Op, Trace, generate_trace
+from repro.testkit.fuzzer import CampaignReport, replay_trace, run_campaign, shrink_trace
+
+__all__ = [
+    "CampaignReport",
+    "DifferentialOracle",
+    "DisturbanceAccumulator",
+    "Divergence",
+    "FRAGILE",
+    "GRANITE",
+    "InvariantViolation",
+    "Op",
+    "SMALL_DRAM",
+    "SMALL_FLASH",
+    "ShadowL2p",
+    "ShadowStore",
+    "Trace",
+    "build_stack",
+    "check_dram",
+    "check_fs",
+    "check_ftl",
+    "check_stack",
+    "flip_affected_lbas",
+    "generate_trace",
+    "replay_trace",
+    "run_campaign",
+    "shrink_trace",
+]

@@ -1,0 +1,302 @@
+"""Deterministic fuzz campaigns: generate, replay, shrink, report.
+
+The pipeline (also behind ``python -m repro fuzz``):
+
+1. :func:`generate_trace` draws a seeded workload.
+2. :func:`replay_trace` runs it through the :class:`DifferentialOracle`
+   in one replay mode; any divergence means the real stack and the
+   twenty-line reference models disagree.
+3. On divergence, :func:`shrink_trace` delta-debugs the op list down to
+   a minimal still-failing reproducer (classic ddmin), which
+   :func:`run_campaign` embeds in its report for
+   ``python -m repro fuzz --replay <trace.json>``.
+
+Everything here is deterministic: no wall clock, no global RNG — the
+same seed yields byte-identical :meth:`CampaignReport.to_json` output on
+every run, which CI exploits to diff two independent executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.testkit.oracle import (
+    MODES,
+    NSID,
+    DifferentialOracle,
+    Divergence,
+    build_stack_for,
+)
+from repro.testkit.trace import Trace, generate_trace
+
+#: What a campaign asserts, recorded in every report.
+INVARIANTS_CHECKED = (
+    "read-payload agreement with the shadow store (modulo injected flips)",
+    "mapped-LBA set agreement with the shadow L2P (modulo injected flips)",
+    "FTL structure: L2P/reverse-map agreement, valid-count conservation, "
+    "pool disjointness (GC never loses live pages)",
+    "DRAM refresh-window accounting conserves activations",
+    "activation lower bound from the naive disturbance accumulator",
+    "scalar/batch cross-mode state agreement on flip-free profiles",
+)
+
+
+def replay_trace(
+    trace: Trace,
+    mode: str = "scalar",
+    check_every: int = 0,
+    stack_factory: Callable = build_stack_for,
+    max_divergences: int = 25,
+) -> List[Divergence]:
+    """Replay one trace in one mode; returns its divergences (empty = ok)."""
+    oracle = DifferentialOracle(
+        trace, mode=mode, check_every=check_every, stack_factory=stack_factory
+    )
+    return oracle.run(max_divergences=max_divergences)
+
+
+def shrink_trace(
+    trace: Trace,
+    fails: Optional[Callable[[Trace], bool]] = None,
+    mode: str = "scalar",
+    stack_factory: Callable = build_stack_for,
+) -> Trace:
+    """Delta-debug a failing trace to a minimal still-failing one.
+
+    ``fails`` is the oracle predicate (default: "replay in ``mode``
+    reports at least one divergence").  Classic ddmin over the op list:
+    repeatedly try dropping chunks, halving the chunk size whenever no
+    chunk can go, until single ops are irreducible.  Every subset of a
+    trace is itself a valid trace, so no repair step is needed.
+    """
+    if fails is None:
+
+        def fails(candidate: Trace) -> bool:
+            return bool(
+                replay_trace(
+                    candidate,
+                    mode=mode,
+                    check_every=1,
+                    stack_factory=stack_factory,
+                    max_divergences=1,
+                )
+            )
+
+    if not fails(trace):
+        raise ValueError("shrink_trace needs a failing trace to start from")
+
+    indices = list(range(len(trace.ops)))
+    granularity = 2
+    while len(indices) >= 2:
+        chunk = max(1, len(indices) // granularity)
+        reduced = False
+        start = 0
+        while start < len(indices):
+            candidate = indices[:start] + indices[start + chunk :]
+            if candidate and fails(trace.subset(candidate)):
+                indices = candidate
+                # Keep the granularity: the complement of a removable
+                # chunk often contains more removable chunks of the
+                # same size.
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(indices), granularity * 2)
+    return trace.subset(indices)
+
+
+@dataclass
+class CampaignReport:
+    """Deterministic summary of one fuzz campaign.
+
+    ``to_json`` output is byte-identical across runs of the same
+    campaign: it contains no timestamps, host names, or object ids.
+    """
+
+    seed: int
+    num_ops: int
+    num_lbas: int
+    layout: str
+    profile: str
+    modes: Tuple[str, ...]
+    divergences: Dict[str, List[Divergence]] = field(default_factory=dict)
+    shrunk: Optional[Trace] = None
+    #: Replay mode the shrunk reproducer diverges in ("cross-mode" when
+    #: only the scalar-vs-batch state diff failed).
+    shrunk_mode: Optional[str] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(self.divergences.values())
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(len(found) for found in self.divergences.values())
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        payload = {
+            "seed": self.seed,
+            "num_ops": self.num_ops,
+            "num_lbas": self.num_lbas,
+            "layout": self.layout,
+            "profile": self.profile,
+            "modes": list(self.modes),
+            "ok": self.ok,
+            "invariants_checked": list(INVARIANTS_CHECKED),
+            "stats": dict(self.stats),
+            "divergences": {
+                mode: [d.to_dict() for d in found]
+                for mode, found in self.divergences.items()
+            },
+            "shrunk_reproducer": (
+                None if self.shrunk is None else json.loads(self.shrunk.to_json())
+            ),
+            "shrunk_mode": self.shrunk_mode,
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        lines = [
+            "fuzz campaign: seed=%d ops=%d lbas=%d layout=%s profile=%s"
+            % (self.seed, self.num_ops, self.num_lbas, self.layout, self.profile)
+        ]
+        for mode in self.modes:
+            found = self.divergences.get(mode, [])
+            lines.append(
+                "  %-6s replay: %s"
+                % (mode, "ok" if not found else "%d divergence(s)" % len(found))
+            )
+            for divergence in found[:5]:
+                lines.append("    %s" % divergence)
+        for name, value in sorted(self.stats.items()):
+            lines.append("  %s: %d" % (name, value))
+        if self.shrunk is not None:
+            lines.append(
+                "  shrunk reproducer: %d op(s), diverges in %s mode "
+                "(replay with --replay)" % (len(self.shrunk), self.shrunk_mode)
+            )
+        return "\n".join(lines)
+
+
+def _cross_mode_compare(
+    trace: Trace,
+    oracles: Dict[str, DifferentialOracle],
+) -> List[Divergence]:
+    """Directly diff the final device state of two replay modes.
+
+    Only meaningful on flip-free profiles: with flips the two replays
+    hammer different physical schedules and may legitimately corrupt
+    different entries.
+    """
+    modes = [m for m in MODES if m in oracles]
+    if len(modes) < 2:
+        return []
+    first, second = oracles[modes[0]], oracles[modes[1]]
+    if first.dram.flips or second.dram.flips:
+        return []
+    found: List[Divergence] = []
+    for lba in range(trace.num_lbas):
+        mapped_a = first.ftl.l2p.peek(lba) is not None
+        mapped_b = second.ftl.l2p.peek(lba) is not None
+        if mapped_a != mapped_b:
+            found.append(
+                Divergence(
+                    None,
+                    "cross-mode",
+                    "%s maps the LBA but %s does not" % (
+                        modes[0] if mapped_a else modes[1],
+                        modes[1] if mapped_a else modes[0],
+                    ),
+                    lba,
+                )
+            )
+            continue
+        if not mapped_a:
+            continue
+        data_a = first.controller.read(NSID, lba)
+        data_b = second.controller.read(NSID, lba)
+        if data_a != data_b:
+            found.append(
+                Divergence(
+                    None,
+                    "cross-mode",
+                    "payloads differ: %s... vs %s..."
+                    % (data_a[:8].hex(), data_b[:8].hex()),
+                    lba,
+                )
+            )
+    return found
+
+
+def run_campaign(
+    seed: int,
+    num_ops: int,
+    num_lbas: int = 192,
+    layout: str = "linear",
+    profile: str = "granite",
+    modes: Sequence[str] = MODES,
+    check_every: int = 50,
+    shrink: bool = True,
+    stack_factory: Callable = build_stack_for,
+) -> CampaignReport:
+    """Generate one seeded trace, replay it in every mode, shrink on
+    divergence; returns the (deterministic) report."""
+    trace = generate_trace(
+        seed, num_ops, num_lbas=num_lbas, layout=layout, profile=profile
+    )
+    report = CampaignReport(
+        seed=seed,
+        num_ops=len(trace),
+        num_lbas=num_lbas,
+        layout=layout,
+        profile=profile,
+        modes=tuple(modes),
+    )
+    oracles: Dict[str, DifferentialOracle] = {}
+    for mode in modes:
+        oracle = DifferentialOracle(
+            trace, mode=mode, check_every=check_every, stack_factory=stack_factory
+        )
+        report.divergences[mode] = oracle.run()
+        oracles[mode] = oracle
+        report.stats["%s_flips" % mode] = len(oracle.dram.flips)
+        report.stats["%s_gc_collections" % mode] = oracle.ftl.gc_stats.collections
+        report.stats["%s_activations" % mode] = (
+            oracle.dram.metrics.counter("activations").value
+        )
+    cross = _cross_mode_compare(trace, oracles)
+    if cross:
+        report.divergences["cross-mode"] = cross
+
+    if shrink and not report.ok:
+        failing_mode = next(
+            (mode for mode in modes if report.divergences.get(mode)), None
+        )
+        if failing_mode is not None:
+            report.shrunk = shrink_trace(
+                trace, mode=failing_mode, stack_factory=stack_factory
+            )
+            report.shrunk_mode = failing_mode
+        elif cross:
+            # Only the cross-mode diff failed: shrink against it.
+            def cross_fails(candidate: Trace) -> bool:
+                pair = {
+                    mode: DifferentialOracle(
+                        candidate, mode=mode, stack_factory=stack_factory
+                    )
+                    for mode in modes
+                }
+                for oracle in pair.values():
+                    oracle.run()
+                return bool(_cross_mode_compare(candidate, pair))
+
+            report.shrunk = shrink_trace(trace, fails=cross_fails)
+            report.shrunk_mode = "cross-mode"
+    return report

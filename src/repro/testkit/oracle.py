@@ -1,0 +1,295 @@
+"""Differential oracle: replay one trace through the real stack and the
+naive reference models, report every disagreement.
+
+The oracle owns one real device stack (built from the trace's recipe via
+:func:`repro.testkit.fixtures.build_stack`) and one set of reference
+models (:mod:`repro.testkit.reference`).  Each op is applied to both;
+payload mismatches surface immediately, structural state (mapped-LBA
+sets, invariants, activation bounds) is compared at checkpoints and at
+end of trace.
+
+Flips are not bugs: under a vulnerable profile the attack corrupting L2P
+entries is the simulated physics working as the paper describes.  Every
+comparison is therefore made *modulo* :func:`flip_affected_lbas` — the
+entries whose corruption is attributable to a recorded disturbance flip.
+A wrong answer on any other LBA is a real divergence.
+
+Two replay modes exercise the two implementations of the I/O paths:
+
+* ``scalar`` — every command goes through :meth:`NvmeController.read`/
+  ``write``/``trim`` one LBA at a time.
+* ``batch`` — writes go through :meth:`write_burst`, trims through
+  :meth:`trim_burst` (the vectorized engine); reads stay scalar because
+  the batch read path (:meth:`read_burst`) is the data-less hammer fast
+  path.  Hammer ops use :meth:`read_burst` in both modes.
+
+On a flip-free profile the two modes must land in identical logical
+state — the batch-equivalence guarantee PR 1 pinned for hand-written
+cases, here extended to arbitrary generated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.testkit import fixtures
+from repro.testkit.invariants import (
+    InvariantViolation,
+    check_dram,
+    check_ftl,
+    flip_affected_lbas,
+)
+from repro.testkit.reference import (
+    DisturbanceAccumulator,
+    ShadowL2p,
+    ShadowStore,
+)
+from repro.testkit.trace import Op, Trace, payload_for
+
+#: Profile names a trace may reference -> fixture profiles.
+PROFILES = {"granite": fixtures.GRANITE, "fragile": fixtures.FRAGILE}
+
+#: The single namespace the oracle attaches over the whole device.
+NSID = 1
+
+MODES = ("scalar", "batch")
+
+
+@dataclass
+class Divergence:
+    """One disagreement between the real stack and a reference model."""
+
+    op_index: Optional[int]  #: op being applied, or None for final checks
+    kind: str  #: read-payload | write-unmapped | mapped-set | invariant | activations | op-error
+    detail: str
+    lba: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "op_index": self.op_index,
+            "kind": self.kind,
+            "detail": self.detail,
+            "lba": self.lba,
+        }
+
+    def __str__(self) -> str:
+        where = "op %s" % self.op_index if self.op_index is not None else "end"
+        target = " (LBA %d)" % self.lba if self.lba is not None else ""
+        return "[%s] %s%s: %s" % (where, self.kind, target, self.detail)
+
+
+def build_stack_for(trace: Trace):
+    """Real stack matching a trace's recipe; returns (controller, dram, ftl)
+    with one namespace covering the whole logical space."""
+    try:
+        profile = PROFILES[trace.profile]
+    except KeyError:
+        raise ValueError(
+            "trace names unknown profile %r (have %s)"
+            % (trace.profile, sorted(PROFILES))
+        ) from None
+    controller, dram, ftl = fixtures.build_stack(
+        profile=profile,
+        seed=trace.seed,
+        num_lbas=trace.num_lbas,
+        layout=trace.layout,
+    )
+    controller.create_namespace(NSID, 0, trace.num_lbas)
+    return controller, dram, ftl
+
+
+class DifferentialOracle:
+    """Replays a trace against the stack and the reference models.
+
+    ``stack_factory`` (trace -> (controller, dram, ftl)) exists so tests
+    can substitute a deliberately broken stack — the mutation check in
+    the acceptance criteria monkeypatches an off-by-one through it.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        mode: str = "scalar",
+        check_every: int = 0,
+        stack_factory: Callable = build_stack_for,
+    ):
+        if mode not in MODES:
+            raise ValueError("unknown replay mode %r (have %s)" % (mode, MODES))
+        self.trace = trace
+        self.mode = mode
+        self.check_every = check_every
+        self.controller, self.dram, self.ftl = stack_factory(trace)
+        self.page_bytes = self.ftl.page_bytes
+        self.shadow_l2p = ShadowL2p(trace.num_lbas)
+        self.store = ShadowStore(trace.num_lbas, self.page_bytes)
+        self.accumulator = DisturbanceAccumulator()
+        self.divergences: List[Divergence] = []
+        self._amplification = self.controller.timing.hammer_amplification
+
+    # -- replay ---------------------------------------------------------
+
+    def run(self, max_divergences: int = 25) -> List[Divergence]:
+        """Replay every op; returns the divergence list (empty = agreement).
+
+        Stops early once ``max_divergences`` accumulated — a broken stack
+        diverges on nearly every op and the first few tell the story.
+        """
+        for index, op in enumerate(self.trace.ops):
+            try:
+                self._apply(index, op)
+            except InvariantViolation:
+                raise
+            except Exception as exc:  # a crash is a divergence, not an abort
+                self._report(index, "op-error", "%s: %s" % (type(exc).__name__, exc))
+            if self.check_every and (index + 1) % self.check_every == 0:
+                self.checkpoint(index)
+            if len(self.divergences) >= max_divergences:
+                return self.divergences
+        self.checkpoint(None)
+        return self.divergences
+
+    def _apply(self, index: int, op: Op) -> None:
+        if op.kind == "read":
+            for lba in op.lbas:
+                self._one_read(index, lba)
+        elif op.kind == "write":
+            payloads = [
+                payload_for(lba, fill, self.page_bytes)
+                for lba, fill in zip(op.lbas, op.fills)
+            ]
+            if self.mode == "batch":
+                self.controller.write_burst(NSID, op.lbas, payloads)
+            else:
+                for lba, data in zip(op.lbas, payloads):
+                    self.controller.write(NSID, lba, data)
+            self._account_entry_accesses(op.lbas)
+            exempt = self.exempt_lbas()
+            for lba, data in zip(op.lbas, payloads):
+                self.store.write(lba, data)
+                ppa = self.ftl.l2p.peek(lba)
+                if ppa is None and lba not in exempt:
+                    self._report(
+                        index,
+                        "write-unmapped",
+                        "write completed but the L2P entry is unmapped",
+                        lba,
+                    )
+                else:
+                    self.shadow_l2p.update(lba, -1 if ppa is None else ppa)
+        elif op.kind == "trim":
+            if self.mode == "batch":
+                self.controller.trim_burst(NSID, op.lbas)
+            else:
+                for lba in op.lbas:
+                    self.controller.trim(NSID, lba)
+            self._account_entry_accesses(op.lbas)
+            for lba in op.lbas:
+                self.store.trim(lba)
+                self.shadow_l2p.clear(lba)
+        elif op.kind == "hammer":
+            self.controller.read_burst(NSID, op.lbas, repeats=max(op.repeats, 1))
+            self._account_hammer(op)
+        else:  # pragma: no cover - Op.__post_init__ rejects unknown kinds
+            raise ValueError("unknown op kind %r" % op.kind)
+
+    def _one_read(self, index: int, lba: int) -> None:
+        try:
+            real = self.controller.read(NSID, lba)
+        except Exception as exc:
+            if lba not in self.exempt_lbas():
+                self._report(
+                    index,
+                    "op-error",
+                    "read raised %s: %s" % (type(exc).__name__, exc),
+                    lba,
+                )
+            return
+        finally:
+            self._account_entry_accesses([lba])
+        expected = self.store.read(lba)
+        if expected is None:
+            expected = b"\x00" * self.page_bytes
+        if real != expected and lba not in self.exempt_lbas():
+            self._report(
+                index,
+                "read-payload",
+                "device returned %s..., reference holds %s..."
+                % (real[:8].hex(), expected[:8].hex()),
+                lba,
+            )
+
+    # -- activation accounting ------------------------------------------
+
+    def _entry_row(self, lba: int) -> Tuple[int, int]:
+        coords = self.dram.mapping.locate(self.ftl.l2p.entry_address(lba))
+        return coords.bank, coords.row
+
+    def _account_entry_accesses(self, lbas) -> None:
+        """One naive L2P access per command: the lower bound every real
+        configuration must meet (GC, gathers, and staging only add)."""
+        self.accumulator.access_run(self._entry_row(lba) for lba in lbas)
+
+    def _account_hammer(self, op: Op) -> None:
+        # Mirror the burst engine: collapse the per-LBA entry rows into
+        # the repeating activation pattern; a single-row pattern is all
+        # row-buffer hits and activates nothing.
+        pattern: List[Tuple[int, int]] = []
+        for lba in op.lbas:
+            pair = self._entry_row(lba)
+            if not pattern or pattern[-1] != pair:
+                pattern.append(pair)
+        if len(set(pattern)) < 2:
+            return
+        total = max(op.repeats, 1) * len(op.lbas) * self._amplification
+        base, extra = divmod(total, len(pattern))
+        for position, (bank, row) in enumerate(pattern):
+            self.accumulator.bulk(bank, row, base + (1 if position < extra else 0))
+
+    # -- state comparison -----------------------------------------------
+
+    def exempt_lbas(self) -> FrozenSet[int]:
+        """LBAs excused from agreement because a recorded flip hit their
+        L2P entry (plus, transitively, nothing else — data-page flips are
+        impossible here: payloads live in flash, not DRAM)."""
+        return flip_affected_lbas(self.ftl)
+
+    def checkpoint(self, index: Optional[int]) -> List[Divergence]:
+        """Full-state comparison: invariants, mapped-set agreement, and
+        the activation lower bound."""
+        exempt = self.exempt_lbas()
+        try:
+            check_dram(self.dram)
+            check_ftl(self.ftl, exempt_lbas=exempt)
+        except InvariantViolation as violation:
+            self._report(index, "invariant", str(violation))
+
+        real_mapped = {
+            lba
+            for lba in range(self.trace.num_lbas)
+            if self.ftl.l2p.peek(lba) is not None
+        }
+        shadow_mapped = set(self.shadow_l2p.mapped_lbas())
+        for lba in sorted((real_mapped - shadow_mapped) - exempt):
+            self._report(
+                index, "mapped-set", "device maps an LBA the reference trimmed", lba
+            )
+        for lba in sorted((shadow_mapped - real_mapped) - exempt):
+            self._report(
+                index, "mapped-set", "device lost a mapping the reference holds", lba
+            )
+
+        real_acts = self.dram.metrics.counter("activations").value
+        if real_acts < self.accumulator.total:
+            self._report(
+                index,
+                "activations",
+                "device recorded %d activations but the workload implies "
+                "at least %d" % (real_acts, self.accumulator.total),
+            )
+        return self.divergences
+
+    def _report(
+        self, index: Optional[int], kind: str, detail: str, lba: Optional[int] = None
+    ) -> None:
+        self.divergences.append(Divergence(index, kind, detail, lba))

@@ -1,0 +1,145 @@
+"""Naive reference models the real stack is differenced against.
+
+Each model is a deliberately simple, independent reimplementation of one
+contract the device stack must honour.  They know nothing about flash
+geometry, garbage collection, write buffers, caches, or numpy batch paths —
+which is the point: if the real stack and a twenty-line dict model disagree
+about what a read returns, the real stack has a bug (or a genuine injected
+disturbance flip, which the oracle accounts for separately).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class ShadowL2p:
+    """Plain-dict shadow of the L2P mapping: LBA -> PPA.
+
+    Mirrors exactly the mapping *semantics* (update, trim, lookup); it has
+    no layout, no DRAM, and therefore no way to be hammered.  Agreement
+    with the real table — modulo entries corrupted by injected flips — is
+    the core FTL invariant.
+    """
+
+    def __init__(self, num_lbas: int):
+        self.num_lbas = num_lbas
+        self._map: Dict[int, int] = {}
+
+    def update(self, lba: int, ppa: int) -> None:
+        self._check(lba)
+        self._map[lba] = ppa
+
+    def clear(self, lba: int) -> None:
+        self._check(lba)
+        self._map.pop(lba, None)
+
+    def lookup(self, lba: int) -> Optional[int]:
+        self._check(lba)
+        return self._map.get(lba)
+
+    def mapped_lbas(self) -> List[int]:
+        return sorted(self._map)
+
+    def _check(self, lba: int) -> None:
+        if not 0 <= lba < self.num_lbas:
+            raise ValueError("shadow L2P: LBA %d outside %d" % (lba, self.num_lbas))
+
+
+class ShadowStore:
+    """Shadow logical-block store: the host-visible contract of the device.
+
+    ``write`` stores the payload, ``trim`` forgets it, ``read`` returns the
+    last write (or None when the device may answer with its unmapped
+    pattern).  The real stack routes the same bytes through flash pages,
+    GC relocation, and the L2P table; any payload mismatch on a read is a
+    correctness bug in that machinery.
+    """
+
+    def __init__(self, num_lbas: int, page_bytes: int):
+        self.num_lbas = num_lbas
+        self.page_bytes = page_bytes
+        self._data: Dict[int, bytes] = {}
+
+    def write(self, lba: int, data: bytes) -> None:
+        self._check(lba)
+        if len(data) != self.page_bytes:
+            raise ValueError(
+                "shadow store: payload must be %d bytes, got %d"
+                % (self.page_bytes, len(data))
+            )
+        self._data[lba] = bytes(data)
+
+    def trim(self, lba: int) -> None:
+        self._check(lba)
+        self._data.pop(lba, None)
+
+    def read(self, lba: int) -> Optional[bytes]:
+        """Expected payload, or None when the LBA holds no data (the device
+        then answers zeros without touching flash)."""
+        self._check(lba)
+        return self._data.get(lba)
+
+    def written_lbas(self) -> List[int]:
+        return sorted(self._data)
+
+    def _check(self, lba: int) -> None:
+        if not 0 <= lba < self.num_lbas:
+            raise ValueError("shadow store: LBA %d outside %d" % (lba, self.num_lbas))
+
+
+class DisturbanceAccumulator:
+    """Naive per-row activation accumulator with open-row collapsing.
+
+    The real DRAM module spreads activation accounting over an exact
+    per-access path, a batched histogram path, and a closed-form hammer
+    loop.  This model reimplements only the scalar contract: an access to
+    (bank, row) activates unless that bank's row buffer already holds the
+    row.  Counts are *cumulative* (never cleared by refresh windows), so
+    they bound the module's monotonically increasing ``activations``
+    counter:
+
+    * a scalar replay with no GC and no cache must match it exactly;
+    * every other configuration does at least this much work (GC adds L2P
+      traffic, batch gathers re-probe rows), so ``real >= naive`` always.
+    """
+
+    def __init__(self):
+        #: Cumulative activations per (bank, row).
+        self.counts: Dict[Tuple[int, int], int] = {}
+        self.total = 0
+        self._open_rows: Dict[int, int] = {}
+
+    def access(self, bank: int, row: int) -> bool:
+        """Account one access; returns True when it activated the row."""
+        if self._open_rows.get(bank) == row:
+            return False
+        self._open_rows[bank] = row
+        key = (bank, row)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total += 1
+        return True
+
+    def access_run(self, pairs: Iterable[Tuple[int, int]]) -> int:
+        """Account an in-order run of (bank, row) accesses; returns the
+        number of activations after open-row collapsing."""
+        activated = 0
+        for bank, row in pairs:
+            if self.access(bank, row):
+                activated += 1
+        return activated
+
+    def bulk(self, bank: int, row: int, count: int) -> None:
+        """Account ``count`` guaranteed activations of one row (the hammer
+        fast path pre-collapses its pattern, so every access activates).
+        Leaves the open-row state untouched, as the closed-form hammer
+        does."""
+        if count < 0:
+            raise ValueError("activation count cannot be negative")
+        if count:
+            key = (bank, row)
+            self.counts[key] = self.counts.get(key, 0) + count
+            self.total += count
+
+    def touched_rows(self) -> List[Tuple[int, int]]:
+        return sorted(self.counts)

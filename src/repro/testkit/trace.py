@@ -1,0 +1,199 @@
+"""Seeded, JSON-serializable workload traces.
+
+A :class:`Trace` is a pure description of a workload: a stack recipe
+(profile, layout, logical-space size) plus an ordered list of operations.
+It carries no object references, so the same trace can be replayed
+through the scalar command path, the batch engine, and the naive
+reference models — and shipped around as a JSON reproducer
+(``python -m repro fuzz --replay trace.json``).
+
+Determinism rules:
+
+* :func:`generate_trace` draws only from ``random.Random(seed)`` —
+  identical (seed, num_ops, knobs) always yields the identical trace.
+* Payloads are not stored; each write carries a small ``fill`` integer
+  and :func:`payload_for` expands it (tagged with the LBA) at replay
+  time.  Two replays of one trace therefore write identical bytes.
+* Any contiguous subsequence of a trace's ops is itself a valid trace —
+  the property the delta-debugging shrinker relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+#: Operation kinds a trace may contain.
+OP_KINDS = ("read", "write", "trim", "hammer")
+
+_HEAD = struct.Struct("<IB")
+
+
+def payload_for(lba: int, fill: int, page_bytes: int) -> bytes:
+    """Deterministic page payload: LBA tag + rolling fill pattern.
+
+    The 4-byte LBA tag at offset 0 makes *misdirected* reads (the
+    paper's attack outcome) self-evident in a divergence report; the
+    rolling pattern catches partial-page corruption.
+    """
+    if page_bytes < _HEAD.size:
+        raise ValueError("page of %d bytes cannot carry the payload tag" % page_bytes)
+    head = _HEAD.pack(lba & 0xFFFFFFFF, fill & 0xFF)
+    body = bytes((fill + i) & 0xFF for i in range(page_bytes - _HEAD.size))
+    return head + body
+
+
+@dataclass
+class Op:
+    """One trace operation.
+
+    ``lbas`` is the target list (one entry per logical command).  For
+    ``write`` ops ``fills`` holds one pattern byte per LBA; for
+    ``hammer`` ops ``repeats`` is the number of read passes over
+    ``lbas`` issued through the burst engine.
+    """
+
+    kind: str
+    lbas: List[int] = field(default_factory=list)
+    fills: List[int] = field(default_factory=list)
+    repeats: int = 0
+
+    def __post_init__(self):
+        if self.kind not in OP_KINDS:
+            raise ValueError("unknown op kind %r" % self.kind)
+        if self.kind == "write" and len(self.fills) != len(self.lbas):
+            raise ValueError(
+                "write op needs one fill per LBA (%d != %d)"
+                % (len(self.fills), len(self.lbas))
+            )
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind, "lbas": list(self.lbas)}
+        if self.kind == "write":
+            out["fills"] = list(self.fills)
+        if self.kind == "hammer":
+            out["repeats"] = self.repeats
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "Op":
+        return cls(
+            kind=raw["kind"],
+            lbas=list(raw.get("lbas", ())),
+            fills=list(raw.get("fills", ())),
+            repeats=int(raw.get("repeats", 0)),
+        )
+
+
+@dataclass
+class Trace:
+    """A replayable workload: stack recipe + operation list."""
+
+    seed: int
+    num_lbas: int = 192
+    layout: str = "linear"
+    profile: str = "granite"
+    ops: List[Op] = field(default_factory=list)
+
+    def subset(self, indices: Sequence[int]) -> "Trace":
+        """A new trace keeping only the ops at ``indices`` (in order) —
+        the shrinker's primitive."""
+        return Trace(
+            seed=self.seed,
+            num_lbas=self.num_lbas,
+            layout=self.layout,
+            profile=self.profile,
+            ops=[self.ops[i] for i in indices],
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "num_lbas": self.num_lbas,
+                "layout": self.layout,
+                "profile": self.profile,
+                "ops": [op.to_dict() for op in self.ops],
+            },
+            indent=indent,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        raw = json.loads(text)
+        return cls(
+            seed=int(raw["seed"]),
+            num_lbas=int(raw.get("num_lbas", 192)),
+            layout=raw.get("layout", "linear"),
+            profile=raw.get("profile", "granite"),
+            ops=[Op.from_dict(op) for op in raw.get("ops", ())],
+        )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def generate_trace(
+    seed: int,
+    num_ops: int,
+    num_lbas: int = 192,
+    layout: str = "linear",
+    profile: str = "granite",
+    hot_fraction: float = 0.25,
+    max_batch: int = 8,
+    hammer_repeats: int = 12,
+) -> Trace:
+    """Draw a seeded random workload.
+
+    The op mix is tuned to exercise the paths the oracle guards: a small
+    *hot set* (``hot_fraction`` of the logical space) absorbs most
+    writes, so blocks fill with stale pages and garbage collection fires
+    within a few hundred ops; trims punch holes; hammer ops drive the
+    read-burst fast path over L2P-adjacent LBAs.
+    """
+    if num_ops < 0:
+        raise ValueError("num_ops cannot be negative")
+    rng = random.Random(seed)
+    hot = max(1, int(num_lbas * hot_fraction))
+    hot_set = rng.sample(range(num_lbas), hot)
+    ops: List[Op] = []
+
+    def pick_lbas(count: int) -> List[int]:
+        # 70% of targets come from the hot set: overwrites create the
+        # stale pages GC needs to have something to collect.
+        return [
+            rng.choice(hot_set) if rng.random() < 0.7 else rng.randrange(num_lbas)
+            for _ in range(count)
+        ]
+
+    for _ in range(num_ops):
+        roll = rng.random()
+        count = rng.randint(1, max_batch)
+        if roll < 0.40:
+            lbas = pick_lbas(count)
+            ops.append(
+                Op(
+                    kind="write",
+                    lbas=lbas,
+                    fills=[rng.randrange(256) for _ in lbas],
+                )
+            )
+        elif roll < 0.75:
+            ops.append(Op(kind="read", lbas=pick_lbas(count)))
+        elif roll < 0.90:
+            ops.append(Op(kind="trim", lbas=pick_lbas(count)))
+        else:
+            # Aggressor set: a run of consecutive LBAs whose L2P entries
+            # straddle DRAM rows, hammered for a few passes.
+            start = rng.randrange(num_lbas)
+            span = [(start + i) % num_lbas for i in range(min(count + 1, num_lbas))]
+            ops.append(
+                Op(kind="hammer", lbas=span, repeats=rng.randint(2, hammer_repeats))
+            )
+    return Trace(
+        seed=seed, num_lbas=num_lbas, layout=layout, profile=profile, ops=ops
+    )

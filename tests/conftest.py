@@ -1,91 +1,19 @@
-"""Shared fixtures: a small full device stack (DRAM + flash + FTL + NVMe)."""
+"""Shared fixtures: a small full device stack (DRAM + flash + FTL + NVMe).
+
+The profiles and the stack builder live in :mod:`repro.testkit.fixtures`
+so examples and the workload fuzzer share them; this module re-exports
+them for the test suite (existing tests import from ``tests.conftest``).
+"""
 
 import pytest
 
-from repro.dram import (
-    CacheMode,
-    DramGeometry,
-    DramModule,
-    FtlCpuCache,
-    GenerationProfile,
-    VulnerabilityModel,
+from repro.testkit.fixtures import (  # noqa: F401  (re-exported fixtures)
+    FRAGILE,
+    GRANITE,
+    SMALL_DRAM,
+    SMALL_FLASH,
+    build_stack,
 )
-from repro.flash import FlashArray, FlashGeometry
-from repro.ftl import FtlConfig, PageMappingFtl
-from repro.nvme import DeviceTimingModel, NvmeController
-from repro.sim import SimClock
-
-#: DRAM profile that never flips — for functional tests.
-GRANITE = GenerationProfile(name="granite", year=2021, ddr_type="T", min_rate_kps=1e9)
-
-#: DRAM profile that flips after ~64 hammer accesses per window, with every
-#: row vulnerable — for attack-path tests.
-FRAGILE = GenerationProfile(
-    name="fragile",
-    year=2021,
-    ddr_type="T",
-    min_rate_kps=1.0,
-    row_vulnerable_fraction=1.0,
-    mean_weak_cells=4.0,
-    threshold_spread=0.2,
-)
-
-SMALL_FLASH = FlashGeometry(
-    channels=2,
-    chips_per_channel=1,
-    planes_per_chip=1,
-    blocks_per_plane=16,
-    pages_per_block=8,
-    page_bytes=512,
-)
-
-SMALL_DRAM = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
-
-
-def build_stack(
-    profile=GRANITE,
-    seed=1,
-    num_lbas=192,
-    flash_geometry=None,
-    dram_geometry=SMALL_DRAM,
-    cache_mode=CacheMode.NONE,
-    layout="linear",
-    timing=None,
-    rate_limiter=None,
-    trr=None,
-    para=None,
-    ecc=False,
-    mapping=None,
-):
-    """Assemble a complete small device; returns (controller, dram, ftl)."""
-    if flash_geometry is None:
-        if num_lbas <= 192:
-            flash_geometry = SMALL_FLASH
-        else:
-            # Enough pages for the logical space plus GC headroom.
-            blocks = -(-num_lbas // 8) + 8
-            flash_geometry = FlashGeometry(
-                channels=1,
-                chips_per_channel=1,
-                planes_per_chip=1,
-                blocks_per_plane=blocks,
-                pages_per_block=8,
-                page_bytes=512,
-            )
-    clock = SimClock()
-    vuln = VulnerabilityModel(profile, dram_geometry, seed=seed)
-    dram = DramModule(
-        dram_geometry, vuln, clock, mapping=mapping, trr=trr, para=para, ecc=ecc
-    )
-    memory = FtlCpuCache(dram, cache_mode)
-    flash = FlashArray(flash_geometry)
-    ftl = PageMappingFtl(
-        flash, memory, FtlConfig(num_lbas=num_lbas, l2p_layout=layout)
-    )
-    controller = NvmeController(
-        ftl, clock, timing=timing or DeviceTimingModel(), rate_limiter=rate_limiter
-    )
-    return controller, dram, ftl
 
 
 @pytest.fixture

@@ -234,6 +234,100 @@ class TestL2pBatchEquivalence:
             assert ftl_many.l2p.lookup(lba) == ftl_scalar.l2p.lookup(lba)
 
 
+def logical_state(controller, ftl, nsid=1):
+    """Everything the host can observe plus the FTL's bookkeeping."""
+    return {
+        "l2p": [ftl.l2p.peek(lba) for lba in range(ftl.num_lbas)],
+        "reverse": dict(ftl.reverse),
+        "valid": list(ftl.valid_count),
+        "free": sorted(ftl.free_blocks),
+        "data": [controller.read(nsid, lba) for lba in range(ftl.num_lbas)],
+    }
+
+
+class TestTrimBurstEquivalence:
+    """trim_burst / clear_many were untested against their scalar twins."""
+
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    def test_trim_burst_matches_scalar_trims(self, layout):
+        c_burst, _d1, f_burst = build_stack(layout=layout)
+        c_scalar, _d2, f_scalar = build_stack(layout=layout)
+        for controller in (c_burst, c_scalar):
+            controller.create_namespace(1, 0, 192)
+        written = [0, 1, 5, 17, 40, 41, 42, 100, 150, 191]
+        for controller, ftl in ((c_burst, f_burst), (c_scalar, f_scalar)):
+            for lba in written:
+                controller.write(1, lba, bytes([lba & 0xFF]) * ftl.page_bytes)
+        # Mix of mapped, unmapped, and duplicate targets in one burst.
+        targets = [1, 5, 5, 7, 42, 42, 150, 163]
+        c_burst.trim_burst(1, targets)
+        for lba in targets:
+            c_scalar.trim(1, lba)
+        assert logical_state(c_burst, f_burst) == logical_state(c_scalar, f_scalar)
+
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    def test_clear_many_matches_scalar_clear(self, layout):
+        _c1, _d1, ftl_many = build_stack(layout=layout)
+        _c2, _d2, ftl_scalar = build_stack(layout=layout)
+        lbas = [3, 9, 64, 120, 191]
+        ppas = [11, 29, 47, 5, 92]
+        for ftl in (ftl_many, ftl_scalar):
+            ftl.l2p.update_many(lbas, ppas)
+
+        # Duplicates and already-cleared entries must behave like the loop.
+        targets = [9, 9, 64, 2, 191]
+        ftl_many.l2p.clear_many(targets)
+        for lba in targets:
+            ftl_scalar.l2p.clear(lba)
+        for lba in range(ftl_many.num_lbas):
+            assert ftl_many.l2p.lookup(lba) == ftl_scalar.l2p.lookup(lba)
+
+        ftl_many.l2p.clear_many([])  # empty burst is a no-op, not an error
+        for lba in range(ftl_many.num_lbas):
+            assert ftl_many.l2p.lookup(lba) == ftl_scalar.l2p.lookup(lba)
+
+
+class TestBatchGcInterleaving:
+    """Batch bursts interleaved with GC pressure stay equal to a scalar
+    replay: write_burst/trim_burst trigger the same collections at the
+    same points, move the same pages, and land in the same state."""
+
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    def test_bursts_under_gc_match_scalar_replay(self, layout):
+        c_burst, _d1, f_burst = build_stack(layout=layout)
+        c_scalar, _d2, f_scalar = build_stack(layout=layout)
+        for controller in (c_burst, c_scalar):
+            controller.create_namespace(1, 0, 192)
+
+        def payloads_for(lbas, generation):
+            return [
+                bytes([(lba + generation) & 0xFF]) * f_burst.page_bytes
+                for lba in lbas
+            ]
+
+        # 16 rounds of hot-set overwrites (24 LBAs, 256 flash pages total)
+        # with trims punched between rounds: several GC collections fire
+        # mid-sequence, interleaved with the bursts that caused them.
+        hot = [lba for lba in range(0, 48, 2)]
+        for generation in range(16):
+            trims = hot[generation % 4 :: 4]
+            c_burst.write_burst(1, hot, payloads_for(hot, generation))
+            c_burst.trim_burst(1, trims)
+            for lba, data in zip(hot, payloads_for(hot, generation)):
+                c_scalar.write(1, lba, data)
+            for lba in trims:
+                c_scalar.trim(1, lba)
+            assert (
+                f_burst.gc_stats.collections == f_scalar.gc_stats.collections
+            ), "GC fired a different number of times by round %d" % generation
+
+        assert f_burst.gc_stats.collections > 0, "workload never triggered GC"
+        assert f_burst.gc_stats.moved_pages == f_scalar.gc_stats.moved_pages
+        assert logical_state(c_burst, f_burst) == logical_state(c_scalar, f_scalar)
+        f_burst.check()
+        f_scalar.check()
+
+
 class TestCheckRegionFlag:
     def find_check_region_row(self, dram):
         """A row whose weak cells include a check-region cell that flips

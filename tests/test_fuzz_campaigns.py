@@ -1,0 +1,120 @@
+"""Fuzz campaigns and the shrinker — the acceptance checks for the
+differential oracle subsystem.
+
+The ``fuzz`` marker keeps these out of the fast CI tier; they still run
+in seconds (the whole stack is a simulator).
+"""
+
+import pytest
+
+import repro.ftl.l2p as l2p_mod
+from repro.testkit.fuzzer import (
+    replay_trace,
+    run_campaign,
+    shrink_trace,
+)
+from repro.testkit.trace import Trace, generate_trace
+
+pytestmark = pytest.mark.fuzz
+
+CAMPAIGN_SEED = 2026
+CAMPAIGN_OPS = 500
+
+
+class TestCleanCampaigns:
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    def test_500_op_campaign_is_clean(self, layout):
+        report = run_campaign(
+            seed=CAMPAIGN_SEED, num_ops=CAMPAIGN_OPS, layout=layout
+        )
+        assert report.ok, report.summary()
+        assert report.total_divergences == 0
+        # The workload actually exercised the paths under test.
+        assert report.stats["scalar_gc_collections"] > 0
+        assert report.stats["batch_gc_collections"] > 0
+
+    def test_campaign_report_is_byte_identical_across_runs(self):
+        first = run_campaign(seed=CAMPAIGN_SEED, num_ops=CAMPAIGN_OPS)
+        second = run_campaign(seed=CAMPAIGN_SEED, num_ops=CAMPAIGN_OPS)
+        assert first.to_json() == second.to_json()
+
+    def test_fragile_campaign_tolerates_real_flips(self):
+        # Wide logical space -> the table spans DRAM rows -> hammer ops
+        # flip real L2P entries; agreement must hold modulo those flips.
+        report = run_campaign(
+            seed=11,
+            num_ops=CAMPAIGN_OPS,
+            num_lbas=1024,
+            layout="hashed",
+            profile="fragile",
+        )
+        assert report.ok, report.summary()
+        assert report.stats["scalar_flips"] > 0, (
+            "fragile campaign never flipped — the exemption path went untested"
+        )
+
+
+class TestMutationDetection:
+    """A deliberately injected off-by-one must be found and shrunk.
+
+    The monkeypatch is test-local (restored by the fixture); the broken
+    branch never exists in committed code.
+    """
+
+    @pytest.fixture
+    def off_by_one_l2p(self, monkeypatch):
+        original = l2p_mod.LinearL2p.slot_of
+
+        def broken(self, lba):
+            slot = original(self, lba)
+            return min(slot + 1, self.num_lbas - 1)
+
+        monkeypatch.setattr(l2p_mod.LinearL2p, "slot_of", broken)
+
+    def test_divergence_found_within_500_ops(self, off_by_one_l2p):
+        report = run_campaign(seed=42, num_ops=CAMPAIGN_OPS, shrink=False)
+        assert not report.ok
+        first_bad = min(
+            d.op_index
+            for found in report.divergences.values()
+            for d in found
+            if d.op_index is not None
+        )
+        assert first_bad < CAMPAIGN_OPS
+
+    def test_shrinks_to_at_most_10_ops(self, off_by_one_l2p):
+        report = run_campaign(seed=42, num_ops=CAMPAIGN_OPS)
+        assert report.shrunk is not None
+        assert len(report.shrunk) <= 10
+        # The shrunk trace is a self-sufficient reproducer in the mode
+        # the campaign recorded (the patched scalar path stays
+        # self-consistent; it is the batch twin that disagrees with it).
+        assert replay_trace(
+            report.shrunk, mode=report.shrunk_mode, check_every=1
+        )
+
+    def test_shrunk_reproducer_survives_json_roundtrip(self, off_by_one_l2p):
+        report = run_campaign(seed=42, num_ops=100)
+        assert report.shrunk is not None
+        reloaded = Trace.from_json(report.shrunk.to_json())
+        assert replay_trace(reloaded, mode=report.shrunk_mode, check_every=1)
+
+
+class TestShrinker:
+    def test_shrink_requires_a_failing_trace(self):
+        trace = generate_trace(seed=3, num_ops=20)
+        with pytest.raises(ValueError):
+            shrink_trace(trace)
+
+    def test_shrink_minimizes_against_custom_predicate(self):
+        trace = generate_trace(seed=8, num_ops=60)
+        # Synthetic oracle: "fails" iff the trace still contains both a
+        # write and a trim — minimal reproducer is exactly 2 ops.
+        def fails(candidate):
+            kinds = {op.kind for op in candidate.ops}
+            return "write" in kinds and "trim" in kinds
+
+        assert fails(trace)
+        shrunk = shrink_trace(trace, fails=fails)
+        assert len(shrunk) == 2
+        assert {op.kind for op in shrunk.ops} == {"write", "trim"}
