@@ -7,6 +7,7 @@ Commands:
 * ``probability``  — the §4.3 analysis (analytic + Monte Carlo).
 * ``sweep``        — run a declarative parameter sweep from a JSON spec.
 * ``fuzz``         — differential fuzz campaign / reproducer replay.
+* ``faults``       — power-cut-mid-GC + recovery demo under fault injection.
 * ``table1``       — re-measure Table 1's minimal flip rates.
 * ``info``         — describe the default testbed.
 """
@@ -95,15 +96,38 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan
     from repro.testkit.fuzzer import replay_trace, run_campaign
     from repro.testkit.trace import Trace
 
+    plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+    crash_rate = args.crash_rate
+    if crash_rate is None:
+        crash_rate = 0.03 if args.crash else 0.0
+
     if args.replay:
         with open(args.replay, "r", encoding="utf-8") as handle:
-            trace = Trace.from_json(handle.read())
+            raw = json.load(handle)
+        if "ops" in raw:
+            trace = Trace.from_json(json.dumps(raw))
+        elif raw.get("shrunk_reproducer"):
+            # A full campaign report: replay its shrunk reproducer under
+            # the fault plan the campaign recorded (unless overridden).
+            trace = Trace.from_json(json.dumps(raw["shrunk_reproducer"]))
+            if plan is None and raw.get("fault_plan"):
+                plan = FaultPlan.from_dict(raw["fault_plan"])
+        else:
+            print("replay file is neither a trace nor a campaign report "
+                  "with a shrunk reproducer: %s" % args.replay)
+            return 2
         failed = False
         for mode in args.modes:
-            found = replay_trace(trace, mode=mode, check_every=args.check_every or 1)
+            found = replay_trace(
+                trace,
+                mode=mode,
+                check_every=args.check_every or 1,
+                fault_plan=plan,
+            )
             print(
                 "%-6s replay of %d op(s): %s"
                 % (mode, len(trace), "ok" if not found else "%d divergence(s)" % len(found))
@@ -121,6 +145,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         profile=args.profile,
         modes=tuple(args.modes),
         check_every=args.check_every,
+        crash_rate=crash_rate,
+        write_buffer_pages=args.write_buffer,
+        spare_blocks=args.spare_blocks,
+        fault_plan=plan,
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -136,6 +164,120 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Power-loss-mid-GC walkthrough: a scheduled fault cuts power right
+    before the first victim erase (after GC has relocated the live pages),
+    the device recovers from the OOB scan, and every acknowledged write is
+    audited against what recovery rebuilt — while probabilistic read
+    errors exercise the host retry path throughout."""
+    from repro.errors import NvmeError, PowerLossInterrupt
+    from repro.faults import FaultEvent, FaultPlan
+    from repro.host.blockdev import BlockDevice
+    from repro.testkit.fixtures import build_stack
+    from repro.testkit.invariants import InvariantViolation
+    from repro.testkit.trace import payload_for
+
+    plan = FaultPlan(
+        seed=args.seed,
+        read_error_rate=args.read_error_rate,
+        events=(FaultEvent(op="erase", index=0, kind="power_loss"),),
+    )
+    controller, dram, ftl = build_stack(
+        seed=args.seed,
+        write_buffer_pages=args.write_buffer,
+        spare_blocks=args.spare_blocks,
+        fault_plan=plan,
+    )
+    controller.create_namespace(1, 0, ftl.num_lbas)
+    bdev = BlockDevice(controller, 1)
+
+    print("fault plan: power cut before erase #0 (mid-GC), read errors "
+          "at %.1f%%" % (plan.read_error_rate * 100))
+
+    # -- act 1: write until the scheduled power cut lands ----------------
+    history = {}  # lba -> [every acknowledged payload, oldest first]
+    cut_at = None
+    for round_index in range(8):
+        for lba in range(ftl.num_lbas):
+            data = payload_for(lba, (round_index * 31 + lba) % 251, ftl.page_bytes)
+            try:
+                bdev.write_block(lba, data)
+            except PowerLossInterrupt:
+                cut_at = (round_index, lba)
+                break
+            history.setdefault(lba, []).append(data)
+        if cut_at is not None:
+            break
+    if cut_at is None:
+        print("workload finished without tripping the scheduled power cut")
+        return 2
+    print("power cut mid-GC while writing LBA %d (round %d); %d write(s) "
+          "acknowledged before the cut" % (cut_at[1], cut_at[0],
+                                           sum(map(len, history.values()))))
+
+    # -- act 2: crash, then recover from the OOB scan --------------------
+    controller.crash()
+    report = controller.recover()
+    print("recovery: scanned %d pages -> %d live / %d stale; "
+          "%d free, %d sealed, %d retired, %d spare block(s)%s"
+          % (report.scanned_pages, report.live_pages, report.stale_pages,
+             report.free_blocks, report.sealed_blocks, report.retired_blocks,
+             report.spare_blocks,
+             " [READ-ONLY]" if report.read_only else ""))
+
+    # -- act 3: audit every acknowledged write ---------------------------
+    survived = rolled_back = dropped = 0
+    lost = []
+    read_failures = 0
+    for lba in sorted(history):
+        data = None
+        for _attempt in range(2):  # the host already retries internally
+            try:
+                data = bdev.read_block(lba)
+                break
+            except NvmeError:
+                read_failures += 1
+        generations = history[lba]
+        if data is None:
+            lost.append(lba)
+        elif data == generations[-1]:
+            survived += 1
+        elif data in generations:
+            rolled_back += 1  # an older acknowledged (flushed) generation
+        elif data == b"\x00" * ftl.page_bytes:
+            dropped += 1  # buffered, never flushed: reads as deallocated
+        else:
+            lost.append(lba)
+    print("audit: %d/%d latest generation, %d rolled back to an older "
+          "flushed generation, %d un-flushed buffered write(s) dropped"
+          % (survived, len(history), rolled_back, dropped))
+    if read_failures:
+        print("  (%d read(s) failed even after host retries)" % read_failures)
+    print("host retries spent on injected read errors: %d" % bdev.retries)
+    injector = ftl.flash.injector
+    if injector is not None:
+        stats = injector.stats()
+        print("faults injected: %s" % ", ".join(
+            "%s=%d" % (kind, stats[kind]) for kind in sorted(stats) if kind != "total"
+        ))
+
+    # -- act 4: the invariant layer over the recovered stack -------------
+    status = 0
+    for layer, check in (("ftl", ftl.check), ("dram", dram.check)):
+        try:
+            check()
+        except InvariantViolation as violation:
+            status = 3
+            print("check %-4s FAIL: %s" % (layer, violation))
+        else:
+            print("check %-4s ok" % layer)
+    if lost:
+        print("FAIL: %d acknowledged write(s) lost: %s" % (len(lost), lost[:16]))
+        return 3
+    print("no acknowledged flushed write was lost across the power cut")
+    return status
 
 
 def cmd_mitigations(args: argparse.Namespace) -> int:
@@ -348,7 +490,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay a saved reproducer instead of generating")
     fuzz.add_argument("--json", action="store_true",
                       help="print the full report as JSON")
+    fuzz.add_argument("--crash", action="store_true",
+                      help="mix power-cycle ops into the trace (shorthand "
+                           "for --crash-rate 0.03)")
+    fuzz.add_argument("--crash-rate", type=float, default=None,
+                      help="per-op probability of a crash op in the trace")
+    fuzz.add_argument("--write-buffer", type=int, default=0, metavar="PAGES",
+                      help="DRAM write-buffer pages (0 = write-through)")
+    fuzz.add_argument("--spare-blocks", type=int, default=0,
+                      help="spare blocks backing grown-bad retirement")
+    fuzz.add_argument("--fault-plan", default=None, metavar="PLAN_JSON",
+                      help="FaultPlan JSON to inject NAND faults from")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    faults = sub.add_parser(
+        "faults",
+        help="power-cut-mid-GC + recovery walkthrough under fault injection",
+    )
+    faults.add_argument("--write-buffer", type=int, default=4, metavar="PAGES",
+                        help="DRAM write-buffer pages (0 = write-through)")
+    faults.add_argument("--spare-blocks", type=int, default=2,
+                        help="spare blocks backing grown-bad retirement")
+    faults.add_argument("--read-error-rate", type=float, default=0.02,
+                        help="probability a page read fails (exercises the "
+                             "host retry path)")
+    faults.set_defaults(func=cmd_faults)
 
     mitigations = sub.add_parser("mitigations", help="grade the §5 defenses")
     mitigations.add_argument("--cycles", type=int, default=6)

@@ -12,6 +12,10 @@ Built-ins:
   :func:`repro.attack.probability.monte_carlo_success_rate`;
 * ``mitigation`` — one §5 configuration attacked and graded via
   :func:`repro.mitigations.evaluation.evaluate_mitigation`;
+* ``fault_campaign`` — one differential fuzz campaign under NAND fault
+  injection and power cycles (:func:`repro.testkit.fuzzer.run_campaign`
+  with a :class:`repro.faults.FaultPlan` assembled from ``faults`` /
+  ``faults.*`` parameters);
 * ``sleep`` / ``flaky`` — inert kinds for soak-testing the scheduler's
   timeout and retry paths (used by the test suite and benchmarks).
 
@@ -141,6 +145,53 @@ def _trial_mitigation(trial: TrialSpec) -> Dict[str, Any]:
     return outcome.to_dict()
 
 
+# -- built-in: fault_campaign -------------------------------------------
+
+
+def _trial_fault_campaign(trial: TrialSpec) -> Dict[str, Any]:
+    """One differential fuzz campaign under fault injection / crashes.
+
+    A ``faults`` base key (a :class:`repro.faults.FaultPlan` dict) and/or
+    dotted ``faults.*`` axes (e.g. a grid over ``faults.erase_fail_rate``)
+    assemble the plan; it is reseeded through the trial's spawn key so
+    every repeat runs an independent but reproducible fault universe.
+    ``crash_rate`` mixes power cycles into the generated trace.
+    """
+    from repro.faults import FaultPlan
+    from repro.testkit.fuzzer import run_campaign
+
+    params = dict(trial.params)
+    faults = dict(params.pop("faults", {}))
+    for key in [k for k in params if k.startswith("faults.")]:
+        faults[key.split(".", 1)[1]] = params.pop(key)
+    plan = None
+    if faults:
+        faults.setdefault("seed", 0)
+        plan = FaultPlan.from_dict(faults).spawned(
+            trial.root_seed, *trial.spawn_key
+        )
+    report = run_campaign(
+        seed=trial.seed,
+        num_ops=int(params.pop("num_ops", 300)),
+        num_lbas=int(params.pop("num_lbas", 192)),
+        layout=params.pop("layout", "linear"),
+        profile=params.pop("profile", "granite"),
+        modes=tuple(params.pop("modes", ("scalar", "batch"))),
+        check_every=int(params.pop("check_every", 50)),
+        shrink=False,
+        crash_rate=float(params.pop("crash_rate", 0.0)),
+        write_buffer_pages=int(params.pop("write_buffer_pages", 0)),
+        spare_blocks=int(params.pop("spare_blocks", 0)),
+        fault_plan=plan,
+    )
+    return {
+        "ok": report.ok,
+        "divergences": report.total_divergences,
+        "stats": dict(report.stats),
+        "fault_plan": None if plan is None else plan.to_dict(),
+    }
+
+
 # -- built-in soak kinds (scheduler testing) ----------------------------
 
 
@@ -175,5 +226,6 @@ def _trial_flaky(trial: TrialSpec) -> Dict[str, Any]:
 
 register_trial_kind("monte_carlo", _trial_monte_carlo)
 register_trial_kind("mitigation", _trial_mitigation)
+register_trial_kind("fault_campaign", _trial_fault_campaign)
 register_trial_kind("sleep", _trial_sleep)
 register_trial_kind("flaky", _trial_flaky)

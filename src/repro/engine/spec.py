@@ -81,6 +81,12 @@ class SweepSpec:
         for axis, values in self.grid.items():
             if not isinstance(values, list) or not values:
                 raise ConfigError("grid axis %r must be a non-empty list" % axis)
+        faults = self.base.get("faults")
+        if faults is not None and not isinstance(faults, dict):
+            raise ConfigError(
+                "base key 'faults' must be a fault-plan object "
+                "(see repro.faults.FaultPlan)"
+            )
         for axis, conf in self.random.items():
             if not isinstance(conf, dict) or "count" not in conf:
                 raise ConfigError("random axis %r needs a 'count'" % axis)

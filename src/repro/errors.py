@@ -51,7 +51,36 @@ class FlashProgramError(FlashError):
 
 
 class FlashEraseError(FlashError):
-    """Erase failed (bad block or out-of-range block address)."""
+    """Erase failed: the block is bad, wore out on this very erase (a
+    *grown* bad block), or the block address was out of range."""
+
+
+class FlashReadError(FlashError):
+    """A page read failed with an uncorrectable media error.
+
+    Models read-disturb/retention damage beyond what the on-die ECC can
+    correct; the controller surfaces it as an NVMe Unrecovered Read Error
+    instead of returning corrupt bytes.
+    """
+
+    def __init__(self, message: str, ppa: int = -1):
+        super().__init__(message)
+        #: Physical page the failed read targeted.
+        self.ppa = ppa
+
+
+class FlashWriteFault(FlashError):
+    """A page program operation failed (NAND status fail).
+
+    Raised only by the fault-injection plane; the FTL responds the way
+    firmware does — seal the block, mark it grown-bad, and retry the
+    write on a fresh block.
+    """
+
+    def __init__(self, message: str, ppa: int = -1):
+        super().__init__(message)
+        #: Physical page the failed program targeted.
+        self.ppa = ppa
 
 
 class FlashAddressError(FlashError):
@@ -68,6 +97,27 @@ class FtlCapacityError(FtlError):
 
 class FtlUnmappedError(FtlError):
     """A read hit an LBA that has never been written (or was trimmed)."""
+
+
+class PowerLossInterrupt(ReproError):
+    """Simulated power loss cut the device off mid-flash-operation.
+
+    Raised by the fault-injection plane *before* the interrupted program
+    or erase touches media (power-loss atomicity at flash-operation
+    granularity).  It is not an NVMe status: it unwinds to the crash
+    harness, which must call ``crash()`` + ``recover()`` — in-flight and
+    un-flushed commands were simply never acknowledged.
+    """
+
+
+class FtlRecoveryError(FtlError):
+    """Crash recovery could not rebuild a consistent device state, or a
+    command was submitted while the device is crashed (power off)."""
+
+
+class FtlReadOnlyError(FtlError):
+    """The device degraded to read-only mode (spare-block pool exhausted);
+    writes and deallocations are rejected, reads still succeed."""
 
 
 class NvmeError(ReproError):

@@ -1,0 +1,23 @@
+"""Deterministic fault injection and the records it leaves behind.
+
+``faults`` is the robustness plane of the simulator: a seeded, JSON-
+serializable :class:`FaultPlan` describes *what* should go wrong (media
+read errors, retention bit flips, program failures, grown bad blocks),
+and a :class:`FaultInjector` attached to the flash array makes it go
+wrong at exactly the planned operations.  Together with the FTL's
+``crash()``/``recover()`` lifecycle this lets campaigns prove the
+recovery invariant: every acknowledged-durable write survives any
+power-loss point, under any planned fault sequence, reproducibly.
+"""
+
+from repro.faults.plan import FaultEvent, FaultPlan, FAULT_KINDS, FAULT_OPS
+from repro.faults.injector import FaultInjector, InjectedFault
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "FAULT_KINDS",
+    "FAULT_OPS",
+]

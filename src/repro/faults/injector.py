@@ -1,0 +1,175 @@
+"""The fault-injection plane attached to the flash array.
+
+A :class:`FaultInjector` executes a :class:`~repro.faults.plan.FaultPlan`
+against the stream of flash operations: the array calls ``on_read`` /
+``on_program`` / ``on_erase`` hooks before each operation reaches the
+die, and the injector decides — from its seeded per-operation-type RNG
+streams and the plan's scheduled events — whether that operation fails
+or corrupts media state.
+
+Everything injected is appended to :attr:`FaultInjector.log` as an
+:class:`InjectedFault` record, so campaigns can report exactly which
+faults fired and oracles can exempt the affected LBAs from payload
+comparison (a retention flip corrupting user data is correct device
+behavior, not a model bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import FlashReadError, FlashWriteFault, PowerLossInterrupt
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import RngStream
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired, for logs and reproducers."""
+
+    op: str
+    index: int
+    kind: str
+    ppa: int
+    #: LBA from the page's OOB at injection time (None if unknown).
+    lba: Optional[int] = None
+    bit: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "op": self.op,
+            "index": self.index,
+            "kind": self.kind,
+            "ppa": self.ppa,
+        }
+        if self.lba is not None:
+            out["lba"] = self.lba
+        if self.bit is not None:
+            out["bit"] = self.bit
+        return out
+
+
+class FaultInjector:
+    """Executes a fault plan against the flash operation stream."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: Faults that actually fired, in injection order.
+        self.log: List[InjectedFault] = []
+        # Device-wide operation counters, one per operation type.
+        self._counts = {"read": 0, "program": 0, "erase": 0}
+        # Scheduled events keyed by (op, index); each fires at most once.
+        self._scheduled = {
+            (event.op, event.index): event for event in plan.events
+        }
+        # One independent stream per operation type: draws for reads never
+        # perturb draws for programs, keeping injections stable when the
+        # workload's op mix shifts.
+        self._rng = {
+            op: RngStream(plan.seed, "faults", op)
+            for op in ("read", "program", "erase")
+        }
+
+    # -- helpers -----------------------------------------------------------
+
+    def _next(self, op: str):
+        """Advance the op counter; return (index, scheduled event or None)."""
+        index = self._counts[op]
+        self._counts[op] = index + 1
+        return index, self._scheduled.pop((op, index), None)
+
+    def _roll(self, op: str, rate: float) -> bool:
+        """One probabilistic draw.  Draws only happen for nonzero rates, so
+        a plan with pure scheduled events consumes no RNG at all."""
+        if rate <= 0.0:
+            return False
+        return float(self._rng[op].generator.random()) < rate
+
+    def _record(self, op: str, index: int, kind: str, ppa: int,
+                lba: Optional[int] = None, bit: Optional[int] = None) -> None:
+        self.log.append(
+            InjectedFault(op=op, index=index, kind=kind, ppa=ppa, lba=lba, bit=bit)
+        )
+
+    # -- hooks (called by FlashArray) --------------------------------------
+
+    def on_read(self, array, ppa: int, block, page: int) -> None:
+        """May fail the read outright or persistently flip a stored bit."""
+        index, event = self._next("read")
+        kind = None
+        bit = 0
+        if event is not None:
+            kind = event.kind
+            bit = event.bit
+        elif self._roll("read", self.plan.read_error_rate):
+            kind = "read_error"
+        elif self._roll("read", self.plan.retention_rate):
+            kind = "retention"
+        if kind is None:
+            return
+        oob = block.oob(page)
+        lba = oob.lba if oob is not None else None
+        if kind == "read_error":
+            self._record("read", index, kind, ppa, lba=lba)
+            raise FlashReadError(
+                "injected uncorrectable read error at ppa %d" % ppa, ppa=ppa
+            )
+        # Retention loss: flip one stored bit *in the medium*, so every
+        # later read of this page sees the corruption too.  Erased pages
+        # have no charge to lose, so only programmed pages are affected.
+        data = block._data.get(page)
+        if data is None:
+            return
+        bit = bit % (len(data) * 8)
+        byte_index, bit_index = divmod(bit, 8)
+        corrupted = bytearray(data)
+        corrupted[byte_index] ^= 1 << bit_index
+        block._data[page] = bytes(corrupted)
+        self._record("read", index, "retention", ppa, lba=lba, bit=bit)
+
+    def on_program(self, array, ppa: int) -> None:
+        """May fail the program, or cut power before it lands."""
+        index, event = self._next("program")
+        if event is not None and event.kind == "power_loss":
+            self._record("program", index, "power_loss", ppa)
+            raise PowerLossInterrupt(
+                "power lost before program of ppa %d" % ppa
+            )
+        if event is None and not self._roll(
+            "program", self.plan.program_fail_rate
+        ):
+            return
+        self._record("program", index, "program_fail", ppa)
+        raise FlashWriteFault(
+            "injected program failure at ppa %d" % ppa, ppa=ppa
+        )
+
+    def on_erase(self, array, global_block: int, block) -> None:
+        """May grow the block bad, or cut power before the erase."""
+        index, event = self._next("erase")
+        first_ppa = array.geometry.first_ppa_of_block(global_block)
+        if event is not None and event.kind == "power_loss":
+            self._record("erase", index, "power_loss", first_ppa)
+            raise PowerLossInterrupt(
+                "power lost before erase of block %d" % global_block
+            )
+        if event is None and not self._roll("erase", self.plan.erase_fail_rate):
+            return
+        self._record("erase", index, "erase_fail", first_ppa)
+        block.bad = True
+
+    # -- reporting ---------------------------------------------------------
+
+    def affected_lbas(self) -> List[int]:
+        """LBAs whose payload an injected retention flip corrupted."""
+        return sorted(
+            {f.lba for f in self.log if f.kind == "retention" and f.lba is not None}
+        )
+
+    def stats(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for fault in self.log:
+            counts[fault.kind] = counts.get(fault.kind, 0) + 1
+        counts["total"] = len(self.log)
+        return counts

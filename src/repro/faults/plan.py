@@ -1,0 +1,176 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is a pure description of the faults to inject into a
+device: per-operation probabilistic rates (read-disturb/retention errors,
+program failures, grown bad blocks) plus an explicit list of scheduled
+one-shot :class:`FaultEvent` records ("fail the 7th erase").  Like a
+fuzzer trace, a plan carries no object references and serializes to JSON,
+so any failure it provoked replays bit-for-bit from the plan file.
+
+Determinism rules mirror :mod:`repro.engine.spec`:
+
+* all probabilistic draws come from :class:`repro.sim.rng.RngStream`
+  children of the plan's seed, one independent stream per operation type —
+  the same plan against the same flash-operation sequence always injects
+  the same faults;
+* :meth:`FaultPlan.spawned` derives a child plan through the sweep
+  engine's spawn-key scheme, so a fault axis in a parameter sweep gives
+  every trial its own independent (but reproducible) fault universe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.rng import derive_seed
+
+#: Operation types a fault event may target.
+FAULT_OPS = ("read", "program", "erase")
+
+#: Fault kinds, per operation type they may attach to.  ``power_loss``
+#: cuts power just before the operation touches media — the way to land a
+#: crash in the middle of a GC pass or a write-buffer flush.
+FAULT_KINDS = {
+    "read": ("read_error", "retention"),
+    "program": ("program_fail", "power_loss"),
+    "erase": ("erase_fail", "power_loss"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled one-shot fault: fire on the Nth operation of a type.
+
+    ``index`` counts operations of ``op`` kind (0-based, device-wide) since
+    the injector was attached; ``kind`` picks the failure mode.  For
+    ``retention`` events ``bit`` selects which bit of the page to flip
+    (bit 0 of byte 0 by default).
+    """
+
+    op: str
+    index: int
+    kind: str
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in FAULT_OPS:
+            raise ConfigError("fault event op must be one of %s" % (FAULT_OPS,))
+        if self.kind not in FAULT_KINDS[self.op]:
+            raise ConfigError(
+                "fault kind %r does not apply to %r operations (valid: %s)"
+                % (self.kind, self.op, FAULT_KINDS[self.op])
+            )
+        if self.index < 0:
+            raise ConfigError("fault event index cannot be negative")
+        if self.bit < 0:
+            raise ConfigError("fault event bit cannot be negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": self.op, "index": self.index, "kind": self.kind}
+        if self.bit:
+            out["bit"] = self.bit
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            op=raw["op"],
+            index=int(raw["index"]),
+            kind=raw["kind"],
+            bit=int(raw.get("bit", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, JSON-serializable fault schedule."""
+
+    seed: int = 0
+    #: Probability a page read fails with an uncorrectable media error.
+    read_error_rate: float = 0.0
+    #: Probability a page read finds (and persists) a retention bit flip.
+    retention_rate: float = 0.0
+    #: Probability a page program reports a NAND status failure.
+    program_fail_rate: float = 0.0
+    #: Probability a block erase grows the block bad.
+    erase_fail_rate: float = 0.0
+    #: Scheduled one-shot events, applied in addition to the rates.
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("read_error_rate", "retention_rate",
+                     "program_fail_rate", "erase_fail_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError("FaultPlan.%s must be in [0, 1]" % name)
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.events
+            and self.read_error_rate == 0.0
+            and self.retention_rate == 0.0
+            and self.program_fail_rate == 0.0
+            and self.erase_fail_rate == 0.0
+        )
+
+    def spawned(self, root_seed: int, *spawn_key: object) -> "FaultPlan":
+        """A copy reseeded through the sweep engine's spawn-key scheme."""
+        return replace(
+            self, seed=derive_seed(root_seed, "faults", *spawn_key)
+        )
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "read_error_rate": self.read_error_rate,
+            "retention_rate": self.retention_rate,
+            "program_fail_rate": self.program_fail_rate,
+            "erase_fail_rate": self.erase_fail_rate,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultPlan":
+        known = {
+            "seed", "read_error_rate", "retention_rate",
+            "program_fail_rate", "erase_fail_rate", "events",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError("unknown fault plan keys: %s" % sorted(unknown))
+        return cls(
+            seed=int(raw.get("seed", 0)),
+            read_error_rate=float(raw.get("read_error_rate", 0.0)),
+            retention_rate=float(raw.get("retention_rate", 0.0)),
+            program_fail_rate=float(raw.get("program_fail_rate", 0.0)),
+            erase_fail_rate=float(raw.get("erase_fail_rate", 0.0)),
+            events=tuple(
+                FaultEvent.from_dict(event) for event in raw.get("events", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except ValueError as error:
+            raise ConfigError("fault plan is not valid JSON: %s" % error)
+        if not isinstance(raw, dict):
+            raise ConfigError("fault plan must be a JSON object")
+        return cls.from_dict(raw)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -8,7 +8,7 @@ erase endurance.
 """
 
 from repro.flash.geometry import FlashGeometry, PageAddress
-from repro.flash.block import Block, PAGE_ERASED, PAGE_PROGRAMMED
+from repro.flash.block import Block, PageOob, PAGE_ERASED, PAGE_PROGRAMMED
 from repro.flash.chip import FlashChip, FlashTiming
 from repro.flash.array import FlashArray
 
@@ -16,6 +16,7 @@ __all__ = [
     "FlashGeometry",
     "PageAddress",
     "Block",
+    "PageOob",
     "PAGE_ERASED",
     "PAGE_PROGRAMMED",
     "FlashChip",

@@ -1,10 +1,19 @@
-"""The flash array: all channels and dies behind one PPA space."""
+"""The flash array: all channels and dies behind one PPA space.
+
+The array is also where the fault-injection plane attaches: an optional
+:class:`~repro.faults.injector.FaultInjector` sees every page read,
+program, and block erase before it reaches the die, and may fail the
+operation (uncorrectable read, program fault, grown bad block) or
+silently corrupt stored bits (retention loss) according to its
+:class:`~repro.faults.plan.FaultPlan`.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import FlashAddressError
+from repro.flash.block import Block, PageOob
 from repro.flash.chip import FlashChip, FlashTiming
 from repro.flash.geometry import FlashGeometry
 from repro.sim.metrics import MetricRegistry
@@ -19,10 +28,13 @@ class FlashArray:
         timing: FlashTiming = FlashTiming(),
         endurance: int = 10_000,
         metrics: MetricRegistry = None,
+        injector=None,
     ):
         self.geometry = geometry
         self.timing = timing
         self.metrics = metrics or MetricRegistry("flash")
+        #: Optional fault-injection plane (see :mod:`repro.faults`).
+        self.injector = injector
         self.chips = [
             FlashChip(
                 index=i,
@@ -51,19 +63,51 @@ class FlashArray:
         chip, block_on_chip, _page = self._chip_block_page(ppa)
         return chip, block_on_chip
 
+    def block_object(self, global_block: int) -> Block:
+        """The :class:`Block` behind a global block index (recovery scans
+        and the fault injector address media state through this)."""
+        chip, block = self._chip_block(global_block)
+        return chip.blocks[block]
+
     # -- page/block operations -------------------------------------------------
 
     def read_page(self, ppa: int) -> bytes:
         chip, block, page = self._chip_block_page(ppa)
+        if self.injector is not None:
+            self.injector.on_read(self, ppa, chip.blocks[block], page)
         return chip.read(block, page)
 
-    def program_page(self, ppa: int, data: bytes) -> None:
+    def program_page(self, ppa: int, data: bytes, oob: Optional[PageOob] = None) -> None:
         chip, block, page = self._chip_block_page(ppa)
-        chip.program(block, page, data)
+        if self.injector is not None:
+            self.injector.on_program(self, ppa)
+        chip.program(block, page, data, oob=oob)
 
     def erase_block(self, global_block: int) -> None:
         chip, block = self._chip_block(global_block)
+        if self.injector is not None:
+            self.injector.on_erase(self, global_block, chip.blocks[block])
         chip.erase(block)
+
+    def inspect_page(self, ppa: int) -> bytes:
+        """Media contents of a page without timing, metrics, or fault
+        injection — scaffolding for recovery oracles and debug tooling,
+        never a host I/O path."""
+        chip, block, page = self._chip_block_page(ppa)
+        return chip.blocks[block].read(page)
+
+    def read_oob(self, ppa: int) -> Optional[PageOob]:
+        """OOB metadata of a page, without timing or fault injection.
+
+        Recovery scans read the spare area with the controller's robust
+        multi-retry sequence, so the scan itself is modelled fault-free.
+        """
+        chip, block, page = self._chip_block_page(ppa)
+        return chip.blocks[block].oob(page)
+
+    def mark_bad(self, global_block: int) -> None:
+        """Record a grown bad block (e.g. after a program failure)."""
+        self.block_object(global_block).bad = True
 
     def block_is_bad(self, global_block: int) -> bool:
         chip, block = self._chip_block(global_block)

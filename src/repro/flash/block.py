@@ -6,19 +6,38 @@ Enforces the two constraints that shape every FTL:
 * pages within a block must be programmed sequentially (page 0, 1, 2, ...),
   as required by real NAND to limit program disturb.
 
-Erase counts are tracked for wear accounting; a block whose erase count
-exceeds its endurance becomes *bad* and refuses further use.
+Erase counts are tracked for wear accounting; the erase that crosses a
+block's endurance *fails* — the block becomes a grown bad block with its
+(now unreliable) contents left in place, exactly how wear-out surfaces on
+real NAND — and every later erase or program is refused.
+
+Each page also carries out-of-band (OOB) metadata: the spare-area bytes a
+real FTL programs next to the payload.  We model the two fields crash
+recovery needs — the owning LBA (reference tag) and a monotonic write
+sequence number — so a power-cycled device can rebuild its volatile L2P
+table by scanning flash (highest sequence number wins).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.errors import FlashEraseError, FlashProgramError
 
 #: Page states within the current erase cycle.
 PAGE_ERASED = 0
 PAGE_PROGRAMMED = 1
+
+
+@dataclass(frozen=True)
+class PageOob:
+    """Out-of-band (spare area) metadata programmed with every page."""
+
+    #: Logical block this page holds (the reference tag).
+    lba: int
+    #: Monotonic program sequence number; recovery keeps the highest.
+    seq: int
 
 
 class Block:
@@ -35,6 +54,8 @@ class Block:
         self.write_pointer = 0
         #: Programmed page payloads for the current erase cycle.
         self._data: Dict[int, bytes] = {}
+        #: Per-page OOB metadata for the current erase cycle.
+        self._oob: Dict[int, PageOob] = {}
 
     # -- queries -----------------------------------------------------------
 
@@ -50,6 +71,11 @@ class Block:
     def programmed_pages(self) -> int:
         return len(self._data)
 
+    def oob(self, page: int) -> Optional[PageOob]:
+        """OOB metadata of a page; None when erased or programmed bare."""
+        self._check_page(page)
+        return self._oob.get(page)
+
     # -- operations -----------------------------------------------------------
 
     def read(self, page: int) -> bytes:
@@ -60,7 +86,7 @@ class Block:
             return b"\xff" * self.page_bytes
         return data
 
-    def program(self, page: int, data: bytes) -> None:
+    def program(self, page: int, data: bytes, oob: Optional[PageOob] = None) -> None:
         """Program one page; must be the next sequential erased page."""
         self._check_page(page)
         if self.bad:
@@ -81,17 +107,29 @@ class Block:
                 % (self.page_bytes, len(data))
             )
         self._data[page] = bytes(data)
+        if oob is not None:
+            self._oob[page] = oob
         self.write_pointer += 1
 
     def erase(self) -> None:
-        """Erase the whole block, returning every page to the erased state."""
+        """Erase the whole block, returning every page to the erased state.
+
+        The erase that exhausts the block's endurance fails: the block is
+        marked bad with its contents left behind, and the caller (the FTL's
+        garbage collector) must retire it.
+        """
         if self.bad:
             raise FlashEraseError("block %d is bad" % self.index)
         self.erase_count += 1
-        self._data.clear()
-        self.write_pointer = 0
         if self.erase_count >= self.endurance:
             self.bad = True
+            raise FlashEraseError(
+                "block %d wore out (erase %d of endurance %d failed)"
+                % (self.index, self.erase_count, self.endurance)
+            )
+        self._data.clear()
+        self._oob.clear()
+        self.write_pointer = 0
 
     # -- helpers -----------------------------------------------------------
 

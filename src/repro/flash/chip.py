@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from typing import Optional
+
 from repro.errors import FlashAddressError
-from repro.flash.block import Block
+from repro.flash.block import Block, PageOob
 from repro.sim.metrics import MetricRegistry
 from repro.units import us
 
@@ -64,10 +66,12 @@ class FlashChip:
         self.busy_time += self.timing.read_page
         return self._block(block).read(page)
 
-    def program(self, block: int, page: int, data: bytes) -> None:
+    def program(
+        self, block: int, page: int, data: bytes, oob: Optional[PageOob] = None
+    ) -> None:
         self._programs.add()
         self.busy_time += self.timing.program_page
-        self._block(block).program(page, data)
+        self._block(block).program(page, data, oob=oob)
 
     def erase(self, block: int) -> None:
         self._erases.add()

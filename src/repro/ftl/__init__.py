@@ -17,6 +17,7 @@ from repro.ftl.gc import (
     GreedyGarbageCollector,
     WearAwareGarbageCollector,
 )
+from repro.ftl.recovery import RecoveryReport, recover
 from repro.ftl.wear import WearReport, wear_report
 from repro.ftl.writebuffer import WriteBuffer
 
@@ -33,6 +34,8 @@ __all__ = [
     "GreedyGarbageCollector",
     "CostBenefitGarbageCollector",
     "WearAwareGarbageCollector",
+    "RecoveryReport",
+    "recover",
     "WearReport",
     "wear_report",
     "WriteBuffer",

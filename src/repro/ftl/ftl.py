@@ -23,8 +23,15 @@ from typing import Deque, Dict, List, Optional
 import numpy as np
 
 from repro.dram.cache import FtlCpuCache
-from repro.errors import ConfigError, FtlCapacityError
+from repro.errors import (
+    ConfigError,
+    FlashWriteFault,
+    FtlCapacityError,
+    FtlReadOnlyError,
+    FtlRecoveryError,
+)
 from repro.flash.array import FlashArray
+from repro.flash.block import PageOob
 from repro.ftl.gc import GcStats, GreedyGarbageCollector
 from repro.ftl.l2p import HashedL2p, L2pTable, LinearL2p, UNMAPPED
 from repro.sim.metrics import MetricRegistry
@@ -57,6 +64,11 @@ class FtlConfig:
     #: through).  §2.1: FTL DRAM also holds "incoming writes" — while a
     #: page is staged, its payload bytes are themselves hammerable.
     write_buffer_pages: int = 0
+    #: Blocks reserved for replacing grown bad blocks.  Each retirement
+    #: consumes one spare; when the pool is exhausted the device degrades
+    #: to read-only instead of dying mid-write (0 = no spare pool, legacy
+    #: behaviour: retirements simply shrink the free pool).
+    spare_blocks: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.overprovision < 1:
@@ -65,6 +77,8 @@ class FtlConfig:
             raise ConfigError("gc_high_watermark below gc_low_watermark")
         if self.l2p_layout not in ("linear", "hashed"):
             raise ConfigError("unknown L2P layout %r" % self.l2p_layout)
+        if self.spare_blocks < 0:
+            raise ConfigError("spare_blocks cannot be negative")
 
 
 @dataclass
@@ -118,7 +132,9 @@ class PageMappingFtl:
             num_lbas = int(geometry.total_pages * (1 - config.overprovision))
         if num_lbas <= 0 or num_lbas > geometry.total_pages:
             raise ConfigError("num_lbas %r out of range" % num_lbas)
-        min_spare = (config.gc_high_watermark + 1) * geometry.pages_per_block
+        min_spare = (
+            config.gc_high_watermark + 1 + config.spare_blocks
+        ) * geometry.pages_per_block
         if geometry.total_pages - num_lbas < min_spare:
             raise ConfigError(
                 "over-provisioning too small: %d spare pages but GC needs %d"
@@ -143,6 +159,11 @@ class PageMappingFtl:
 
         #: Blocks available for allocation (already erased).
         self.free_blocks: Deque[int] = deque(range(geometry.total_blocks))
+        #: Reserved replacements for grown bad blocks (taken off the tail
+        #: of the free pool, the way firmware hides its spare area).
+        self.spare_pool: Deque[int] = deque()
+        for _ in range(config.spare_blocks):
+            self.spare_pool.append(self.free_blocks.pop())
         #: Valid (reachable) page count per block.
         self.valid_count: List[int] = [0] * geometry.total_blocks
         #: Reverse map PPA -> LBA (device metadata, not hammerable; see
@@ -162,6 +183,18 @@ class PageMappingFtl:
         #: age-aware GC policies (cost-benefit).
         self.write_sequence = 0
         self.block_mtime: Dict[int, int] = {}
+        #: Monotonic OOB sequence number, stamped on *every* page program
+        #: (host writes and GC moves alike) so crash recovery can order
+        #: copies of the same LBA.  Distinct from :attr:`write_sequence`,
+        #: which counts only host writes and feeds GC age heuristics.
+        self.program_seq = 0
+        #: Power state: True between :meth:`crash` and :meth:`recover`.
+        self._crashed = False
+        #: Degraded mode after spare-pool exhaustion: reads only.
+        self.read_only = False
+        #: True while a GC pass is running (observable by power-loss
+        #: harnesses to classify where a crash landed).
+        self.gc_active = False
 
         self._host_reads = self.metrics.counter("host_reads")
         self._host_writes = self.metrics.counter("host_writes")
@@ -183,6 +216,7 @@ class PageMappingFtl:
 
     def read(self, lba: int) -> ReadResult:
         """Translate and read one logical page."""
+        self._check_live()
         self._check_lba(lba)
         self._host_reads.add()
         if self.write_buffer is not None and self.write_buffer.contains(lba):
@@ -229,6 +263,8 @@ class PageMappingFtl:
         is staged in DRAM and flushed with its batch when the buffer
         fills (or on an explicit :meth:`flush`).
         """
+        self._check_live()
+        self._check_writable()
         self._check_lba(lba)
         if len(data) != self.page_bytes:
             raise ConfigError(
@@ -246,10 +282,27 @@ class PageMappingFtl:
         return self._write_through(lba, data)
 
     def _write_through(self, lba: int, data: bytes) -> WriteResult:
-        """The unbuffered write path: allocate, program, remap."""
+        """The unbuffered write path: allocate, program, remap.
+
+        A program failure (NAND status fail) is handled the way firmware
+        handles it: the open block is sealed and marked grown-bad — the
+        pages already in it stay readable until GC relocates them and
+        retires the block — and the write retries on a fresh block.
+        """
         gc_stats = self._maybe_collect()
-        ppa = self.allocate_page()
-        self.flash.program_page(ppa, data)
+        attempts = 0
+        while True:
+            ppa = self.allocate_page()
+            self.program_seq += 1
+            oob = PageOob(lba=lba, seq=self.program_seq)
+            try:
+                self.flash.program_page(ppa, data, oob=oob)
+                break
+            except FlashWriteFault:
+                self._on_program_failure(self.flash.geometry.block_of_ppa(ppa))
+                attempts += 1
+                if attempts >= 3:
+                    raise
         self.write_sequence += 1
         self.block_mtime[self.flash.geometry.block_of_ppa(ppa)] = self.write_sequence
         if self.config.dif:
@@ -266,7 +319,14 @@ class PageMappingFtl:
         return WriteResult(ppa=ppa, flash_time=flash_time, gc=gc_stats)
 
     def trim(self, lba: int) -> None:
-        """Discard the mapping for ``lba`` (NVMe deallocate)."""
+        """Discard the mapping for ``lba`` (NVMe deallocate).
+
+        TRIMs are *not* power-loss durable: the device journals no
+        deallocations, so a crash before the trimmed page is erased may
+        resurrect the old data at recovery — allowed by NVMe semantics.
+        """
+        self._check_live()
+        self._check_writable()
         self._check_lba(lba)
         self._host_trims.add()
         if self.write_buffer is not None:
@@ -276,6 +336,7 @@ class PageMappingFtl:
 
     def flush(self) -> float:
         """Persist any staged writes (NVMe FLUSH); returns flash time."""
+        self._check_live()
         if self.write_buffer is None:
             return 0.0
         flash_time, _gc = self._flush_buffer()
@@ -297,6 +358,7 @@ class PageMappingFtl:
 
     def is_mapped(self, lba: int) -> bool:
         """Whether ``lba`` currently has a translation (costs a DRAM read)."""
+        self._check_live()
         self._check_lba(lba)
         return self.l2p.lookup(lba) is not None
 
@@ -316,6 +378,8 @@ class PageMappingFtl:
         traffic collapses to one gather (old mappings) plus one scatter
         (the UNMAPPED stores).
         """
+        self._check_live()
+        self._check_writable()
         lbas = np.asarray(lbas, dtype=np.int64)
         n = len(lbas)
         if n == 0:
@@ -358,8 +422,7 @@ class PageMappingFtl:
                 candidate = self.free_blocks.popleft()
                 if not self.flash.block_is_bad(candidate):
                     break
-                self.retired_blocks.append(candidate)
-                self.metrics.counter("retired_blocks").add()
+                self.retire_block(candidate)
             self._open_block = candidate
             self._next_page = 0
         ppa = geometry.first_ppa_of_block(self._open_block) + self._next_page
@@ -377,17 +440,41 @@ class PageMappingFtl:
         self.free_blocks.append(block)
 
     def retire_block(self, block: int) -> None:
-        """Remove a worn-out block from rotation (bad-block table)."""
+        """Remove a worn-out block from rotation (bad-block table).
+
+        With a spare pool configured, each retirement is backfilled by a
+        spare; once the pool runs dry the device degrades to read-only
+        rather than failing writes unpredictably later.
+        """
         if block in self._sealed:
             self._sealed.remove(block)
         self.retired_blocks.append(block)
         self.metrics.counter("retired_blocks").add()
+        if self.config.spare_blocks:
+            if self.spare_pool:
+                self.free_blocks.append(self.spare_pool.popleft())
+            else:
+                self.read_only = True
+                self.metrics.counter("read_only_transitions").add()
+
+    def _on_program_failure(self, block: int) -> None:
+        """Grown bad block mid-program: seal it (its programmed pages stay
+        readable and valid until GC relocates them and retires it)."""
+        self.flash.mark_bad(block)
+        if self._open_block == block:
+            self._sealed.append(block)
+            self._open_block = None
+            self._next_page = 0
 
     def _maybe_collect(self) -> Optional[GcStats]:
         if len(self.free_blocks) > self.config.gc_low_watermark:
             return None
         total = GcStats()
+        self.gc_active = True
         while len(self.free_blocks) < self.config.gc_high_watermark:
+            # A power-loss interrupt raised inside collect() unwinds with
+            # gc_active still True, so crash harnesses can classify where
+            # the cut landed; crash() resets the flag.
             if not self.sealed_blocks():
                 if len(self.free_blocks) == 0:
                     raise FtlCapacityError("GC found nothing reclaimable")
@@ -396,6 +483,7 @@ class PageMappingFtl:
             total.merge(passed)
             if passed.erased_blocks == 0:
                 break
+        self.gc_active = False
         self.gc_stats.merge(total)
         return total
 
@@ -411,6 +499,61 @@ class PageMappingFtl:
     def _check_lba(self, lba: int) -> None:
         if not 0 <= lba < self.num_lbas:
             raise ConfigError("LBA %d outside device of %d" % (lba, self.num_lbas))
+
+    def _check_live(self) -> None:
+        if self._crashed:
+            raise FtlRecoveryError(
+                "device is crashed (power off); call recover() first"
+            )
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise FtlReadOnlyError(
+                "device degraded to read-only: spare-block pool exhausted"
+            )
+
+    # ------------------------------------------------------------------
+    # power-loss lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Simulate sudden power loss.
+
+        Everything living in device DRAM or controller SRAM is gone: the
+        L2P table, the reverse map and per-block valid counts, the free /
+        sealed / spare pools, the open-block cursor, and any staged (but
+        unflushed) write-buffer pages.  Flash contents — payloads, OOB
+        metadata, and the DIF protection bytes — survive, as do the bad
+        flags and erase counts (media state).  Idempotent.
+        """
+        self._crashed = True
+        self.gc_active = False
+        self.reverse.clear()
+        self.valid_count = [0] * self.flash.geometry.total_blocks
+        self.free_blocks.clear()
+        self.spare_pool.clear()
+        self._sealed = []
+        self._open_block = None
+        self._next_page = 0
+        self.block_mtime.clear()
+        self.retired_blocks = []
+        self.read_only = False
+        if self.write_buffer is not None:
+            self.write_buffer.reset()
+
+    def recover(self) -> "RecoveryReport":
+        """Rebuild volatile state by scanning flash OOB metadata.
+
+        See :func:`repro.ftl.recovery.recover` for the algorithm; raises
+        :class:`FtlRecoveryError` if the media is inconsistent.
+        """
+        from repro.ftl.recovery import recover
+
+        return recover(self)
 
     # ------------------------------------------------------------------
     # reporting & verification
@@ -442,4 +585,7 @@ class PageMappingFtl:
         snap["ftl.gc_collections"] = self.gc_stats.collections
         snap["ftl.gc_moved_pages"] = self.gc_stats.moved_pages
         snap["ftl.free_blocks"] = len(self.free_blocks)
+        snap["ftl.retired_block_count"] = len(self.retired_blocks)
+        snap["ftl.spare_blocks_left"] = len(self.spare_pool)
+        snap["ftl.read_only"] = float(self.read_only)
         return snap

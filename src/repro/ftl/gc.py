@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.errors import FlashEraseError
+from repro.flash.block import PageOob
 
 
 @dataclass
@@ -72,7 +73,13 @@ class GreedyGarbageCollector:
             data = ftl.flash.read_page(ppa)
             stats.flash_time += timing.read_page
             new_ppa = ftl.allocate_page(during_gc=True)
-            ftl.flash.program_page(new_ppa, data)
+            # Moved copies get a *fresh* OOB sequence number: if power is
+            # lost before the victim is erased, recovery sees both copies
+            # and must prefer the relocation (highest sequence wins).
+            ftl.program_seq += 1
+            ftl.flash.program_page(
+                new_ppa, data, oob=PageOob(lba=lba, seq=ftl.program_seq)
+            )
             stats.flash_time += timing.program_page
             if ppa in ftl.dif_tags:
                 # The protection-information bytes travel with the data.
@@ -88,17 +95,13 @@ class GreedyGarbageCollector:
         try:
             ftl.flash.erase_block(victim)
         except FlashEraseError:
-            # The block wore out: retire it instead of recycling.
+            # The block wore out (or grew bad): retire it, not recycle it.
             ftl.retire_block(victim)
             stats.flash_time += timing.erase_block
             return stats
         stats.flash_time += timing.erase_block
         stats.erased_blocks += 1
-        if ftl.flash.block_is_bad(victim):
-            # This erase was its last: endurance exhausted.
-            ftl.retire_block(victim)
-        else:
-            ftl.release_block(victim)
+        ftl.release_block(victim)
         return stats
 
 

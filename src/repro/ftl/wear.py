@@ -16,6 +16,12 @@ class WearReport:
     mean_erase: float
     bad_blocks: float
     write_amplification: float
+    #: Blocks the FTL pulled from service after a failed erase.
+    retired_blocks: int = 0
+    #: Spare blocks still available to replace future grown-bad blocks.
+    spare_blocks_left: int = 0
+    #: True once spares ran out and the device degraded to read-only.
+    read_only: bool = False
 
     @property
     def wear_spread(self) -> float:
@@ -32,4 +38,7 @@ def wear_report(ftl: PageMappingFtl) -> WearReport:
         mean_erase=summary["mean"],
         bad_blocks=summary["bad_blocks"],
         write_amplification=ftl.write_amplification,
+        retired_blocks=len(ftl.retired_blocks),
+        spare_blocks_left=len(ftl.spare_pool),
+        read_only=ftl.read_only,
     )

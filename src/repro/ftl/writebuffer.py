@@ -77,6 +77,10 @@ class WriteBuffer:
     def contains(self, lba: int) -> bool:
         return lba in self._by_lba
 
+    def staged_lbas(self) -> List[int]:
+        """LBAs currently staged, in LBA order."""
+        return sorted(self._by_lba)
+
     def slot_address(self, index: int) -> int:
         return self.base_addr + index * self.page_bytes
 
@@ -121,3 +125,10 @@ class WriteBuffer:
             return False
         self._slots[index] = None
         return True
+
+    def reset(self) -> None:
+        """Drop every staged page at once (power loss: DRAM is volatile,
+        so un-flushed stages simply cease to exist)."""
+        self._by_lba.clear()
+        for index in range(len(self._slots)):
+            self._slots[index] = None

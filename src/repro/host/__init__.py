@@ -1,6 +1,11 @@
 """Host-side stack: block devices, tenants/VMs, and workload generators."""
 
-from repro.host.blockdev import BlockDevice
+from repro.host.blockdev import (
+    BlockDevice,
+    DeviceReadOnlyError,
+    RetryPolicy,
+    RETRYABLE_STATUSES,
+)
 from repro.host.vm import AccessMode, Vm
 from repro.host.workload import (
     WorkloadStats,
@@ -12,6 +17,9 @@ from repro.host.workload import (
 
 __all__ = [
     "BlockDevice",
+    "DeviceReadOnlyError",
+    "RetryPolicy",
+    "RETRYABLE_STATUSES",
     "Vm",
     "AccessMode",
     "WorkloadStats",

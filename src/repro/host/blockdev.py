@@ -1,19 +1,80 @@
-"""A block device: one namespace as seen from a host."""
+"""A block device: one namespace as seen from a host.
+
+The scalar paths (``read_block`` / ``write_block`` / ``trim_block``) model
+the kernel block layer's error handling: transient device errors —
+unrecovered media reads, write faults, a device that momentarily answers
+nothing after a power event — are retried a bounded number of times with
+exponential backoff (simulated time; the clock advances, no wall time is
+spent).  Errors that retrying cannot fix surface immediately: a device
+that degraded to read-only raises :class:`DeviceReadOnlyError` so the
+filesystem can remount itself read-only instead of hammering the device
+with doomed writes.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence
 
+from repro.errors import NvmeError, NvmeNamespaceError
+from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, StatusCode
 from repro.nvme.controller import BurstResult, NvmeController
+from repro.units import us
+
+
+class DeviceReadOnlyError(NvmeError):
+    """The device rejected a write because it degraded to read-only
+    (spare-block pool exhausted).  Not retryable."""
+
+
+#: Statuses a bounded retry can plausibly cure: transient media errors,
+#: one-off program failures, and a device still coming back from a power
+#: event.  Integrity and addressing errors are deterministic — retrying
+#: them only burns time.
+RETRYABLE_STATUSES: FrozenSet[StatusCode] = frozenset(
+    {
+        StatusCode.MEDIA_READ_ERROR,
+        StatusCode.WRITE_FAULT,
+        StatusCode.RECOVERY_ERROR,
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient NVMe errors."""
+
+    #: Total attempts (first try included).  1 = no retries.
+    max_attempts: int = 3
+    #: Simulated delay before the first retry, seconds.
+    backoff: float = us(100)
+    #: Backoff multiplier per further retry (exponential).
+    multiplier: float = 2.0
+    retryable: FrozenSet[StatusCode] = field(default=RETRYABLE_STATUSES)
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff * (self.multiplier ** (attempt - 1))
 
 
 class BlockDevice:
     """Synchronous block-device facade over an NVMe namespace."""
 
-    def __init__(self, controller: NvmeController, nsid: int):
+    def __init__(
+        self,
+        controller: NvmeController,
+        nsid: int,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.controller = controller
         self.nsid = nsid
         self.namespace = controller.namespace(nsid)
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Retries actually performed, for reporting.
+        self.retries = 0
+        #: True once the device answered a write with "write-protected";
+        #: a real host would remount its filesystems read-only.
+        self.degraded_read_only = False
 
     @property
     def num_blocks(self) -> int:
@@ -27,14 +88,70 @@ class BlockDevice:
     def capacity_bytes(self) -> int:
         return self.num_blocks * self.block_bytes
 
+    # -- resilient scalar path ------------------------------------------
+
+    def _submit_with_retry(self, make_command) -> NvmeCompletion:
+        """Submit, retrying transient failures per the policy.
+
+        ``make_command`` builds a fresh command per attempt (command IDs
+        are unique).  Returns the final completion, successful or not.
+        """
+        policy = self.retry_policy
+        completion = self.controller.submit(make_command())
+        attempt = 1
+        while (
+            not completion.ok
+            and completion.status in policy.retryable
+            and attempt < policy.max_attempts
+        ):
+            self.controller.clock.advance(policy.delay_before(attempt))
+            self.retries += 1
+            completion = self.controller.submit(make_command())
+            attempt += 1
+        if completion.status is StatusCode.READ_ONLY:
+            self.degraded_read_only = True
+        return completion
+
     def read_block(self, lba: int) -> bytes:
-        return self.controller.read(self.nsid, lba)
+        completion = self._submit_with_retry(
+            lambda: NvmeCommand(Opcode.READ, self.nsid, lba)
+        )
+        if not completion.ok:
+            raise NvmeNamespaceError("read failed: %s" % completion.status.value)
+        return completion.data
 
     def write_block(self, lba: int, data: bytes) -> None:
-        self.controller.write(self.nsid, lba, data)
+        completion = self._submit_with_retry(
+            lambda: NvmeCommand(Opcode.WRITE, self.nsid, lba, data=data)
+        )
+        if completion.ok:
+            return
+        if completion.status is StatusCode.READ_ONLY:
+            raise DeviceReadOnlyError(
+                "write to LBA %d rejected: device is read-only" % lba
+            )
+        raise NvmeNamespaceError("write failed: %s" % completion.status.value)
 
     def trim_block(self, lba: int) -> None:
-        self.controller.trim(self.nsid, lba)
+        completion = self._submit_with_retry(
+            lambda: NvmeCommand(Opcode.DEALLOCATE, self.nsid, lba)
+        )
+        if completion.ok:
+            return
+        if completion.status is StatusCode.READ_ONLY:
+            raise DeviceReadOnlyError(
+                "trim of LBA %d rejected: device is read-only" % lba
+            )
+        raise NvmeNamespaceError("trim failed: %s" % completion.status.value)
+
+    def flush(self) -> None:
+        completion = self._submit_with_retry(
+            lambda: NvmeCommand(Opcode.FLUSH, self.nsid)
+        )
+        if not completion.ok:
+            raise NvmeNamespaceError("flush failed: %s" % completion.status.value)
+
+    # -- burst paths (no retry: attack/priming primitives) ----------------
 
     def read_burst(
         self, lbas: Sequence[int], repeats: int, host_iops_cap: Optional[float] = None

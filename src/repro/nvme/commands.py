@@ -30,6 +30,18 @@ class StatusCode(enum.Enum):
     #: End-to-end data protection (DIF) verification failed — a detected
     #: misdirected read.
     INTEGRITY_ERROR = "integrity-error"
+    #: NAND media error the on-die ECC could not correct (NVMe
+    #: "Unrecovered Read Error").  Transient causes make this retryable.
+    MEDIA_READ_ERROR = "unrecovered-read-error"
+    #: A page program failed even after the FTL's fresh-block retries
+    #: (NVMe "Write Fault").
+    WRITE_FAULT = "write-fault"
+    #: The device could not serve the command because it is crashed or
+    #: its recovery scan failed.
+    RECOVERY_ERROR = "recovery-error"
+    #: The namespace is write-protected: the device degraded to read-only
+    #: after exhausting its spare-block pool.
+    READ_ONLY = "namespace-write-protected"
 
 
 _command_ids = itertools.count(1)

@@ -36,7 +36,15 @@ import numpy as np
 
 from repro.dram.cache import CacheMode
 from repro.dram.module import FlipEvent
-from repro.errors import EccUncorrectableError, NvmeNamespaceError
+from repro.errors import (
+    EccUncorrectableError,
+    FlashError,
+    FlashReadError,
+    FlashWriteFault,
+    FtlReadOnlyError,
+    FtlRecoveryError,
+    NvmeNamespaceError,
+)
 from repro.ftl.ftl import PageMappingFtl
 from repro.ftl.l2p import ENTRY_BYTES, UNMAPPED
 from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, StatusCode
@@ -89,6 +97,9 @@ class BurstResult:
     flips: List[FlipEvent] = field(default_factory=list)
     pattern_rows: List[Tuple[int, int]] = field(default_factory=list)
     cache_absorbed: bool = False
+    #: Burst positions (0-based) whose command failed individually — only
+    #: populated by write bursts hitting media faults or a read-only device.
+    failed: List[int] = field(default_factory=list)
 
     @property
     def flip_count(self) -> int:
@@ -216,6 +227,14 @@ class NvmeController:
             return NvmeCompletion(
                 command.command_id, StatusCode.INTEGRITY_ERROR, latency=cost + delay
             )
+        except FlashReadError:
+            return self._fail(command, StatusCode.MEDIA_READ_ERROR, delay)
+        except FlashWriteFault:
+            return self._fail(command, StatusCode.WRITE_FAULT, delay)
+        except FtlRecoveryError:
+            return self._fail(command, StatusCode.RECOVERY_ERROR, delay)
+        except FtlReadOnlyError:
+            return self._fail(command, StatusCode.READ_ONLY, delay)
 
         cost = self.timing.base_command_time + flash_time / self.timing.flash_parallelism
         if self.timing.row_miss_penalty:
@@ -225,6 +244,14 @@ class NvmeController:
         return NvmeCompletion(
             command.command_id, StatusCode.SUCCESS, data=data, latency=cost + delay
         )
+
+    def _fail(self, command: NvmeCommand, status: StatusCode, delay: float) -> NvmeCompletion:
+        """Complete a command with an error status; the failed attempt
+        still costs its submission overhead."""
+        self._errors.add()
+        cost = self.timing.base_command_time
+        self.clock.advance(cost)
+        return NvmeCompletion(command.command_id, status, latency=cost + delay)
 
     def _dram_activations(self) -> int:
         return self.ftl.memory.dram.metrics.counter("activations").value
@@ -294,6 +321,29 @@ class NvmeController:
         completion = self.submit(NvmeCommand(Opcode.DEALLOCATE, nsid, lba))
         if not completion.ok:
             raise NvmeNamespaceError("trim failed: %s" % completion.status.value)
+
+    def flush(self, nsid: int) -> None:
+        completion = self.submit(NvmeCommand(Opcode.FLUSH, nsid))
+        if not completion.ok:
+            raise NvmeNamespaceError("flush failed: %s" % completion.status.value)
+
+    # ------------------------------------------------------------------
+    # power-loss lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Sudden power loss: all volatile device state vanishes.
+
+        Namespace definitions survive (they model the partition table the
+        host re-reads, not controller DRAM), as do the burst-plan caches —
+        those are pure functions of namespace extents and the L2P layout,
+        neither of which a power cycle changes.
+        """
+        self.ftl.crash()
+
+    def recover(self):
+        """Power the device back on; returns the FTL's RecoveryReport."""
+        return self.ftl.recover()
 
     # ------------------------------------------------------------------
     # hammer burst fast path
@@ -486,8 +536,17 @@ class NvmeController:
         flips_before = len(dram.flips)
         self._commands.add(n_lbas)
         total_flash = 0.0
-        for device_lba, data in zip(device_lbas, payloads):
-            result = self.ftl.write(device_lba, data)
+        failed: List[int] = []
+        for position, (device_lba, data) in enumerate(zip(device_lbas, payloads)):
+            try:
+                result = self.ftl.write(device_lba, data)
+            except (FlashError, FtlReadOnlyError):
+                # Each burst member is its own command: one write hitting
+                # a media fault (or a read-only device) fails alone, just
+                # as it would in a loop of submit() calls.
+                self._errors.add()
+                failed.append(position)
+                continue
             total_flash += result.flash_time
         cost = (
             self.timing.base_command_time * n_lbas
@@ -504,6 +563,7 @@ class NvmeController:
             io_rate=io_rate,
             activation_rate=0.0,
             flips=dram.flips[flips_before:],
+            failed=failed,
         )
 
     def trim_burst(self, nsid: int, lbas: Sequence[int]) -> BurstResult:

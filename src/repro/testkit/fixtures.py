@@ -61,8 +61,16 @@ def build_stack(
     para=None,
     ecc=False,
     mapping=None,
+    write_buffer_pages=0,
+    spare_blocks=0,
+    fault_plan=None,
 ):
-    """Assemble a complete small device; returns (controller, dram, ftl)."""
+    """Assemble a complete small device; returns (controller, dram, ftl).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) attaches a fault
+    injector to the flash array; ``write_buffer_pages`` / ``spare_blocks``
+    forward to :class:`FtlConfig` for crash-recovery and wear-out testing.
+    """
     if flash_geometry is None:
         if num_lbas <= 192:
             flash_geometry = SMALL_FLASH
@@ -83,9 +91,21 @@ def build_stack(
         dram_geometry, vuln, clock, mapping=mapping, trr=trr, para=para, ecc=ecc
     )
     memory = FtlCpuCache(dram, cache_mode)
-    flash = FlashArray(flash_geometry)
+    injector = None
+    if fault_plan is not None and not fault_plan.is_null:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(fault_plan)
+    flash = FlashArray(flash_geometry, injector=injector)
     ftl = PageMappingFtl(
-        flash, memory, FtlConfig(num_lbas=num_lbas, l2p_layout=layout)
+        flash,
+        memory,
+        FtlConfig(
+            num_lbas=num_lbas,
+            l2p_layout=layout,
+            write_buffer_pages=write_buffer_pages,
+            spare_blocks=spare_blocks,
+        ),
     )
     controller = NvmeController(
         ftl, clock, timing=timing or DeviceTimingModel(), rate_limiter=rate_limiter

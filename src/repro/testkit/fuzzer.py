@@ -34,11 +34,14 @@ from repro.testkit.trace import Trace, generate_trace
 INVARIANTS_CHECKED = (
     "read-payload agreement with the shadow store (modulo injected flips)",
     "mapped-LBA set agreement with the shadow L2P (modulo injected flips)",
-    "FTL structure: L2P/reverse-map agreement, valid-count conservation, "
-    "pool disjointness (GC never loses live pages)",
+    "FTL structure: L2P/reverse-map/OOB agreement, valid-count "
+    "conservation, pool disjointness (GC never loses live pages)",
     "DRAM refresh-window accounting conserves activations",
     "activation lower bound from the naive disturbance accumulator",
     "scalar/batch cross-mode state agreement on flip-free profiles",
+    "crash recovery preserves every acknowledged-durable write and drops "
+    "un-flushed buffered writes (modulo injected faults)",
+    "write-buffer membership agreement with the staging mirror",
 )
 
 
@@ -48,10 +51,15 @@ def replay_trace(
     check_every: int = 0,
     stack_factory: Callable = build_stack_for,
     max_divergences: int = 25,
+    fault_plan=None,
 ) -> List[Divergence]:
     """Replay one trace in one mode; returns its divergences (empty = ok)."""
     oracle = DifferentialOracle(
-        trace, mode=mode, check_every=check_every, stack_factory=stack_factory
+        trace,
+        mode=mode,
+        check_every=check_every,
+        stack_factory=stack_factory,
+        fault_plan=fault_plan,
     )
     return oracle.run(max_divergences=max_divergences)
 
@@ -61,6 +69,7 @@ def shrink_trace(
     fails: Optional[Callable[[Trace], bool]] = None,
     mode: str = "scalar",
     stack_factory: Callable = build_stack_for,
+    fault_plan=None,
 ) -> Trace:
     """Delta-debug a failing trace to a minimal still-failing one.
 
@@ -80,6 +89,7 @@ def shrink_trace(
                     check_every=1,
                     stack_factory=stack_factory,
                     max_divergences=1,
+                    fault_plan=fault_plan,
                 )
             )
 
@@ -129,6 +139,9 @@ class CampaignReport:
     #: only the scalar-vs-batch state diff failed).
     shrunk_mode: Optional[str] = None
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Fault plan the campaign injected (``FaultPlan.to_dict()``), or
+    #: None — replaying the shrunk reproducer needs the same plan.
+    fault_plan: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -159,6 +172,7 @@ class CampaignReport:
                 None if self.shrunk is None else json.loads(self.shrunk.to_json())
             ),
             "shrunk_mode": self.shrunk_mode,
+            "fault_plan": self.fault_plan,
         }
         return json.dumps(payload, indent=indent, sort_keys=True)
 
@@ -200,6 +214,11 @@ def _cross_mode_compare(
         return []
     first, second = oracles[modes[0]], oracles[modes[1]]
     if first.dram.flips or second.dram.flips:
+        return []
+    if first.faults_active or second.faults_active:
+        # Injected faults interleave differently with the two command
+        # streams (host retries, FTL reroutes), so divergent final
+        # placements are expected; per-mode durability checks still ran.
         return []
     found: List[Divergence] = []
     for lba in range(trace.num_lbas):
@@ -245,11 +264,27 @@ def run_campaign(
     check_every: int = 50,
     shrink: bool = True,
     stack_factory: Callable = build_stack_for,
+    crash_rate: float = 0.0,
+    write_buffer_pages: int = 0,
+    spare_blocks: int = 0,
+    fault_plan=None,
 ) -> CampaignReport:
     """Generate one seeded trace, replay it in every mode, shrink on
-    divergence; returns the (deterministic) report."""
+    divergence; returns the (deterministic) report.
+
+    ``crash_rate`` mixes power-cycle ops into the trace (and, with
+    ``write_buffer_pages``, explicit flush barriers); ``fault_plan``
+    attaches the NAND fault injector to every replayed stack.
+    """
     trace = generate_trace(
-        seed, num_ops, num_lbas=num_lbas, layout=layout, profile=profile
+        seed,
+        num_ops,
+        num_lbas=num_lbas,
+        layout=layout,
+        profile=profile,
+        crash_rate=crash_rate,
+        write_buffer_pages=write_buffer_pages,
+        spare_blocks=spare_blocks,
     )
     report = CampaignReport(
         seed=seed,
@@ -258,11 +293,16 @@ def run_campaign(
         layout=layout,
         profile=profile,
         modes=tuple(modes),
+        fault_plan=None if fault_plan is None else fault_plan.to_dict(),
     )
     oracles: Dict[str, DifferentialOracle] = {}
     for mode in modes:
         oracle = DifferentialOracle(
-            trace, mode=mode, check_every=check_every, stack_factory=stack_factory
+            trace,
+            mode=mode,
+            check_every=check_every,
+            stack_factory=stack_factory,
+            fault_plan=fault_plan,
         )
         report.divergences[mode] = oracle.run()
         oracles[mode] = oracle
@@ -271,6 +311,17 @@ def run_campaign(
         report.stats["%s_activations" % mode] = (
             oracle.dram.metrics.counter("activations").value
         )
+        if crash_rate or oracle.recoveries:
+            report.stats["%s_recoveries" % mode] = oracle.recoveries
+            report.stats["%s_resurrections" % mode] = oracle.resurrections
+        if fault_plan is not None:
+            injector = oracle.ftl.flash.injector
+            report.stats["%s_faults_injected" % mode] = (
+                0 if injector is None else len(injector.log)
+            )
+            report.stats["%s_power_cuts" % mode] = oracle.power_cuts
+            report.stats["%s_fault_failures" % mode] = oracle.fault_failures
+            report.stats["%s_host_retries" % mode] = oracle.bdev.retries
     cross = _cross_mode_compare(trace, oracles)
     if cross:
         report.divergences["cross-mode"] = cross
@@ -281,7 +332,10 @@ def run_campaign(
         )
         if failing_mode is not None:
             report.shrunk = shrink_trace(
-                trace, mode=failing_mode, stack_factory=stack_factory
+                trace,
+                mode=failing_mode,
+                stack_factory=stack_factory,
+                fault_plan=fault_plan,
             )
             report.shrunk_mode = failing_mode
         elif cross:
@@ -289,7 +343,10 @@ def run_campaign(
             def cross_fails(candidate: Trace) -> bool:
                 pair = {
                     mode: DifferentialOracle(
-                        candidate, mode=mode, stack_factory=stack_factory
+                        candidate,
+                        mode=mode,
+                        stack_factory=stack_factory,
+                        fault_plan=fault_plan,
                     )
                     for mode in modes
                 }

@@ -73,11 +73,14 @@ def check_ftl(ftl, exempt_lbas: Iterable[int] = ()) -> None:
 
     * L2P <-> reverse-map agreement: every mapped, in-range entry is owned
       by exactly the LBA the reverse map names (modulo ``exempt_lbas``).
+    * OOB agreement: the spare-area reference tag of every mapped page
+      names the owning LBA — the invariant crash recovery rebuilds the
+      table from.
     * GC never loses live pages: every reverse-map entry points back to a
       live translation, and per-block valid counts equal the number of
       reverse entries in that block.
-    * Pool discipline: free, sealed, open, and retired blocks are disjoint,
-      and free blocks hold no valid pages.
+    * Pool discipline: free, sealed, open, retired, and spare blocks are
+      disjoint, and free blocks hold no valid pages.
     """
     geometry = ftl.flash.geometry
     total_pages = geometry.total_pages
@@ -112,6 +115,21 @@ def check_ftl(ftl, exempt_lbas: Iterable[int] = ()) -> None:
                 "LBA %d -> PPA %d but reverse map says PPA %d -> %r"
                 % (lba, ppa, ppa, owner),
             )
+        if lba not in exempt:
+            oob = ftl.flash.read_oob(ppa)
+            if oob is None:
+                _fail(
+                    "ftl",
+                    "LBA %d maps PPA %d but the page carries no OOB "
+                    "metadata (recovery could not rebuild this entry)"
+                    % (lba, ppa),
+                )
+            elif oob.lba != lba:
+                _fail(
+                    "ftl",
+                    "LBA %d maps PPA %d whose OOB reference tag names "
+                    "LBA %d" % (lba, ppa, oob.lba),
+                )
 
     for ppa, lba in ftl.reverse.items():
         if not 0 <= ppa < total_pages:
@@ -144,15 +162,25 @@ def check_ftl(ftl, exempt_lbas: Iterable[int] = ()) -> None:
     free = set(ftl.free_blocks)
     sealed = set(ftl.sealed_blocks())
     retired = set(ftl.retired_blocks)
+    spare = set(ftl.spare_pool)
     if len(free) != len(ftl.free_blocks):
         _fail("ftl", "free pool contains duplicate blocks")
-    for name, pool in (("sealed", sealed), ("retired", retired)):
+    for name, pool in (("sealed", sealed), ("retired", retired), ("spare", spare)):
         overlap = free & pool
         if overlap:
             _fail("ftl", "blocks %s are both free and %s" % (sorted(overlap), name))
     if sealed & retired:
         _fail("ftl", "blocks %s are both sealed and retired" % sorted(sealed & retired))
-    if ftl._open_block is not None and ftl._open_block in free | sealed | retired:
+    if spare & (sealed | retired):
+        _fail(
+            "ftl",
+            "spare blocks %s also sit in the sealed/retired pools"
+            % sorted(spare & (sealed | retired)),
+        )
+    for block in retired:
+        if not ftl.flash.block_is_bad(block):
+            _fail("ftl", "retired block %d is not marked bad on the array" % block)
+    if ftl._open_block is not None and ftl._open_block in free | sealed | retired | spare:
         _fail("ftl", "open block %d also sits in a pool" % ftl._open_block)
     for block in free:
         if ftl.valid_count[block] != 0:

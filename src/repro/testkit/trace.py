@@ -26,8 +26,11 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-#: Operation kinds a trace may contain.
-OP_KINDS = ("read", "write", "trim", "hammer")
+#: Operation kinds a trace may contain.  ``flush`` is an NVMe FLUSH
+#: (durability barrier for buffered writes); ``crash`` power-cycles the
+#: device between commands — the oracle runs recovery and asserts every
+#: acknowledged-durable write survived.
+OP_KINDS = ("read", "write", "trim", "hammer", "flush", "crash")
 
 _HEAD = struct.Struct("<IB")
 
@@ -96,6 +99,10 @@ class Trace:
     num_lbas: int = 192
     layout: str = "linear"
     profile: str = "granite"
+    #: Device write-buffer size (pages); 0 = write-through.
+    write_buffer_pages: int = 0
+    #: Spare blocks reserved for bad-block replacement.
+    spare_blocks: int = 0
     ops: List[Op] = field(default_factory=list)
 
     def subset(self, indices: Sequence[int]) -> "Trace":
@@ -106,6 +113,8 @@ class Trace:
             num_lbas=self.num_lbas,
             layout=self.layout,
             profile=self.profile,
+            write_buffer_pages=self.write_buffer_pages,
+            spare_blocks=self.spare_blocks,
             ops=[self.ops[i] for i in indices],
         )
 
@@ -116,6 +125,8 @@ class Trace:
                 "num_lbas": self.num_lbas,
                 "layout": self.layout,
                 "profile": self.profile,
+                "write_buffer_pages": self.write_buffer_pages,
+                "spare_blocks": self.spare_blocks,
                 "ops": [op.to_dict() for op in self.ops],
             },
             indent=indent,
@@ -130,6 +141,8 @@ class Trace:
             num_lbas=int(raw.get("num_lbas", 192)),
             layout=raw.get("layout", "linear"),
             profile=raw.get("profile", "granite"),
+            write_buffer_pages=int(raw.get("write_buffer_pages", 0)),
+            spare_blocks=int(raw.get("spare_blocks", 0)),
             ops=[Op.from_dict(op) for op in raw.get("ops", ())],
         )
 
@@ -146,6 +159,10 @@ def generate_trace(
     hot_fraction: float = 0.25,
     max_batch: int = 8,
     hammer_repeats: int = 12,
+    crash_rate: float = 0.0,
+    write_buffer_pages: int = 0,
+    spare_blocks: int = 0,
+    flush_rate: float = 0.10,
 ) -> Trace:
     """Draw a seeded random workload.
 
@@ -154,9 +171,16 @@ def generate_trace(
     writes, so blocks fill with stale pages and garbage collection fires
     within a few hundred ops; trims punch holes; hammer ops drive the
     read-burst fast path over L2P-adjacent LBAs.
+
+    ``crash_rate`` sprinkles power-cycle ops into the mix; with a write
+    buffer configured, ``flush_rate`` adds explicit durability barriers.
+    Both rolls are drawn only when their feature is enabled, so existing
+    (seed, num_ops) pairs keep producing byte-identical traces.
     """
     if num_ops < 0:
         raise ValueError("num_ops cannot be negative")
+    if not 0.0 <= crash_rate <= 1.0:
+        raise ValueError("crash_rate must be in [0, 1]")
     rng = random.Random(seed)
     hot = max(1, int(num_lbas * hot_fraction))
     hot_set = rng.sample(range(num_lbas), hot)
@@ -171,6 +195,14 @@ def generate_trace(
         ]
 
     for _ in range(num_ops):
+        # Feature-gated rolls come first and are only drawn when the
+        # feature is on — crash-free traces stay seed-compatible.
+        if crash_rate > 0.0 and rng.random() < crash_rate:
+            ops.append(Op(kind="crash"))
+            continue
+        if write_buffer_pages > 0 and rng.random() < flush_rate:
+            ops.append(Op(kind="flush"))
+            continue
         roll = rng.random()
         count = rng.randint(1, max_batch)
         if roll < 0.40:
@@ -195,5 +227,11 @@ def generate_trace(
                 Op(kind="hammer", lbas=span, repeats=rng.randint(2, hammer_repeats))
             )
     return Trace(
-        seed=seed, num_lbas=num_lbas, layout=layout, profile=profile, ops=ops
+        seed=seed,
+        num_lbas=num_lbas,
+        layout=layout,
+        profile=profile,
+        write_buffer_pages=write_buffer_pages,
+        spare_blocks=spare_blocks,
+        ops=ops,
     )

@@ -1,0 +1,210 @@
+"""Crash/recovery semantics: power cuts, the OOB rebuild scan, spare-pool
+exhaustion, the host retry path, and read-only degradation."""
+
+import pytest
+
+from repro.errors import PowerLossInterrupt
+from repro.faults import FaultEvent, FaultPlan
+from repro.host.blockdev import BlockDevice, DeviceReadOnlyError
+from repro.testkit.trace import payload_for
+
+from tests.conftest import build_stack
+
+NSID = 1
+
+
+def host_stack(**kwargs):
+    controller, dram, ftl = build_stack(**kwargs)
+    controller.create_namespace(NSID, 0, ftl.num_lbas)
+    return controller, dram, ftl, BlockDevice(controller, NSID)
+
+
+@pytest.mark.parametrize("layout", ["linear", "hashed"])
+class TestCrashRecovery:
+    def test_acked_write_through_writes_survive(self, layout):
+        controller, _d, ftl, bdev = host_stack(layout=layout)
+        expected = {}
+        for round_index in range(3):
+            for lba in range(0, 64):
+                data = payload_for(lba, round_index * 7 + lba % 13, ftl.page_bytes)
+                bdev.write_block(lba, data)
+                expected[lba] = data
+        controller.crash()
+        report = controller.recover()
+        assert not report.read_only
+        assert report.live_pages == len(expected)
+        for lba, data in expected.items():
+            assert bdev.read_block(lba) == data
+        ftl.check()
+
+    def test_unflushed_buffered_writes_are_dropped(self, layout):
+        controller, _d, ftl, bdev = host_stack(layout=layout, write_buffer_pages=4)
+        for lba in (10, 11, 12):  # below capacity: never flushed
+            bdev.write_block(lba, payload_for(lba, 0x40 + lba, ftl.page_bytes))
+        assert ftl.write_buffer.staged_lbas() == [10, 11, 12]
+        controller.crash()
+        controller.recover()
+        for lba in (10, 11, 12):
+            assert bdev.read_block(lba) == b"\x00" * ftl.page_bytes
+        ftl.check()
+
+    def test_flush_makes_buffered_writes_durable(self, layout):
+        controller, _d, ftl, bdev = host_stack(layout=layout, write_buffer_pages=4)
+        expected = {
+            lba: payload_for(lba, 0x60 + lba, ftl.page_bytes) for lba in (20, 21, 22)
+        }
+        for lba, data in expected.items():
+            bdev.write_block(lba, data)
+        bdev.flush()
+        controller.crash()
+        controller.recover()
+        for lba, data in expected.items():
+            assert bdev.read_block(lba) == data
+
+    def test_highest_sequence_generation_wins_recovery(self, layout):
+        controller, _d, ftl, bdev = host_stack(layout=layout)
+        stale = payload_for(5, 0x01, ftl.page_bytes)
+        fresh = payload_for(5, 0x02, ftl.page_bytes)
+        bdev.write_block(5, stale)
+        bdev.write_block(5, fresh)  # the stale copy stays on flash
+        controller.crash()
+        report = controller.recover()
+        assert report.stale_pages >= 1
+        assert bdev.read_block(5) == fresh
+
+    def test_mid_gc_power_loss_loses_no_acked_write(self, layout):
+        # Cut power right before the first victim erase: GC has already
+        # relocated the victim's live pages, and recovery must prefer the
+        # relocated (higher-sequence) copies without losing any of them.
+        plan = FaultPlan(
+            events=(FaultEvent(op="erase", index=0, kind="power_loss"),)
+        )
+        controller, _d, ftl, bdev = host_stack(layout=layout, fault_plan=plan)
+        expected = {}
+        cut = False
+        for round_index in range(8):
+            for lba in range(ftl.num_lbas):
+                data = payload_for(lba, round_index * 31 + lba, ftl.page_bytes)
+                try:
+                    bdev.write_block(lba, data)
+                except PowerLossInterrupt:
+                    cut = True
+                    break
+                expected[lba] = data
+            if cut:
+                break
+        assert cut, "workload never triggered GC"
+        assert ftl.gc_active, "power cut did not land inside a GC pass"
+        controller.crash()
+        controller.recover()
+        for lba, data in expected.items():
+            assert bdev.read_block(lba) == data, "lost LBA %d" % lba
+        ftl.check()
+        # The device keeps working (GC resumes over the surviving pool).
+        for lba in range(ftl.num_lbas):
+            data = payload_for(lba, 0xC0 + lba % 17, ftl.page_bytes)
+            bdev.write_block(lba, data)
+            expected[lba] = data
+        for lba, data in expected.items():
+            assert bdev.read_block(lba) == data
+        ftl.check()
+
+    def test_trim_is_not_power_loss_durable(self, layout):
+        # Trims only clear the volatile mapping; the flash copy survives
+        # until GC erases it, so a crash can resurrect trimmed data.
+        controller, _d, ftl, bdev = host_stack(layout=layout)
+        data = payload_for(9, 0x99, ftl.page_bytes)
+        bdev.write_block(9, data)
+        bdev.trim_block(9)
+        assert bdev.read_block(9) == b"\x00" * ftl.page_bytes
+        controller.crash()
+        controller.recover()
+        assert bdev.read_block(9) == data  # resurrected from the OOB scan
+
+
+class TestRecoveryReport:
+    def test_report_fields_reflect_the_rebuilt_state(self):
+        controller, _d, ftl, bdev = host_stack(spare_blocks=2)
+        for lba in range(32):
+            bdev.write_block(lba, payload_for(lba, lba, ftl.page_bytes))
+        controller.crash()
+        report = controller.recover()
+        as_dict = report.to_dict()
+        assert report.live_pages == 32
+        assert report.scanned_pages >= report.live_pages + report.stale_pages
+        assert report.spare_blocks == 2
+        assert report.retired_blocks == 0
+        assert report.max_seq == ftl.program_seq
+        assert as_dict["live_pages"] == 32
+        assert set(as_dict) >= {
+            "scanned_pages", "live_pages", "stale_pages", "free_blocks",
+            "sealed_blocks", "retired_blocks", "spare_blocks", "open_block",
+            "max_seq", "read_only",
+        }
+
+
+class TestWearOutDegradation:
+    def test_grown_bad_victim_is_replaced_from_the_spare_pool(self):
+        plan = FaultPlan(
+            events=(FaultEvent(op="erase", index=0, kind="erase_fail"),)
+        )
+        controller, _d, ftl, bdev = host_stack(spare_blocks=2, fault_plan=plan)
+        while not ftl.retired_blocks:
+            for lba in range(ftl.num_lbas):
+                bdev.write_block(lba, payload_for(lba, lba % 29, ftl.page_bytes))
+        assert len(ftl.retired_blocks) == 1
+        retired = ftl.retired_blocks[0]
+        assert ftl.flash.block_is_bad(retired)
+        assert len(ftl.spare_pool) == 1  # one spare refilled the free pool
+        assert not ftl.read_only
+        ftl.check()
+
+    def test_spare_exhaustion_degrades_to_read_only(self):
+        plan = FaultPlan(erase_fail_rate=1.0)
+        controller, _d, ftl, bdev = host_stack(spare_blocks=1, fault_plan=plan)
+        probe = payload_for(0, 0x01, ftl.page_bytes)
+        bdev.write_block(0, probe)
+        with pytest.raises(DeviceReadOnlyError):
+            for _ in range(64):
+                for lba in range(ftl.num_lbas):
+                    bdev.write_block(lba, payload_for(lba, lba % 23, ftl.page_bytes))
+        assert ftl.read_only
+        # Graceful degradation: reads still work, writes keep failing.
+        assert len(bdev.read_block(0)) == ftl.page_bytes
+        with pytest.raises(DeviceReadOnlyError):
+            bdev.write_block(0, probe)
+        # ... and the read-only verdict survives a power cycle.
+        controller.crash()
+        report = controller.recover()
+        assert report.read_only
+
+
+class TestFastCrashCampaign:
+    """A short differential campaign with power cycles, kept in the fast
+    tier (the 500-op campaigns live behind the ``fuzz`` marker)."""
+
+    def test_short_crash_campaign_is_clean(self):
+        from repro.testkit.fuzzer import run_campaign
+
+        report = run_campaign(
+            seed=2026,
+            num_ops=150,
+            crash_rate=0.04,
+            write_buffer_pages=4,
+            spare_blocks=2,
+            shrink=False,
+        )
+        assert report.ok, report.summary()
+        assert report.stats["scalar_recoveries"] > 0
+
+
+class TestHostRetryPath:
+    def test_transient_read_error_is_retried_transparently(self):
+        plan = FaultPlan(
+            events=(FaultEvent(op="read", index=0, kind="read_error"),)
+        )
+        controller, _d, ftl, bdev = host_stack(fault_plan=plan)
+        data = payload_for(4, 0x44, ftl.page_bytes)
+        bdev.write_block(4, data)
+        assert bdev.read_block(4) == data  # first media read fails, retried
+        assert bdev.retries == 1

@@ -119,7 +119,12 @@ class TestBlock:
 
     def test_endurance_exhaustion(self):
         block = self.make()
-        for _ in range(3):
+        # Erases below the endurance limit succeed; the crossing erase
+        # itself fails and grows the block bad.
+        for _ in range(2):
+            block.erase()
+        assert not block.bad
+        with pytest.raises(FlashEraseError):
             block.erase()
         assert block.bad
         with pytest.raises(FlashEraseError):
@@ -166,7 +171,9 @@ class TestArray:
 
     def test_bad_block_flag(self):
         array = FlashArray(SMALL, endurance=1)
-        array.erase_block(0)
+        # With endurance 1 the very first erase is the wear-out erase.
+        with pytest.raises(FlashEraseError):
+            array.erase_block(0)
         assert array.block_is_bad(0)
 
     def test_wear_summary(self):

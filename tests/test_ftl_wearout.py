@@ -17,7 +17,7 @@ from repro.dram import (
     GenerationProfile,
     VulnerabilityModel,
 )
-from repro.errors import FtlCapacityError
+from repro.errors import FlashEraseError, FtlCapacityError
 from repro.flash import FlashArray, FlashGeometry
 from repro.ftl import FtlConfig, PageMappingFtl, wear_report
 from repro.sim import SimClock
@@ -58,9 +58,12 @@ class TestRetirementMechanics:
     def test_allocation_skips_pre_worn_block(self):
         """A bad block sitting in the free pool is retired, not opened."""
         ftl = make_ftl(endurance=3)
-        # Wear out the block at the head of the free pool directly.
+        # Wear out the block at the head of the free pool directly: two
+        # erases succeed, the third crosses the endurance limit and fails.
         victim = ftl.free_blocks[0]
-        for _ in range(3):
+        for _ in range(2):
+            ftl.flash.erase_block(victim)
+        with pytest.raises(FlashEraseError):
             ftl.flash.erase_block(victim)
         assert ftl.flash.block_is_bad(victim)
         ftl.write(0, b"x" * 512)

@@ -8,6 +8,7 @@ in seconds (the whole stack is a simulator).
 import pytest
 
 import repro.ftl.l2p as l2p_mod
+from repro.faults import FaultEvent, FaultPlan
 from repro.testkit.fuzzer import (
     replay_trace,
     run_campaign,
@@ -52,6 +53,95 @@ class TestCleanCampaigns:
         assert report.stats["scalar_flips"] > 0, (
             "fragile campaign never flipped — the exemption path went untested"
         )
+
+
+class TestCrashCampaigns:
+    """Differential fuzzing with power cycles mixed into the trace: the
+    crash-recovery invariant (rebuilt L2P ≡ shadow for every
+    acknowledged-durable write) must hold at every seeded cut point."""
+
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    @pytest.mark.parametrize("write_buffer_pages", [0, 4])
+    def test_crash_campaign_is_clean(self, layout, write_buffer_pages):
+        report = run_campaign(
+            seed=CAMPAIGN_SEED,
+            num_ops=CAMPAIGN_OPS,
+            layout=layout,
+            crash_rate=0.03,
+            write_buffer_pages=write_buffer_pages,
+            spare_blocks=2,
+        )
+        assert report.ok, report.summary()
+        assert report.stats["scalar_recoveries"] > 0
+        assert report.stats["batch_recoveries"] > 0
+        # Crash-only traces still cross-compare scalar vs batch.
+        assert report.stats["scalar_recoveries"] == report.stats["batch_recoveries"]
+
+    def test_crash_campaign_report_is_byte_identical_across_runs(self):
+        kwargs = dict(
+            seed=CAMPAIGN_SEED,
+            num_ops=CAMPAIGN_OPS,
+            crash_rate=0.05,
+            write_buffer_pages=4,
+        )
+        assert run_campaign(**kwargs).to_json() == run_campaign(**kwargs).to_json()
+
+
+class TestFaultCampaigns:
+    PLAN = FaultPlan(
+        seed=5,
+        read_error_rate=0.01,
+        retention_rate=0.005,
+        program_fail_rate=0.005,
+        erase_fail_rate=0.02,
+    )
+
+    @pytest.mark.parametrize("layout", ["linear", "hashed"])
+    def test_media_fault_campaign_is_clean(self, layout):
+        report = run_campaign(
+            seed=CAMPAIGN_SEED,
+            num_ops=CAMPAIGN_OPS,
+            layout=layout,
+            crash_rate=0.03,
+            write_buffer_pages=4,
+            spare_blocks=3,
+            fault_plan=self.PLAN,
+        )
+        assert report.ok, report.summary()
+        assert report.stats["scalar_faults_injected"] > 0
+        assert report.fault_plan == self.PLAN.to_dict()
+
+    def test_scheduled_power_loss_lands_inside_commands(self):
+        # Power cuts scheduled on raw flash-op indices land mid-GC and
+        # mid-flush — positions a trace-level crash op can never reach.
+        plan = FaultPlan(
+            events=(
+                FaultEvent(op="erase", index=0, kind="power_loss"),
+                FaultEvent(op="program", index=150, kind="power_loss"),
+            )
+        )
+        report = run_campaign(
+            seed=CAMPAIGN_SEED,
+            num_ops=CAMPAIGN_OPS,
+            crash_rate=0.02,
+            write_buffer_pages=4,
+            spare_blocks=2,
+            fault_plan=plan,
+        )
+        assert report.ok, report.summary()
+        assert report.stats["scalar_power_cuts"] == 2
+        assert report.stats["batch_power_cuts"] == 2
+
+    def test_fault_campaign_report_is_byte_identical_across_runs(self):
+        kwargs = dict(
+            seed=CAMPAIGN_SEED,
+            num_ops=300,
+            crash_rate=0.03,
+            write_buffer_pages=4,
+            spare_blocks=3,
+            fault_plan=self.PLAN,
+        )
+        assert run_campaign(**kwargs).to_json() == run_campaign(**kwargs).to_json()
 
 
 class TestMutationDetection:

@@ -273,14 +273,14 @@ class TestOracle:
         def sabotaged(t):
             controller, dram, ftl = build_stack_for(t)
             # Cross-wire LBA 10's entry to LBA 11's page after the fact.
-            original = controller.read
+            original = ftl.read
 
-            def misdirect(nsid, lba):
+            def misdirect(lba):
                 if lba == 10:
                     ftl.l2p.update(10, ftl.l2p.lookup(11))
-                return original(nsid, lba)
+                return original(lba)
 
-            controller.read = misdirect
+            ftl.read = misdirect
             return controller, dram, ftl
 
         oracle = DifferentialOracle(trace, stack_factory=sabotaged)
