@@ -8,6 +8,7 @@ Commands:
 * ``sweep``        — run a declarative parameter sweep from a JSON spec.
 * ``fuzz``         — differential fuzz campaign / reproducer replay.
 * ``faults``       — power-cut-mid-GC + recovery demo under fault injection.
+* ``trace``        — summarize / validate / diff / export a structured trace.
 * ``table1``       — re-measure Table 1's minimal flip rates.
 * ``info``         — describe the default testbed.
 """
@@ -66,7 +67,7 @@ def _check_testbed(testbed) -> int:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    testbed = build_cloud_testbed(seed=args.seed)
+    testbed = build_cloud_testbed(seed=args.seed, trace_path=args.trace)
     attack = FtlRowhammerAttack(
         testbed,
         AttackConfig(
@@ -76,6 +77,19 @@ def cmd_demo(args: argparse.Namespace) -> int:
         ),
     )
     result = attack.run()
+    if testbed.tracer is not None:
+        from repro.sim import merge_snapshots
+
+        testbed.tracer.close(
+            metrics=merge_snapshots(
+                testbed.dram.metrics,
+                testbed.ftl.metrics,
+                testbed.controller.metrics,
+                testbed.ftl.flash.metrics,
+            )
+        )
+        print("trace:             %d event(s) (%d dropped) -> %s"
+              % (testbed.tracer.emitted, testbed.tracer.dropped, args.trace))
     print("cycles run:        %d" % len(result.cycles))
     print("ground-truth flips: %d" % testbed.flips_observed())
     print("scan hits:         %d" % result.total_hits)
@@ -149,7 +163,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         write_buffer_pages=args.write_buffer,
         spare_blocks=args.spare_blocks,
         fault_plan=plan,
+        trace_path_prefix=args.trace,
     )
+    if args.trace:
+        print("traces: %s" % ", ".join(
+            "%s.%s.jsonl" % (args.trace, mode) for mode in args.modes))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
@@ -280,6 +298,65 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize, validate, diff, or export one structured JSONL trace."""
+    from repro.trace import (
+        conservation_errors,
+        diff_summaries,
+        emit_golden,
+        format_summary,
+        load_trace,
+        summarize,
+        validate_events,
+        write_chrome,
+    )
+
+    if args.emit_golden:
+        count = emit_golden(args.emit_golden)
+        print("golden trace: %d event(s) -> %s" % (count, args.emit_golden))
+        if args.file is None:
+            return 0
+    if args.file is None:
+        print("trace: need a trace file (or --emit-golden PATH)")
+        return 2
+    events = load_trace(args.file)
+    summary = summarize(events)
+
+    status = 0
+    if args.validate:
+        problems = validate_events(events)
+        for index, problem in problems:
+            print("event %s: %s" % ("?" if index is None else index, problem))
+        broken = conservation_errors(summary)
+        for problem in broken:
+            print("conservation: %s" % problem)
+        if problems or broken:
+            status = 1
+        else:
+            print("schema: %d event(s) ok; conservation holds" % summary["events"])
+
+    if args.chrome:
+        write_chrome(events, args.chrome)
+        print("chrome trace -> %s (open in chrome://tracing or Perfetto)"
+              % args.chrome)
+
+    if args.diff:
+        other = summarize(load_trace(args.diff))
+        differences = diff_summaries(summary, other)
+        if not differences:
+            print("traces are equivalent (%d vs %d event(s))"
+                  % (summary["events"], other["events"]))
+        for line in differences:
+            print(line)
+        return 1 if differences else status
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    elif not args.validate or status == 0:
+        print(format_summary(summary))
+    return status
+
+
 def cmd_mitigations(args: argparse.Namespace) -> int:
     from repro.mitigations import evaluate_all_mitigations
 
@@ -353,7 +430,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec,
         store_path=store_path,
         config=EngineConfig(
-            workers=args.workers, timeout=args.timeout, retries=args.retries
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            trace_dir=args.trace_dir,
         ),
         fresh=args.fresh,
     )
@@ -460,6 +540,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--check", action="store_true",
                       help="run the invariant layer over the final stack "
                            "state (exit 3 on violation)")
+    demo.add_argument("--trace", default=None, metavar="TRACE_JSONL",
+                      help="stream a structured cross-layer trace here "
+                           "(inspect with 'python -m repro trace')")
     demo.set_defaults(func=cmd_demo)
 
     fuzz = sub.add_parser(
@@ -501,6 +584,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="spare blocks backing grown-bad retirement")
     fuzz.add_argument("--fault-plan", default=None, metavar="PLAN_JSON",
                       help="FaultPlan JSON to inject NAND faults from")
+    fuzz.add_argument("--trace", default=None, metavar="PREFIX",
+                      help="stream one structured trace per replay mode to "
+                           "PREFIX.<mode>.jsonl (report stays byte-identical)")
     fuzz.set_defaults(func=cmd_fuzz)
 
     faults = sub.add_parser(
@@ -552,7 +638,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore an existing checkpoint and restart")
     sweep.add_argument("--json", action="store_true",
                        help="print the aggregated summary as JSON")
+    sweep.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="per-trial structured traces land here "
+                            "(trace-capable kinds; summary stays identical)")
     sweep.set_defaults(func=cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize / validate / diff / export a structured JSONL trace",
+    )
+    trace.add_argument("file", nargs="?", default=None,
+                       help="trace JSONL file (from --trace / --trace-dir)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the summary as JSON instead of text")
+    trace.add_argument("--validate", action="store_true",
+                       help="schema-check every event and verify activation "
+                            "conservation (exit 1 on any problem)")
+    trace.add_argument("--diff", default=None, metavar="OTHER_JSONL",
+                       help="compare against another trace (exit 1 if they "
+                            "differ)")
+    trace.add_argument("--chrome", default=None, metavar="OUT_JSON",
+                       help="export Chrome trace_event JSON for "
+                            "chrome://tracing / Perfetto")
+    trace.add_argument("--emit-golden", default=None, metavar="OUT_JSONL",
+                       help="regenerate the golden double-sided-hammer "
+                            "fixture trace to OUT_JSONL")
+    trace.set_defaults(func=cmd_trace)
 
     table1 = sub.add_parser("table1", help="re-measure Table 1")
     table1.set_defaults(func=cmd_table1)

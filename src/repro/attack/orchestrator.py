@@ -149,6 +149,7 @@ class FtlRowhammerAttack:
         """Execute up to ``max_cycles`` spray->hammer->scan cycles."""
         testbed = self.testbed
         config = self.config
+        tracer = getattr(testbed, "tracer", None)
         result = AttackResult()
         began = testbed.clock.now
 
@@ -177,6 +178,7 @@ class FtlRowhammerAttack:
         ios_per_cycle = int(io_rate * config.hammer_seconds)
 
         for cycle_index in range(config.max_cycles):
+            cycle_start = testbed.clock.now
             # Spray (re-spray): fresh files, fresh mappings.
             unspray_victim_filesystem(
                 testbed.victim_fs, testbed.attacker_process, self._spray_records
@@ -205,6 +207,15 @@ class FtlRowhammerAttack:
                 report.activation_rate = max(
                     report.activation_rate, burst.activation_rate
                 )
+                if tracer is not None:
+                    tracer.emit(
+                        "attack.hammer",
+                        plan=plan.name,
+                        lbas=len(plan.lbas),
+                        ios=burst.ios,
+                        flips=burst.flip_count,
+                        activation_rate=burst.activation_rate,
+                    )
             report.flips_ground_truth = testbed.flips_observed() - flips_before
 
             # Scan.
@@ -212,6 +223,17 @@ class FtlRowhammerAttack:
                 testbed.victim_fs, testbed.attacker_process, self._spray_records
             )
             result.cycles.append(report)
+            if tracer is not None:
+                tracer.emit_at(
+                    "attack.cycle",
+                    cycle_start,
+                    index=cycle_index,
+                    sprayed=report.sprayed,
+                    hammer_ios=report.hammer_ios,
+                    hits=len(report.hits),
+                    flips=report.flips_ground_truth,
+                    dur=testbed.clock.now - cycle_start,
+                )
             for hit in report.hits:
                 if hit.usable:
                     result.leaks.append(

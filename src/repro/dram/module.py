@@ -172,6 +172,7 @@ class DramModule:
         refresh_interval: float = ms(64),
         row_policy: str = OPEN_PAGE,
         metrics: Optional[MetricRegistry] = None,
+        tracer=None,
     ):
         if vulnerability.geometry is not geometry:
             if vulnerability.geometry != geometry:
@@ -191,6 +192,9 @@ class DramModule:
         self.trr = trr
         self.para = para
         self.metrics = metrics or MetricRegistry("dram")
+        #: Optional structured tracer; every emit site checks ``is not
+        #: None`` once, so an untraced module pays one attribute test.
+        self.tracer = tracer
         self.banks = [Bank(i, geometry, ecc_enabled=ecc) for i in range(geometry.total_banks)]
         #: Every flip that changed stored state, in time order.
         self.flips: List[FlipEvent] = []
@@ -257,6 +261,8 @@ class DramModule:
     def read(self, phys_addr: int, length: int) -> bytes:
         """Read bytes; activates rows and may observe/correct flips."""
         self._reads.add()
+        if self.tracer is not None:
+            self.tracer.emit("dram.access", op="r", count=1, addr=phys_addr, len=length)
         out = bytearray()
         for bank_idx, row, column, chunk in self._segments(phys_addr, length):
             self._touch(bank_idx, row)
@@ -270,6 +276,8 @@ class DramModule:
     def write(self, phys_addr: int, data: bytes) -> None:
         """Write bytes; activates rows; refreshes any pending flips away."""
         self._writes.add()
+        if self.tracer is not None:
+            self.tracer.emit("dram.access", op="w", count=1, addr=phys_addr, len=len(data))
         view = np.frombuffer(bytes(data), dtype=np.uint8)
         consumed = 0
         for bank_idx, row, column, chunk in self._segments(phys_addr, len(view)):
@@ -328,9 +336,12 @@ class DramModule:
             raise DramAddressError(
                 "row %d out of range in bank %d" % (row, bank_idx)
             )
+        tracer = self.tracer
         epoch = int(self.clock._now / self.refresh_interval)
         if bank.epoch != epoch:
             bank.roll_epoch(epoch)
+            if tracer is not None:
+                tracer.emit("dram.refresh", bank=bank_idx, epoch=epoch)
             if self.trr is not None:
                 self.trr.on_window(bank_idx)
         if self.row_policy == OPEN_PAGE:
@@ -343,12 +354,20 @@ class DramModule:
         acts = bank.acts
         acts[row] = acts.get(row, 0) + 1
         self._activations.value += 1
+        if tracer is not None:
+            tracer.emit("dram.activate", bank=bank_idx, row=row, count=1)
         if self.trr is not None:
-            for victim in self.trr.on_activation(bank_idx, row):
+            victims = self.trr.on_activation(bank_idx, row)
+            if victims and tracer is not None:
+                tracer.emit("dram.trr", bank=bank_idx, row=row, victims=len(victims))
+            for victim in victims:
                 if 0 <= victim < rows_per_bank:
                     bank.refresh_victim(victim)
         if self.para is not None:
-            for victim in self.para.on_activation(bank_idx, row):
+            victims = self.para.on_activation(bank_idx, row)
+            if victims and tracer is not None:
+                tracer.emit("dram.para", bank=bank_idx, row=row, victims=len(victims))
+            for victim in victims:
                 if 0 <= victim < rows_per_bank:
                     bank.refresh_victim(victim)
         min_thresholds = self._min_thresholds
@@ -411,6 +430,16 @@ class DramModule:
             )
             self.flips.append(event)
             self._flip_counter.add()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "dram.flip",
+                    bank=bank.index,
+                    row=victim,
+                    byte=cell.byte_offset,
+                    bit=cell.bit,
+                    to=cell.flips_to,
+                    check_region=event.in_check_region,
+                )
             applied += 1
         return applied
 
@@ -495,10 +524,35 @@ class DramModule:
                             acts = banks[bank_idx].acts
                             acts[row] = acts.get(row, 0) + n
                 self._activations.value += total_accesses
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "dram.window",
+                        epoch=epoch,
+                        accesses=total_accesses,
+                        pattern=plan.length,
+                    )
+                    tracer.emit_at(
+                        "dram.hammer",
+                        now,
+                        accesses=total_accesses,
+                        windows=1,
+                        flips=0,
+                        dur=end - now,
+                    )
                 return HammerResult(total_accesses, end - now, 1)
             result = HammerResult(accesses=0, duration=0.0, windows=0)
             self._hammer_inert(plan, total_accesses, access_rate, result)
             result.duration = clock._now - now
+            if self.tracer is not None:
+                self.tracer.emit_at(
+                    "dram.hammer",
+                    now,
+                    accesses=result.accesses,
+                    windows=result.windows,
+                    flips=0,
+                    dur=result.duration,
+                )
             return result
 
         result = HammerResult(accesses=0, duration=0.0, windows=0)
@@ -529,6 +583,17 @@ class DramModule:
             result.windows += 1
         result.duration = clock.now - start_time
         result.flips = self.flips[flips_before:]
+        if self.tracer is not None:
+            self.tracer.emit_at(
+                "dram.hammer",
+                start_time,
+                accesses=result.accesses,
+                windows=result.windows,
+                flips=len(result.flips),
+                dur=result.duration,
+                trr_capped=result.trr_capped,
+                para_refreshes=result.para_refreshes,
+            )
         return result
 
     def _hammer_inert(
@@ -543,6 +608,7 @@ class DramModule:
         final window's counts."""
         clock = self.clock
         interval = self.refresh_interval
+        tracer = self.tracer
         last_epoch = -1
         last_accesses = 0
         while remaining > 0:
@@ -559,6 +625,13 @@ class DramModule:
             # Same float step as the general loop's advance() (always a
             # positive increment, so its validation is redundant).
             clock._now = now + accesses / access_rate
+            if tracer is not None:
+                tracer.emit(
+                    "dram.window",
+                    epoch=epoch,
+                    accesses=accesses,
+                    pattern=plan.length,
+                )
             if epoch == last_epoch:
                 last_accesses += accesses
             else:
@@ -647,6 +720,10 @@ class DramModule:
                 acts = banks[bank_idx].acts
                 acts[row] = acts.get(row, 0) + n
         self._activations.add(accesses)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dram.window", epoch=epoch, accesses=accesses, pattern=plan.length
+            )
 
         # Closed-form skip: when no mitigation is drawing per-window state
         # and even the best-case disturbance this window cannot reach the
@@ -765,6 +842,8 @@ class DramModule:
             bank.acts[row] = bank.acts.get(row, 0) + n
             total += n
         self._activations.add(total)
+        if self.tracer is not None:
+            self.tracer.emit("dram.activate", count=total)
         self._evaluate_batch_victims(bank_rows)
         return self.flips[flips_before:]
 
@@ -875,6 +954,8 @@ class DramModule:
         total = len(banks) - row_hits
         if total:
             self._activations.value += total
+            if self.tracer is not None:
+                self.tracer.emit("dram.activate", count=total)
         self._evaluate_batch_victims(bank_rows)
 
     def read_batch(self, phys_addrs: Sequence[int], length: int) -> np.ndarray:
@@ -900,6 +981,8 @@ class DramModule:
             return out
         banks, rows, columns = located
         self._reads.value += n
+        if self.tracer is not None:
+            self.tracer.emit("dram.access", op="r", count=n, len=length)
         self._account_batch(banks, rows)
         if n < self._GROUP_MIN:
             for i in range(n):
@@ -951,6 +1034,8 @@ class DramModule:
             return
         banks, rows, columns = located
         self._writes.value += n
+        if self.tracer is not None:
+            self.tracer.emit("dram.access", op="w", count=n, len=length)
         self._account_batch(banks, rows)
         if n < self._GROUP_MIN:
             for i in range(n):

@@ -43,6 +43,10 @@ class EngineConfig:
     #: Exponential backoff between attempts: base * 2**(attempt-1), capped.
     backoff_base: float = 0.1
     backoff_cap: float = 2.0
+    #: Directory for per-trial structured traces (trace-capable kinds
+    #: only); None = tracing off.  Observability only: summaries and
+    #: checkpoint records are byte-identical with and without it.
+    trace_dir: Optional[str] = None
 
 
 @dataclass
@@ -94,6 +98,13 @@ class SweepEngine:
         self.registry = registry if registry is not None else MetricRegistry()
 
     def run(self) -> SweepReport:
+        from repro.engine.runner import set_trace_dir
+
+        if self.config.trace_dir is not None:
+            import os
+
+            os.makedirs(self.config.trace_dir, exist_ok=True)
+        set_trace_dir(self.config.trace_dir)
         trials = self.spec.expand()
         completed = self.store.open(self.spec)
         try:

@@ -26,8 +26,9 @@ import-cycle free (``mitigations.evaluation`` itself runs on the engine).
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine.spec import TrialSpec
 from repro.errors import ConfigError
@@ -35,6 +36,22 @@ from repro.errors import ConfigError
 TrialFn = Callable[[TrialSpec], Dict[str, Any]]
 
 _REGISTRY: Dict[str, TrialFn] = {}
+
+#: Directory for per-trial structured traces (None = tracing off).  Set
+#: process-wide by :func:`set_trace_dir`; forked pool workers inherit it,
+#: spawn-method workers do not (per-trial tracing needs serial or fork).
+_TRACE_DIR: Optional[str] = None
+
+
+def set_trace_dir(path: Optional[str]) -> None:
+    """Point trace-capable trial kinds at ``path`` (None disables).
+
+    Trace capture is observability only — trial result dicts, and hence
+    checkpoint records and sweep summaries, are byte-identical with and
+    without it.
+    """
+    global _TRACE_DIR
+    _TRACE_DIR = path
 
 
 def register_trial_kind(name: str, fn: TrialFn, replace: bool = False) -> None:
@@ -183,6 +200,10 @@ def _trial_fault_campaign(trial: TrialSpec) -> Dict[str, Any]:
         write_buffer_pages=int(params.pop("write_buffer_pages", 0)),
         spare_blocks=int(params.pop("spare_blocks", 0)),
         fault_plan=plan,
+        trace_path_prefix=(
+            None if _TRACE_DIR is None
+            else os.path.join(_TRACE_DIR, trial.trial_id)
+        ),
     )
     return {
         "ok": report.ok,

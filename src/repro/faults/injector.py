@@ -53,8 +53,11 @@ class InjectedFault:
 class FaultInjector:
     """Executes a fault plan against the flash operation stream."""
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, tracer=None):
         self.plan = plan
+        #: Optional structured tracer: every injected fault also lands in
+        #: the trace as a ``flash.fault`` event (see :mod:`repro.trace`).
+        self.tracer = tracer
         #: Faults that actually fired, in injection order.
         self.log: List[InjectedFault] = []
         # Device-wide operation counters, one per operation type.
@@ -91,6 +94,13 @@ class FaultInjector:
         self.log.append(
             InjectedFault(op=op, index=index, kind=kind, ppa=ppa, lba=lba, bit=bit)
         )
+        if self.tracer is not None:
+            extra: Dict[str, Any] = {}
+            if lba is not None:
+                extra["lba"] = lba
+            if bit is not None:
+                extra["bit"] = bit
+            self.tracer.emit("flash.fault", op=op, kind=kind, ppa=ppa, **extra)
 
     # -- hooks (called by FlashArray) --------------------------------------
 

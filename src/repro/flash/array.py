@@ -29,12 +29,15 @@ class FlashArray:
         endurance: int = 10_000,
         metrics: MetricRegistry = None,
         injector=None,
+        tracer=None,
     ):
         self.geometry = geometry
         self.timing = timing
         self.metrics = metrics or MetricRegistry("flash")
         #: Optional fault-injection plane (see :mod:`repro.faults`).
         self.injector = injector
+        #: Optional structured tracer (see :mod:`repro.trace`).
+        self.tracer = tracer
         self.chips = [
             FlashChip(
                 index=i,
@@ -82,12 +85,16 @@ class FlashArray:
         if self.injector is not None:
             self.injector.on_program(self, ppa)
         chip.program(block, page, data, oob=oob)
+        if self.tracer is not None:
+            self.tracer.emit("flash.program", ppa=ppa)
 
     def erase_block(self, global_block: int) -> None:
         chip, block = self._chip_block(global_block)
         if self.injector is not None:
             self.injector.on_erase(self, global_block, chip.blocks[block])
         chip.erase(block)
+        if self.tracer is not None:
+            self.tracer.emit("flash.erase", block=global_block)
 
     def inspect_page(self, ppa: int) -> bytes:
         """Media contents of a page without timing, metrics, or fault

@@ -119,12 +119,15 @@ class PageMappingFtl:
         config: FtlConfig = FtlConfig(),
         collector: Optional[GreedyGarbageCollector] = None,
         metrics: Optional[MetricRegistry] = None,
+        tracer=None,
     ):
         self.flash = flash
         self.memory = memory
         self.config = config
         self.collector = collector or GreedyGarbageCollector()
         self.metrics = metrics or MetricRegistry("ftl")
+        #: Optional structured tracer (see :mod:`repro.trace`).
+        self.tracer = tracer
         geometry = flash.geometry
 
         num_lbas = config.num_lbas
@@ -222,6 +225,8 @@ class PageMappingFtl:
         if self.write_buffer is not None and self.write_buffer.contains(lba):
             # Served straight from the DRAM staging area — including any
             # disturbance damage the staged bytes picked up.
+            if self.tracer is not None:
+                self.tracer.emit("ftl.read", lba=lba, mapped=True, buffered=True)
             return ReadResult(
                 self.write_buffer.read(lba), mapped=True, flash_time=0.0
             )
@@ -230,10 +235,14 @@ class PageMappingFtl:
             # Unmapped/trimmed: the device answers immediately without
             # touching flash — the fast path the attacker hammers through.
             self._unmapped_reads.add()
+            if self.tracer is not None:
+                self.tracer.emit("ftl.read", lba=lba, mapped=False)
             return ReadResult(b"\x00" * self.page_bytes, mapped=False, flash_time=0.0)
         if ppa >= self.flash.geometry.total_pages:
             # Only reachable through a disturbance flip into the table.
             self._oob_reads.add()
+            if self.tracer is not None:
+                self.tracer.emit("ftl.read", lba=lba, mapped=True, out_of_range=True)
             return ReadResult(
                 b"\xff" * self.page_bytes,
                 mapped=True,
@@ -248,12 +257,18 @@ class PageMappingFtl:
                 # LBA (or the page carries no valid tag).  Detected, not
                 # leaked.
                 self.metrics.counter("dif_failures").add()
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "ftl.read", lba=lba, mapped=True, integrity_error=True
+                    )
                 return ReadResult(
                     b"\x00" * self.page_bytes,
                     mapped=True,
                     flash_time=self.flash.timing.read_page,
                     integrity_error=True,
                 )
+        if self.tracer is not None:
+            self.tracer.emit("ftl.read", lba=lba, mapped=True)
         return ReadResult(data, mapped=True, flash_time=self.flash.timing.read_page)
 
     def write(self, lba: int, data: bytes) -> WriteResult:
@@ -273,13 +288,21 @@ class PageMappingFtl:
         self._host_writes.add()
         if self.write_buffer is not None:
             self.write_buffer.stage(lba, data)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wb.stage", lba=lba, staged=self.write_buffer.staged_count
+                )
+                self.tracer.emit("ftl.write", lba=lba, buffered=True)
             flash_time = 0.0
             gc_stats = None
             if self.write_buffer.is_full:
                 flush_time, gc_stats = self._flush_buffer()
                 flash_time += flush_time
             return WriteResult(ppa=None, flash_time=flash_time, gc=gc_stats)
-        return self._write_through(lba, data)
+        result = self._write_through(lba, data)
+        if self.tracer is not None:
+            self.tracer.emit("ftl.write", lba=lba, ppa=result.ppa, buffered=False)
+        return result
 
     def _write_through(self, lba: int, data: bytes) -> WriteResult:
         """The unbuffered write path: allocate, program, remap.
@@ -329,6 +352,8 @@ class PageMappingFtl:
         self._check_writable()
         self._check_lba(lba)
         self._host_trims.add()
+        if self.tracer is not None:
+            self.tracer.emit("ftl.trim", lba=lba)
         if self.write_buffer is not None:
             self.write_buffer.discard(lba)
         self._invalidate_current(lba)
@@ -346,14 +371,18 @@ class PageMappingFtl:
         """Drain the staging buffer through the write-through path."""
         total_time = 0.0
         merged_gc = None
+        pages = 0
         for lba, data in self.write_buffer.drain():
             result = self._write_through(lba, data)
             total_time += result.flash_time
+            pages += 1
             if result.gc is not None:
                 if merged_gc is None:
                     merged_gc = result.gc
                 else:
                     merged_gc.merge(result.gc)
+        if self.tracer is not None:
+            self.tracer.emit("ftl.flush", pages=pages, flash_time=total_time)
         return total_time, merged_gc
 
     def is_mapped(self, lba: int) -> bool:
@@ -387,6 +416,8 @@ class PageMappingFtl:
         for lba in lbas:
             self._check_lba(int(lba))
         self._host_trims.add(n)
+        if self.tracer is not None:
+            self.tracer.emit("ftl.trim", lba=int(lbas[0]), count=n)
         if self.write_buffer is not None:
             for lba in lbas:
                 self.write_buffer.discard(int(lba))
@@ -481,6 +512,14 @@ class PageMappingFtl:
                 break
             passed = self.collector.collect(self)
             total.merge(passed)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "ftl.gc",
+                    moved=passed.moved_pages,
+                    dropped=passed.dropped_stale_pages,
+                    erased=passed.erased_blocks,
+                    flash_time=passed.flash_time,
+                )
             if passed.erased_blocks == 0:
                 break
         self.gc_active = False
@@ -530,6 +569,8 @@ class PageMappingFtl:
         metadata, and the DIF protection bytes — survive, as do the bad
         flags and erase counts (media state).  Idempotent.
         """
+        if self.tracer is not None and not self._crashed:
+            self.tracer.emit("ftl.crash")
         self._crashed = True
         self.gc_active = False
         self.reverse.clear()
@@ -553,7 +594,16 @@ class PageMappingFtl:
         """
         from repro.ftl.recovery import recover
 
-        return recover(self)
+        report = recover(self)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "ftl.recover",
+                scanned=report.scanned_pages,
+                live=report.live_pages,
+                stale=report.stale_pages,
+                read_only=report.read_only,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # reporting & verification

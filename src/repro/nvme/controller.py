@@ -124,12 +124,23 @@ class NvmeController:
         timing: DeviceTimingModel = DeviceTimingModel(),
         rate_limiter: Optional[IopsRateLimiter] = None,
         metrics: Optional[MetricRegistry] = None,
+        tracer=None,
     ):
         self.ftl = ftl
         self.clock = clock
         self.timing = timing
         self.rate_limiter = rate_limiter
         self.metrics = metrics or MetricRegistry("nvme")
+        #: Optional structured tracer (see :mod:`repro.trace`).
+        self.tracer = tracer
+        if tracer is None:
+            # Tracing is fixed at construction; with no tracer, bind the
+            # hot entry points straight to their implementations so the
+            # untraced path never pays for the wrapper frame.
+            self.submit = self._submit
+            self.read_burst = self._read_burst
+            self.write_burst = self._write_burst
+            self.trim_burst = self._trim_burst
         self.namespaces: Dict[int, Namespace] = {}
         self._commands = self.metrics.counter("commands")
         self._errors = self.metrics.counter("errors")
@@ -192,6 +203,29 @@ class NvmeController:
 
     def submit(self, command: NvmeCommand) -> NvmeCompletion:
         """Execute one command, advancing simulated time by its cost."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._submit(command)
+        tracer.emit(
+            "nvme.submit",
+            opcode=command.opcode.name,
+            nsid=command.nsid,
+            lba=command.lba,
+        )
+        start = self.clock._now
+        completion = self._submit(command)
+        tracer.emit_at(
+            "nvme.complete",
+            start,
+            opcode=command.opcode.name,
+            nsid=command.nsid,
+            lba=command.lba,
+            status=completion.status.name,
+            dur=self.clock._now - start,
+        )
+        return completion
+
+    def _submit(self, command: NvmeCommand) -> NvmeCompletion:
         self._commands.add()
         namespace = self.namespaces.get(command.nsid)
         if namespace is None:
@@ -369,6 +403,32 @@ class NvmeController:
         hammer directly.  Semantics match a loop of :meth:`submit` calls
         (tests pin this for the uncached configuration).
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._read_burst(nsid, lbas, repeats, host_iops_cap)
+        start = self.clock._now
+        result = self._read_burst(nsid, lbas, repeats, host_iops_cap)
+        tracer.emit_at(
+            "nvme.read_burst",
+            start,
+            nsid=nsid,
+            lbas=len(lbas),
+            ios=result.ios,
+            io_rate=result.io_rate,
+            activation_rate=result.activation_rate,
+            flips=result.flip_count,
+            cache_absorbed=result.cache_absorbed,
+            dur=self.clock._now - start,
+        )
+        return result
+
+    def _read_burst(
+        self,
+        nsid: int,
+        lbas: Sequence[int],
+        repeats: int,
+        host_iops_cap: Optional[float] = None,
+    ) -> BurstResult:
         n_lbas = len(lbas)
         plan = self._burst_plans.get((nsid, tuple(lbas)))
         if plan is None:
@@ -517,6 +577,23 @@ class NvmeController:
         counters, the clock — is amortized over the burst, which is what
         makes priming an attacker partition cheap.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._write_burst(nsid, lbas, payloads)
+        start = self.clock._now
+        result = self._write_burst(nsid, lbas, payloads)
+        tracer.emit_at(
+            "nvme.write_burst",
+            start,
+            nsid=nsid,
+            ios=result.ios,
+            failed=len(result.failed),
+            flips=result.flip_count,
+            dur=self.clock._now - start,
+        )
+        return result
+
+    def _write_burst(self, nsid: int, lbas: Sequence[int], payloads) -> BurstResult:
         namespace = self.namespace(nsid)
         n_lbas = len(lbas)
         if isinstance(payloads, (bytes, bytearray, memoryview)):
@@ -569,6 +646,21 @@ class NvmeController:
     def trim_burst(self, nsid: int, lbas: Sequence[int]) -> BurstResult:
         """Deallocate a batch of blocks: one translation pass, one batched
         L2P clear, one clock advance (trims never touch flash)."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._trim_burst(nsid, lbas)
+        start = self.clock._now
+        result = self._trim_burst(nsid, lbas)
+        tracer.emit_at(
+            "nvme.trim_burst",
+            start,
+            nsid=nsid,
+            ios=result.ios,
+            dur=self.clock._now - start,
+        )
+        return result
+
+    def _trim_burst(self, nsid: int, lbas: Sequence[int]) -> BurstResult:
         namespace = self.namespace(nsid)
         n_lbas = len(lbas)
         if n_lbas >= _BATCH_MIN:

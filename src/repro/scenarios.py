@@ -78,6 +78,9 @@ class CloudTestbed:
     attacker_process: Credentials
     #: Paths of planted privileged files on the victim filesystem.
     secret_paths: Dict[str, str] = field(default_factory=dict)
+    #: Optional structured tracer wired through the whole stack (the
+    #: attack orchestrator also emits its hammer/cycle events here).
+    tracer: Optional[object] = None
 
     @property
     def victim_ns(self):
@@ -166,6 +169,8 @@ def build_cloud_testbed(
     dif: bool = False,
     write_buffer_pages: int = 0,
     plant_secrets: bool = True,
+    trace_path: Optional[str] = None,
+    trace_max_events: int = 1_000_000,
 ) -> CloudTestbed:
     """Assemble the §4.1 testbed.
 
@@ -182,6 +187,11 @@ def build_cloud_testbed(
         raise ConfigError("SSD too small to be interesting")
 
     clock = SimClock()
+    tracer = None
+    if trace_path is not None:
+        from repro.trace import Tracer
+
+        tracer = Tracer(clock, path=trace_path, max_events=trace_max_events)
     table_bytes = num_lbas * 4 + write_buffer_pages * page_bytes
     dram_geometry = _dram_geometry_for(table_bytes, dram_row_bytes, dram_banks)
     # Cell thresholds are physical constants calibrated against the
@@ -197,9 +207,12 @@ def build_cloud_testbed(
         trr=trr,
         para=para,
         refresh_interval=refresh_interval,
+        tracer=tracer,
     )
     memory = FtlCpuCache(dram, cache_mode)
-    flash = FlashArray(_flash_geometry_for(num_lbas, page_bytes, 0.125))
+    flash = FlashArray(
+        _flash_geometry_for(num_lbas, page_bytes, 0.125), tracer=tracer
+    )
     ftl = PageMappingFtl(
         flash,
         memory,
@@ -210,12 +223,14 @@ def build_cloud_testbed(
             dif=dif,
             write_buffer_pages=write_buffer_pages,
         ),
+        tracer=tracer,
     )
     controller = NvmeController(
         ftl,
         clock,
         timing=DeviceTimingModel(hammer_amplification=hammer_amplification),
         rate_limiter=rate_limiter,
+        tracer=tracer,
     )
 
     half = num_lbas // 2
@@ -248,6 +263,7 @@ def build_cloud_testbed(
         attacker_vm=attacker_vm,
         victim_fs=victim_fs,
         attacker_process=ATTACKER_PROCESS,
+        tracer=tracer,
     )
     if plant_secrets:
         _plant_secrets(testbed)

@@ -1,14 +1,22 @@
 """Simulation substrate: simulated time, deterministic randomness, metrics."""
 
 from repro.sim.clock import SimClock
-from repro.sim.metrics import Counter, Histogram, MetricRegistry
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    merge_snapshots,
+)
 from repro.sim.rng import RngStream, derive_seed
 
 __all__ = [
     "SimClock",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricRegistry",
+    "merge_snapshots",
     "RngStream",
     "derive_seed",
 ]

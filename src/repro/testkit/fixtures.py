@@ -64,12 +64,21 @@ def build_stack(
     write_buffer_pages=0,
     spare_blocks=0,
     fault_plan=None,
+    clock=None,
+    tracer=None,
+    trace_path=None,
+    trace_max_events=1_000_000,
 ):
     """Assemble a complete small device; returns (controller, dram, ftl).
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan`) attaches a fault
     injector to the flash array; ``write_buffer_pages`` / ``spare_blocks``
     forward to :class:`FtlConfig` for crash-recovery and wear-out testing.
+
+    Observability: pass a pre-built ``tracer`` (its clock must be the
+    ``clock`` you also pass), or just ``trace_path`` to have the stack
+    stream a JSONL trace there.  The tracer is threaded through every
+    layer and is reachable afterwards as ``controller.tracer``.
     """
     if flash_geometry is None:
         if num_lbas <= 192:
@@ -85,18 +94,30 @@ def build_stack(
                 pages_per_block=8,
                 page_bytes=512,
             )
-    clock = SimClock()
+    if clock is None:
+        clock = SimClock()
+    if tracer is None and trace_path is not None:
+        from repro.trace import Tracer
+
+        tracer = Tracer(clock, path=trace_path, max_events=trace_max_events)
     vuln = VulnerabilityModel(profile, dram_geometry, seed=seed)
     dram = DramModule(
-        dram_geometry, vuln, clock, mapping=mapping, trr=trr, para=para, ecc=ecc
+        dram_geometry,
+        vuln,
+        clock,
+        mapping=mapping,
+        trr=trr,
+        para=para,
+        ecc=ecc,
+        tracer=tracer,
     )
     memory = FtlCpuCache(dram, cache_mode)
     injector = None
     if fault_plan is not None and not fault_plan.is_null:
         from repro.faults import FaultInjector
 
-        injector = FaultInjector(fault_plan)
-    flash = FlashArray(flash_geometry, injector=injector)
+        injector = FaultInjector(fault_plan, tracer=tracer)
+    flash = FlashArray(flash_geometry, injector=injector, tracer=tracer)
     ftl = PageMappingFtl(
         flash,
         memory,
@@ -106,8 +127,13 @@ def build_stack(
             write_buffer_pages=write_buffer_pages,
             spare_blocks=spare_blocks,
         ),
+        tracer=tracer,
     )
     controller = NvmeController(
-        ftl, clock, timing=timing or DeviceTimingModel(), rate_limiter=rate_limiter
+        ftl,
+        clock,
+        timing=timing or DeviceTimingModel(),
+        rate_limiter=rate_limiter,
+        tracer=tracer,
     )
     return controller, dram, ftl

@@ -199,6 +199,24 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _close_trace(oracle: DifferentialOracle) -> None:
+    """Flush a traced oracle's tracer with the stack's merged metrics as
+    the trace footer.  No-op for untraced replays."""
+    tracer = getattr(oracle.controller, "tracer", None)
+    if tracer is None:
+        return
+    from repro.sim import merge_snapshots
+
+    tracer.close(
+        metrics=merge_snapshots(
+            oracle.dram.metrics,
+            oracle.ftl.metrics,
+            oracle.controller.metrics,
+            oracle.ftl.flash.metrics,
+        )
+    )
+
+
 def _cross_mode_compare(
     trace: Trace,
     oracles: Dict[str, DifferentialOracle],
@@ -268,6 +286,7 @@ def run_campaign(
     write_buffer_pages: int = 0,
     spare_blocks: int = 0,
     fault_plan=None,
+    trace_path_prefix: Optional[str] = None,
 ) -> CampaignReport:
     """Generate one seeded trace, replay it in every mode, shrink on
     divergence; returns the (deterministic) report.
@@ -275,6 +294,12 @@ def run_campaign(
     ``crash_rate`` mixes power-cycle ops into the trace (and, with
     ``write_buffer_pages``, explicit flush barriers); ``fault_plan``
     attaches the NAND fault injector to every replayed stack.
+
+    ``trace_path_prefix`` streams one structured trace per replay mode to
+    ``<prefix>.<mode>.jsonl`` (primary replays only — shrink re-replays
+    stay untraced).  Trace capture never feeds back into the report:
+    :meth:`CampaignReport.to_json` stays byte-identical with and without
+    it.
     """
     trace = generate_trace(
         seed,
@@ -297,11 +322,18 @@ def run_campaign(
     )
     oracles: Dict[str, DifferentialOracle] = {}
     for mode in modes:
+        factory = stack_factory
+        if trace_path_prefix is not None:
+            mode_path = "%s.%s.jsonl" % (trace_path_prefix, mode)
+
+            def factory(t, _factory=stack_factory, _path=mode_path, **kwargs):
+                return _factory(t, trace_path=_path, **kwargs)
+
         oracle = DifferentialOracle(
             trace,
             mode=mode,
             check_every=check_every,
-            stack_factory=stack_factory,
+            stack_factory=factory,
             fault_plan=fault_plan,
         )
         report.divergences[mode] = oracle.run()
@@ -325,6 +357,8 @@ def run_campaign(
     cross = _cross_mode_compare(trace, oracles)
     if cross:
         report.divergences["cross-mode"] = cross
+    for oracle in oracles.values():
+        _close_trace(oracle)
 
     if shrink and not report.ok:
         failing_mode = next(

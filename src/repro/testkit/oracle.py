@@ -102,10 +102,12 @@ class Divergence:
         return "[%s] %s%s: %s" % (where, self.kind, target, self.detail)
 
 
-def build_stack_for(trace: Trace, fault_plan=None):
+def build_stack_for(trace: Trace, fault_plan=None, trace_path=None):
     """Real stack matching a trace's recipe; returns (controller, dram, ftl)
     with one namespace covering the whole logical space.  ``fault_plan``
-    (a :class:`repro.faults.FaultPlan`) attaches the fault injector."""
+    (a :class:`repro.faults.FaultPlan`) attaches the fault injector;
+    ``trace_path`` streams a structured trace of the replay there (the
+    tracer is reachable as ``controller.tracer``)."""
     try:
         profile = PROFILES[trace.profile]
     except KeyError:
@@ -121,6 +123,7 @@ def build_stack_for(trace: Trace, fault_plan=None):
         write_buffer_pages=trace.write_buffer_pages,
         spare_blocks=trace.spare_blocks,
         fault_plan=fault_plan,
+        trace_path=trace_path,
     )
     controller.create_namespace(NSID, 0, trace.num_lbas)
     return controller, dram, ftl

@@ -1,0 +1,48 @@
+"""Structured cross-layer tracing (zero overhead when disabled).
+
+See :mod:`repro.trace.tracer` for the design constraints.  The usual
+entry points:
+
+* :class:`Tracer` — attach to a stack via ``build_stack(tracer=...)``,
+  ``build_stack(trace_path=...)``, or ``build_cloud_testbed(trace_path=...)``.
+* :func:`load_trace` / :func:`summarize` / :func:`diff_summaries` — the
+  analysis surface behind ``python -m repro trace``.
+* :func:`validate_events` — structural schema check for every event type.
+* :func:`to_chrome` / :func:`write_chrome` — flame-graph export.
+* :func:`run_golden_scenario` / :func:`emit_golden` — the committed
+  golden-trace fixture's generator.
+"""
+
+from repro.trace.chrome import to_chrome, write_chrome
+from repro.trace.golden import GOLDEN_SEED, emit_golden, run_golden_scenario
+from repro.trace.schema import (
+    EVENT_SCHEMAS,
+    validate_event,
+    validate_events,
+)
+from repro.trace.summary import (
+    conservation_errors,
+    diff_summaries,
+    format_summary,
+    summarize,
+)
+from repro.trace.tracer import TRACE_VERSION, Tracer, encode_event, load_trace
+
+__all__ = [
+    "TRACE_VERSION",
+    "Tracer",
+    "encode_event",
+    "load_trace",
+    "EVENT_SCHEMAS",
+    "validate_event",
+    "validate_events",
+    "summarize",
+    "format_summary",
+    "diff_summaries",
+    "conservation_errors",
+    "to_chrome",
+    "write_chrome",
+    "GOLDEN_SEED",
+    "emit_golden",
+    "run_golden_scenario",
+]

@@ -1,0 +1,95 @@
+"""Chrome ``trace_event`` export: flame-graph the simulated device.
+
+Converts a JSONL trace into the JSON object format ``chrome://tracing``
+and Perfetto load directly: events with a ``dur`` become complete ("X")
+slices, everything else becomes an instant ("i").  Each layer of the
+vertical gets its own named track, so one hammer cycle reads top-down —
+attack round, NVMe burst, FTL traffic, flash programs, DRAM windows.
+
+Simulated seconds map to microseconds on the timeline (the trace_event
+unit); at the device's native microsecond scale the flame graph stays
+legible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+#: Layer prefix -> (tid, track name).  Lower tids render higher.
+_TRACKS = {
+    "attack": (1, "attack"),
+    "nvme": (2, "nvme"),
+    "ftl": (3, "ftl"),
+    "wb": (3, "ftl"),
+    "flash": (4, "flash"),
+    "dram": (5, "dram"),
+    "trace": (6, "tracer"),
+}
+
+_PID = 1
+_US = 1e6  # simulated seconds -> trace_event microseconds
+
+
+def _track_of(name: str) -> int:
+    prefix = name.split(".", 1)[0]
+    return _TRACKS.get(prefix, (6, "tracer"))[0]
+
+
+def to_chrome(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """The ``{"traceEvents": [...]}`` object for an event stream."""
+    out: List[Dict[str, Any]] = []
+    seen_tids = set()
+    for tid, track in sorted(set(_TRACKS.values())):
+        if tid in seen_tids:
+            continue
+        seen_tids.add(tid)
+        out.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        out.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+    for event in events:
+        name = event.get("name", "?")
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in ("name", "t", "dur")
+        }
+        record: Dict[str, Any] = {
+            "name": name,
+            "pid": _PID,
+            "tid": _track_of(name),
+            "ts": float(event.get("t", 0.0)) * _US,
+            "args": args,
+        }
+        dur = event.get("dur")
+        if dur is not None:
+            record["ph"] = "X"
+            record["dur"] = float(dur) * _US
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        out.append(record)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome(events: Iterable[Dict[str, Any]], path: str) -> None:
+    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome(events), handle, sort_keys=True,
+                  separators=(",", ":"))
+        handle.write("\n")

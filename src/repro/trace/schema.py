@@ -1,0 +1,205 @@
+"""The trace event schema: every event type the stack can emit.
+
+One entry per event name.  ``required`` maps field names to accepted
+types; ``optional`` likewise for fields an emitter may omit.  Validation
+is structural (names and types), not semantic — the summarizer's
+conservation checks cover the semantics.
+
+The schema doubles as documentation: anything a tracer-wielding
+experiment can observe is listed here, and the golden-trace test drives
+scenarios that emit every single type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+#: Fields the tracer stamps onto every event.
+COMMON_FIELDS: Dict[str, tuple] = {
+    "name": (str,),
+    "t": (float, int),
+    "seq": (int,),
+}
+
+_BOOL = (bool,)
+_INT = (int,)
+_NUM = (float, int)
+_STR = (str,)
+
+#: name -> {"required": {field: types}, "optional": {field: types}}
+EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
+    # -- tracer lifecycle ------------------------------------------------
+    "trace.meta": {"required": {"version": _INT}, "optional": {}},
+    "trace.metrics": {"required": {"metrics": (dict,)}, "optional": {}},
+    "trace.dropped": {"required": {"count": _INT}, "optional": {}},
+    # -- NVMe front door -------------------------------------------------
+    "nvme.submit": {
+        "required": {"opcode": _STR, "nsid": _INT, "lba": _INT},
+        "optional": {},
+    },
+    "nvme.complete": {
+        "required": {"opcode": _STR, "nsid": _INT, "lba": _INT,
+                     "status": _STR, "dur": _NUM},
+        "optional": {},
+    },
+    "nvme.read_burst": {
+        "required": {"nsid": _INT, "lbas": _INT, "ios": _INT,
+                     "io_rate": _NUM, "activation_rate": _NUM,
+                     "flips": _INT, "cache_absorbed": _BOOL, "dur": _NUM},
+        "optional": {},
+    },
+    "nvme.write_burst": {
+        "required": {"nsid": _INT, "ios": _INT, "failed": _INT,
+                     "flips": _INT, "dur": _NUM},
+        "optional": {},
+    },
+    "nvme.trim_burst": {
+        "required": {"nsid": _INT, "ios": _INT, "dur": _NUM},
+        "optional": {},
+    },
+    # -- FTL -------------------------------------------------------------
+    "ftl.read": {
+        "required": {"lba": _INT, "mapped": _BOOL},
+        "optional": {"buffered": _BOOL, "out_of_range": _BOOL,
+                     "integrity_error": _BOOL},
+    },
+    "ftl.write": {
+        "required": {"lba": _INT},
+        "optional": {"ppa": _INT, "buffered": _BOOL},
+    },
+    "ftl.trim": {"required": {"lba": _INT}, "optional": {"count": _INT}},
+    "ftl.flush": {
+        "required": {"pages": _INT, "flash_time": _NUM},
+        "optional": {},
+    },
+    "ftl.gc": {
+        "required": {"moved": _INT, "dropped": _INT, "erased": _INT,
+                     "flash_time": _NUM},
+        "optional": {},
+    },
+    "ftl.crash": {"required": {}, "optional": {}},
+    "ftl.recover": {
+        "required": {"scanned": _INT, "live": _INT, "stale": _INT},
+        "optional": {"read_only": _BOOL},
+    },
+    # -- write buffer ----------------------------------------------------
+    "wb.stage": {
+        "required": {"lba": _INT, "staged": _INT},
+        "optional": {},
+    },
+    # -- flash media -----------------------------------------------------
+    "flash.program": {"required": {"ppa": _INT}, "optional": {}},
+    "flash.erase": {"required": {"block": _INT}, "optional": {}},
+    "flash.fault": {
+        "required": {"op": _STR, "kind": _STR, "ppa": _INT},
+        "optional": {"lba": _INT, "bit": _INT},
+    },
+    # -- DRAM ------------------------------------------------------------
+    "dram.access": {
+        "required": {"op": _STR, "count": _INT},
+        "optional": {"addr": _INT, "len": _INT},
+    },
+    "dram.activate": {
+        "required": {"count": _INT},
+        "optional": {"bank": _INT, "row": _INT},
+    },
+    "dram.refresh": {
+        "required": {"bank": _INT, "epoch": _INT},
+        "optional": {},
+    },
+    "dram.window": {
+        "required": {"epoch": _INT, "accesses": _INT},
+        "optional": {"pattern": _INT},
+    },
+    "dram.hammer": {
+        "required": {"accesses": _INT, "windows": _INT, "flips": _INT,
+                     "dur": _NUM},
+        "optional": {"trr_capped": _BOOL, "para_refreshes": _INT},
+    },
+    "dram.trr": {
+        "required": {"bank": _INT, "row": _INT, "victims": _INT},
+        "optional": {},
+    },
+    "dram.para": {
+        "required": {"bank": _INT, "row": _INT, "victims": _INT},
+        "optional": {},
+    },
+    "dram.flip": {
+        "required": {"bank": _INT, "row": _INT, "byte": _INT, "bit": _INT,
+                     "to": _INT},
+        "optional": {"check_region": _BOOL},
+    },
+    # -- attack orchestration --------------------------------------------
+    "attack.hammer": {
+        "required": {"plan": _STR, "lbas": _INT, "ios": _INT,
+                     "flips": _INT, "activation_rate": _NUM},
+        "optional": {},
+    },
+    "attack.cycle": {
+        "required": {"index": _INT, "sprayed": _INT, "hammer_ios": _INT,
+                     "hits": _INT, "flips": _INT, "dur": _NUM},
+        "optional": {},
+    },
+}
+
+
+def validate_event(event: Any) -> List[str]:
+    """Structural problems with one event (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(event, dict):
+        return ["event is %s, not an object" % type(event).__name__]
+    for field, types in COMMON_FIELDS.items():
+        value = event.get(field)
+        if value is None and field not in event:
+            problems.append("missing common field %r" % field)
+        elif not _is_instance(value, types):
+            problems.append(
+                "common field %r has type %s" % (field, type(value).__name__)
+            )
+    name = event.get("name")
+    if not isinstance(name, str):
+        return problems
+    schema = EVENT_SCHEMAS.get(name)
+    if schema is None:
+        problems.append("unknown event type %r" % name)
+        return problems
+    known = set(COMMON_FIELDS) | set(schema["required"]) | set(schema["optional"])
+    for field, types in schema["required"].items():
+        if field not in event:
+            problems.append("%s: missing field %r" % (name, field))
+        elif not _is_instance(event[field], types):
+            problems.append(
+                "%s: field %r has type %s"
+                % (name, field, type(event[field]).__name__)
+            )
+    for field, types in schema["optional"].items():
+        if field in event and not _is_instance(event[field], types):
+            problems.append(
+                "%s: field %r has type %s"
+                % (name, field, type(event[field]).__name__)
+            )
+    for field in event:
+        if field not in known:
+            problems.append("%s: unexpected field %r" % (name, field))
+    return problems
+
+
+def _is_instance(value: Any, types: tuple) -> bool:
+    # bool is an int subclass; an int-typed field must not accept True.
+    if isinstance(value, bool) and bool not in types:
+        return False
+    return isinstance(value, types)
+
+
+def validate_events(events) -> List[Tuple[int, str]]:
+    """(index, problem) pairs over a whole event stream."""
+    problems: List[Tuple[int, str]] = []
+    seqs: List[int] = []
+    for index, event in enumerate(events):
+        for problem in validate_event(event):
+            problems.append((index, problem))
+        if isinstance(event, dict) and isinstance(event.get("seq"), int):
+            seqs.append(event["seq"])
+    if seqs != sorted(seqs):
+        problems.append((-1, "seq numbers are not monotonically increasing"))
+    return problems

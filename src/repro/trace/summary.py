@@ -1,0 +1,191 @@
+"""Trace summarization and diffing (behind ``python -m repro trace``).
+
+The summarizer folds an event stream into the quantities the paper's
+analysis (§4) actually turns on: activations *per refresh window*, where
+they went, how many flips they earned, and whether the trace's own
+accounting agrees with the ``sim/metrics`` rollup in its footer — the
+activation-conservation check that pins the tracer to the counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+
+def summarize(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Deterministic summary dict for an event stream."""
+    counts: Dict[str, int] = {}
+    windows: Dict[int, int] = {}
+    activate_total = 0
+    window_total = 0
+    flips = 0
+    hammer_accesses = 0
+    trr_interventions = 0
+    para_interventions = 0
+    faults: Dict[str, int] = {}
+    metrics: Optional[Dict[str, float]] = None
+    dropped = 0
+    t_first: Optional[float] = None
+    t_last: Optional[float] = None
+
+    for event in events:
+        name = event.get("name", "?")
+        counts[name] = counts.get(name, 0) + 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            if t_first is None:
+                t_first = float(t)
+            t_last = float(t)
+        if name == "dram.window":
+            accesses = int(event.get("accesses", 0))
+            epoch = int(event.get("epoch", -1))
+            windows[epoch] = windows.get(epoch, 0) + accesses
+            window_total += accesses
+        elif name == "dram.activate":
+            activate_total += int(event.get("count", 0))
+        elif name == "dram.flip":
+            flips += 1
+        elif name == "dram.hammer":
+            hammer_accesses += int(event.get("accesses", 0))
+        elif name == "dram.trr":
+            trr_interventions += int(event.get("victims", 0))
+        elif name == "dram.para":
+            para_interventions += int(event.get("victims", 0))
+        elif name == "flash.fault":
+            kind = str(event.get("kind", "?"))
+            faults[kind] = faults.get(kind, 0) + 1
+        elif name == "trace.metrics":
+            metrics = event.get("metrics")
+        elif name == "trace.dropped":
+            dropped = int(event.get("count", 0))
+
+    traced_activations = window_total + activate_total
+    summary: Dict[str, Any] = {
+        "events": sum(counts.values()),
+        "event_counts": dict(sorted(counts.items())),
+        "t_first": t_first,
+        "t_last": t_last,
+        "windows": {
+            "count": len(windows),
+            "accesses": window_total,
+            "per_epoch": {str(k): v for k, v in sorted(windows.items())},
+        },
+        "activations": {
+            "scalar_and_batch": activate_total,
+            "hammer_windows": window_total,
+            "traced_total": traced_activations,
+        },
+        "flips": flips,
+        "trr_refreshes": trr_interventions,
+        "para_refreshes": para_interventions,
+        "faults": dict(sorted(faults.items())),
+        "dropped": dropped,
+        "metrics": metrics,
+    }
+    if metrics is not None and "dram.activations" in metrics:
+        counter = metrics["dram.activations"]
+        summary["activations"]["metrics_counter"] = counter
+        # Conservation only holds for complete traces: once events are
+        # dropped the traced total is a lower bound, not an equality.
+        summary["activations"]["conserved"] = (
+            bool(dropped) or traced_activations == counter
+        )
+    return summary
+
+
+def conservation_errors(summary: Dict[str, Any]) -> List[str]:
+    """Cross-layer accounting failures a summary exposes (empty = sound)."""
+    problems: List[str] = []
+    acts = summary["activations"]
+    if "metrics_counter" in acts and not acts.get("conserved", True):
+        problems.append(
+            "traced activations (%d) != dram.activations counter (%d)"
+            % (acts["traced_total"], acts["metrics_counter"])
+        )
+    metrics = summary.get("metrics") or {}
+    if "dram.flips" in metrics and not summary.get("dropped"):
+        if summary["flips"] != metrics["dram.flips"]:
+            problems.append(
+                "traced flips (%d) != dram.flips counter (%d)"
+                % (summary["flips"], metrics["dram.flips"])
+            )
+    return problems
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize` output."""
+    lines: List[str] = []
+    lines.append("events: %d (%d dropped)" % (summary["events"], summary["dropped"]))
+    if summary["t_first"] is not None:
+        lines.append(
+            "simulated span: %.6f s -> %.6f s"
+            % (summary["t_first"], summary["t_last"])
+        )
+    for name, count in summary["event_counts"].items():
+        lines.append("  %-18s %d" % (name, count))
+    acts = summary["activations"]
+    lines.append(
+        "activations: %d traced (%d in hammer windows over %d window(s), "
+        "%d scalar/batch)"
+        % (
+            acts["traced_total"],
+            acts["hammer_windows"],
+            summary["windows"]["count"],
+            acts["scalar_and_batch"],
+        )
+    )
+    per_epoch = summary["windows"]["per_epoch"]
+    for epoch, accesses in list(per_epoch.items())[:12]:
+        lines.append("  window %-6s %d activation(s)" % (epoch, accesses))
+    if len(per_epoch) > 12:
+        lines.append("  ... %d more window(s)" % (len(per_epoch) - 12))
+    if "metrics_counter" in acts:
+        lines.append(
+            "conservation vs sim/metrics: %s (counter=%d)"
+            % ("ok" if acts["conserved"] else "VIOLATED", acts["metrics_counter"])
+        )
+    lines.append("flips: %d" % summary["flips"])
+    if summary["trr_refreshes"]:
+        lines.append("TRR victim refreshes: %d" % summary["trr_refreshes"])
+    if summary["para_refreshes"]:
+        lines.append("PARA victim refreshes: %d" % summary["para_refreshes"])
+    for kind, count in summary["faults"].items():
+        lines.append("faults injected: %s=%d" % (kind, count))
+    return "\n".join(lines)
+
+
+def diff_summaries(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Differences between two summaries (empty = equivalent traces)."""
+    out: List[str] = []
+    names = sorted(set(a["event_counts"]) | set(b["event_counts"]))
+    for name in names:
+        count_a = a["event_counts"].get(name, 0)
+        count_b = b["event_counts"].get(name, 0)
+        if count_a != count_b:
+            out.append("event %s: %d vs %d" % (name, count_a, count_b))
+    for field in ("flips", "dropped"):
+        if a[field] != b[field]:
+            out.append("%s: %d vs %d" % (field, a[field], b[field]))
+    acts_a, acts_b = a["activations"], b["activations"]
+    if acts_a["traced_total"] != acts_b["traced_total"]:
+        out.append(
+            "traced activations: %d vs %d"
+            % (acts_a["traced_total"], acts_b["traced_total"])
+        )
+    epochs = sorted(
+        set(a["windows"]["per_epoch"]) | set(b["windows"]["per_epoch"]),
+        key=lambda e: int(e),
+    )
+    for epoch in epochs:
+        in_a = a["windows"]["per_epoch"].get(epoch, 0)
+        in_b = b["windows"]["per_epoch"].get(epoch, 0)
+        if in_a != in_b:
+            out.append("window %s: %d vs %d activation(s)" % (epoch, in_a, in_b))
+    metrics_a = a.get("metrics") or {}
+    metrics_b = b.get("metrics") or {}
+    for key in sorted(set(metrics_a) | set(metrics_b)):
+        if metrics_a.get(key) != metrics_b.get(key):
+            out.append(
+                "metric %s: %r vs %r" % (key, metrics_a.get(key), metrics_b.get(key))
+            )
+    return out

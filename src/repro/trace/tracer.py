@@ -1,0 +1,187 @@
+"""The structured tracer: sim-clock-stamped events and spans.
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  Components hold ``tracer=None`` by
+   default and guard every emit site with one attribute check — a traced
+   build and an untraced build are the same code.
+2. **Observer effect = 0.**  The tracer never advances the clock, never
+   draws randomness, and never reads wall time: attaching it cannot
+   change a single flip, summary, or report byte (pinned in
+   ``tests/test_trace_determinism.py``).
+3. **Byte-deterministic output.**  Events serialize with sorted keys and
+   fixed separators, stamped by the *simulated* clock and a process-local
+   sequence number — the same seeded run always writes the identical
+   JSONL file, which is what makes golden-trace regression tests possible.
+4. **Bounded memory.**  With a ``path`` the tracer streams each line as
+   it is emitted; in-memory buffers and files alike are capped at
+   ``max_events``, with overflow counted (and reported in the footer)
+   rather than silently grown.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from repro.sim.clock import SimClock
+
+#: Trace format version, bumped whenever the event schema changes shape.
+TRACE_VERSION = 1
+
+
+def encode_event(event: Dict[str, Any]) -> str:
+    """One event as its canonical JSONL line (no trailing newline).
+
+    Canonical means sorted keys and no whitespace: two runs that emit the
+    same events produce byte-identical files.
+    """
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class Tracer:
+    """Collects sim-clock-stamped structured events.
+
+    ``path=None`` buffers events in memory (:attr:`events`); a path
+    streams them to a JSONL file instead, keeping host memory flat no
+    matter how long the campaign runs.  Either way at most ``max_events``
+    events are kept/written; the overflow count is carried in the
+    ``trace.dropped`` footer.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        path: Optional[str] = None,
+        max_events: int = 1_000_000,
+    ):
+        if max_events < 1:
+            raise ValueError("max_events must be at least 1")
+        self.clock = clock
+        self.path = path
+        self.max_events = max_events
+        #: In-memory events (only populated when ``path`` is None).
+        self.events: List[Dict[str, Any]] = []
+        #: Events discarded after the cap was reached.
+        self.dropped = 0
+        self._seq = 0
+        self._count = 0
+        self._closed = False
+        self._handle = None
+        if path is not None:
+            self._handle = open(path, "w", encoding="utf-8")
+        self.emit("trace.meta", version=TRACE_VERSION)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Events accepted so far (excluding dropped ones)."""
+        return self._count
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Record one instantaneous event at the current simulated time."""
+        if self._closed:
+            raise ValueError("tracer is closed")
+        if self._count >= self.max_events:
+            self.dropped += 1
+            return
+        event = dict(fields)
+        event["name"] = name
+        event["t"] = self.clock._now
+        event["seq"] = self._seq
+        self._seq += 1
+        self._count += 1
+        self._append(event)
+
+    @contextmanager
+    def span(self, name: str, **fields: Any):
+        """A duration event: ``t`` is entry time, ``dur`` the simulated
+        time the body advanced the clock by.  Yields a dict the body may
+        add result fields to before the event is emitted on exit."""
+        start = self.clock._now
+        extra: Dict[str, Any] = {}
+        try:
+            yield extra
+        finally:
+            fields.update(extra)
+            self.emit_at(name, start, dur=self.clock._now - start, **fields)
+
+    def emit_at(self, name: str, t: float, **fields: Any) -> None:
+        """Emit with an explicit (earlier) timestamp — spans land at their
+        start time, the Chrome convention."""
+        if self._closed:
+            raise ValueError("tracer is closed")
+        if self._count >= self.max_events:
+            self.dropped += 1
+            return
+        event = dict(fields)
+        event["name"] = name
+        event["t"] = t
+        event["seq"] = self._seq
+        self._seq += 1
+        self._count += 1
+        self._append(event)
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        if self._handle is not None:
+            self._handle.write(encode_event(event))
+            self._handle.write("\n")
+        else:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+
+    def close(self, metrics: Optional[Dict[str, float]] = None) -> None:
+        """Write the footer (metric rollup, drop count) and release the
+        file handle.  Idempotent."""
+        if self._closed:
+            return
+        if metrics is not None:
+            # Footer events bypass the cap: a truncated trace still
+            # carries its rollup and its truncation marker.
+            self._footer("trace.metrics", metrics=dict(metrics))
+        if self.dropped:
+            self._footer("trace.dropped", count=self.dropped)
+        self._closed = True
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _footer(self, name: str, **fields: Any) -> None:
+        event = dict(fields)
+        event["name"] = name
+        event["t"] = self.clock._now
+        event["seq"] = self._seq
+        self._seq += 1
+        self._append(event)
+
+    def to_jsonl(self) -> str:
+        """The in-memory buffer as JSONL text (memory-mode only)."""
+        if self.path is not None:
+            raise ValueError("tracer streamed to %s; read the file" % self.path)
+        return "".join(encode_event(event) + "\n" for event in self.events)
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into its event list."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "%s:%d: not a JSON event: %s" % (path, line_no, exc)
+                ) from None
+    return events

@@ -203,3 +203,94 @@ class TestFuzzCommand:
         assert "check ftl   ok" in out
         assert "check ext4  ok" in out
         assert code in (0, 1)  # leak or not; invariants held either way
+
+
+class TestTraceCommand:
+    FIXTURE = "tests/golden/double_sided_hammer.trace.jsonl"
+
+    def test_summary_default(self, capsys):
+        assert main(["trace", self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "activations:" in out
+        assert "flips: 2" in out
+
+    def test_json_summary(self, capsys):
+        assert main(["trace", self.FIXTURE, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["activations"]["conserved"] is True
+
+    def test_validate_clean(self, capsys):
+        assert main(["trace", self.FIXTURE, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "conservation holds" in out
+
+    def test_validate_rejects_malformed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name":"flash.program","t":0.0,"seq":0}\n')
+        assert main(["trace", str(bad), "--validate"]) == 1
+        assert "missing field" in capsys.readouterr().out
+
+    def test_diff_identical(self, tmp_path, capsys):
+        assert main(["trace", self.FIXTURE, "--diff", self.FIXTURE]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_diff_detects_divergence(self, tmp_path, capsys):
+        pruned = tmp_path / "pruned.jsonl"
+        with open(self.FIXTURE, "r", encoding="utf-8") as handle:
+            lines = [l for l in handle if '"dram.flip"' not in l]
+        pruned.write_text("".join(lines))
+        assert main(["trace", self.FIXTURE, "--diff", str(pruned)]) == 1
+        assert "flips" in capsys.readouterr().out
+
+    def test_chrome_export(self, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", self.FIXTURE, "--chrome", str(out_path)]) == 0
+        chrome = json.loads(out_path.read_text())
+        assert chrome["traceEvents"]
+        capsys.readouterr()
+
+    def test_emit_golden_matches_fixture(self, tmp_path, capsys):
+        regen = tmp_path / "regen.jsonl"
+        assert main(["trace", "--emit-golden", str(regen)]) == 0
+        assert regen.read_bytes() == open(self.FIXTURE, "rb").read()
+        capsys.readouterr()
+
+    def test_no_file_is_an_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "need a trace file" in capsys.readouterr().out
+
+    def test_demo_trace_flag(self, tmp_path, capsys):
+        trace_path = tmp_path / "demo.jsonl"
+        main(["demo", "--cycles", "1", "--spray-files", "8",
+              "--hammer-seconds", "1", "--trace", str(trace_path)])
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert main(["trace", str(trace_path), "--validate"]) == 0
+        capsys.readouterr()
+
+    def test_fuzz_trace_flag(self, tmp_path, capsys):
+        prefix = tmp_path / "fz"
+        assert main(["fuzz", "--ops", "60", "--lbas", "64",
+                     "--trace", str(prefix)]) == 0
+        capsys.readouterr()
+        for mode in ("scalar", "batch"):
+            path = "%s.%s.jsonl" % (prefix, mode)
+            assert main(["trace", path, "--validate"]) == 0
+            capsys.readouterr()
+
+    def test_sweep_trace_dir(self, tmp_path, capsys):
+        import os
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli-trace", "kind": "fault_campaign", "seed": 3,
+            "base": {"num_ops": 40, "num_lbas": 64}, "repeats": 1,
+        }))
+        trace_dir = tmp_path / "traces"
+        assert main(["sweep", str(spec), "--out", str(tmp_path / "r.jsonl"),
+                     "--trace-dir", str(trace_dir)]) == 0
+        capsys.readouterr()
+        names = sorted(os.listdir(trace_dir))
+        assert names == ["0000.00.batch.jsonl", "0000.00.scalar.jsonl"]
+        assert main(["trace", str(trace_dir / names[0]), "--validate"]) == 0
+        capsys.readouterr()

@@ -1,8 +1,10 @@
-"""Tests for counters, histograms, and the metric registry."""
+"""Tests for counters, gauges, histograms, and the metric registry."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.sim import Counter, Histogram, MetricRegistry
+from repro.sim import Counter, Gauge, Histogram, MetricRegistry, merge_snapshots
 
 
 class TestCounter:
@@ -100,3 +102,287 @@ class TestMetricRegistry:
         registry.counter("a").add(5)
         registry.reset()
         assert registry.snapshot()["a"] == 0
+
+    def test_histogram_bounds_mismatch_raises(self):
+        registry = MetricRegistry()
+        registry.histogram("lat", bounds=[1.0, 2.0])
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("lat", bounds=[1.0, 3.0])
+
+    def test_histogram_same_bounds_reuse_ok(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat", bounds=[1.0, 2.0])
+        assert registry.histogram("lat", bounds=[1.0, 2.0]) is hist
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricRegistry()
+        registry.counter("flips", bank="0").add(2)
+        registry.counter("flips", bank="1").add(3)
+        snap = registry.snapshot()
+        assert snap['flips{bank="0"}'] == 2
+        assert snap['flips{bank="1"}'] == 3
+
+    def test_label_order_canonical(self):
+        registry = MetricRegistry()
+        a = registry.counter("x", b="2", a="1")
+        b = registry.counter("x", a="1", b="2")
+        assert a is b
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("c").add(1)
+        b.counter("c").add(2)
+        b.counter("only_b").add(7)
+        a.histogram("h", bounds=[1.0]).observe(0.5)
+        b.histogram("h", bounds=[1.0]).observe(2.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["c"] == 3
+        assert snap["only_b"] == 7
+        assert snap["h.count"] == 2
+
+    def test_merge_bounds_mismatch_raises(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.histogram("h", bounds=[1.0]).observe(0.5)
+        b.histogram("h", bounds=[2.0]).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_gauges_take_latest_reading(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.gauge("depth").set(4)
+        b.gauge("depth").set(9)
+        a.merge(b)
+        assert a.snapshot()["depth"] == 9
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 4.0
+
+    def test_reset(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.reset()
+        assert gauge.value == 0.0
+
+    def test_registry_memoizes(self):
+        registry = MetricRegistry()
+        assert registry.gauge("g") is registry.gauge("g")
+
+
+class TestExposition:
+    def test_counter_rendering(self):
+        registry = MetricRegistry("dram")
+        registry.counter("row.activations").add(3)
+        text = registry.exposition()
+        assert "# TYPE dram_row_activations counter" in text
+        assert "dram_row_activations 3" in text
+
+    def test_gauge_rendering(self):
+        registry = MetricRegistry()
+        registry.gauge("depth", queue="wb").set(2.5)
+        text = registry.exposition()
+        assert '# TYPE depth gauge' in text
+        assert 'depth{queue="wb"} 2.5' in text
+
+    def test_histogram_rendering_cumulative(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat", bounds=[1.0, 10.0])
+        for value in (0.5, 5.0, 100.0):
+            hist.observe(value)
+        text = registry.exposition()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 105.5" in text
+        assert "lat_count 3" in text
+
+    def test_empty_registry_is_empty_text(self):
+        assert MetricRegistry().exposition() == ""
+
+    def test_deterministic(self):
+        def build():
+            registry = MetricRegistry()
+            registry.counter("b").add(1)
+            registry.counter("a").add(2)
+            registry.gauge("g").set(1.5)
+            registry.histogram("h", bounds=[1.0]).observe(0.5)
+            return registry.exposition()
+
+        assert build() == build()
+
+
+class TestMergeSnapshots:
+    def test_flattens_across_registries(self):
+        a, b = MetricRegistry("dram"), MetricRegistry("ftl")
+        a.counter("activations").add(4)
+        b.counter("reads").add(2)
+        merged = merge_snapshots(a, b)
+        assert merged["dram.activations"] == 4
+        assert merged["ftl.reads"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Property-based hardening (hypothesis)
+# ---------------------------------------------------------------------------
+
+_bounds = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=6, unique=True,
+).map(sorted)
+
+_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    max_size=60,
+)
+
+
+def _hist_of(bounds, values):
+    hist = Histogram("h", bounds)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestHistogramProperties:
+    @given(bounds=_bounds, values=_values)
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_buckets_monotone_and_conserve_total(self, bounds, values):
+        hist = _hist_of(bounds, values)
+        running, cumulative = 0, []
+        for count in hist.counts:
+            assert count >= 0
+            running += count
+            cumulative.append(running)
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == hist.total == len(values)
+        assert hist.sum == pytest.approx(sum(values))
+
+    @given(bounds=_bounds, a=_values, b=_values)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes(self, bounds, a, b):
+        ab = _hist_of(bounds, a)
+        ab.merge(_hist_of(bounds, b))
+        ba = _hist_of(bounds, b)
+        ba.merge(_hist_of(bounds, a))
+        assert ab.counts == ba.counts
+        assert ab.total == ba.total
+        assert ab.sum == pytest.approx(ba.sum)
+
+    @given(bounds=_bounds, a=_values, b=_values, c=_values)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, bounds, a, b, c):
+        left = _hist_of(bounds, a)
+        left.merge(_hist_of(bounds, b))
+        left.merge(_hist_of(bounds, c))
+        bc = _hist_of(bounds, b)
+        bc.merge(_hist_of(bounds, c))
+        right = _hist_of(bounds, a)
+        right.merge(bc)
+        assert left.counts == right.counts
+        assert left.total == right.total
+        assert left.sum == pytest.approx(right.sum)
+
+    @given(bounds=_bounds, values=_values)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_single_pass(self, bounds, values):
+        whole = _hist_of(bounds, values)
+        half = len(values) // 2
+        merged = _hist_of(bounds, values[:half])
+        merged.merge(_hist_of(bounds, values[half:]))
+        assert merged.counts == whole.counts
+
+
+class TestCounterProperties:
+    @given(amounts=st.lists(st.integers(min_value=0, max_value=2**63),
+                            max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_no_overflow_exact_arbitrary_precision(self, amounts):
+        counter = Counter("c")
+        for amount in amounts:
+            counter.add(amount)
+        assert counter.value == sum(amounts)
+        assert isinstance(counter.value, int)
+
+    @given(amount=st.integers(min_value=-2**63, max_value=-1))
+    @settings(max_examples=30, deadline=None)
+    def test_any_negative_rejected(self, amount):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.add(amount)
+        assert counter.value == 0
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("counter"), st.sampled_from("abc"),
+                  st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("gauge"), st.sampled_from("gh"),
+                  st.floats(min_value=-100, max_value=100,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("hist"), st.just("lat"),
+                  st.floats(min_value=0, max_value=100,
+                            allow_nan=False, allow_infinity=False)),
+    ),
+    max_size=50,
+)
+
+
+def _apply(registry, ops):
+    for kind, name, value in ops:
+        if kind == "counter":
+            registry.counter(name).add(value)
+        elif kind == "gauge":
+            registry.gauge(name).set(value)
+        else:
+            registry.histogram(name, bounds=[1.0, 10.0]).observe(value)
+
+
+class TestRegistryProperties:
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_is_a_pure_function_of_the_op_sequence(self, ops):
+        a, b = MetricRegistry(), MetricRegistry()
+        _apply(a, ops)
+        _apply(b, ops)
+        assert a.snapshot() == b.snapshot()
+        assert a.exposition() == b.exposition()
+
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_reset_round_trip(self, ops):
+        registry = MetricRegistry()
+        _apply(registry, ops)
+        registry.reset()
+        for value in registry.snapshot().values():
+            assert value == 0
+        _apply(registry, ops)
+        fresh = MetricRegistry()
+        _apply(fresh, ops)
+        assert registry.snapshot() == fresh.snapshot()
+
+    @given(a=_ops, b=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_registry_merge_matches_concatenation_for_counters_and_hists(
+        self, a, b
+    ):
+        merged = MetricRegistry()
+        _apply(merged, a)
+        other = MetricRegistry()
+        _apply(other, b)
+        merged.merge(other)
+        concat = MetricRegistry()
+        _apply(concat, a + b)
+        snap_merged, snap_concat = merged.snapshot(), concat.snapshot()
+        assert set(snap_merged) == set(snap_concat)
+        for key, value in snap_concat.items():
+            if key in ("g", "h") or key.endswith(".mean"):
+                continue  # gauges keep the other's reading, means are ratios
+            assert snap_merged[key] == pytest.approx(value)

@@ -1,0 +1,533 @@
+"""Tests for the cross-layer trace subsystem.
+
+Covers the tracer itself (stamping, bounding, determinism), the event
+schema (every event type the stack can emit is driven and validated),
+the golden-trace regression fixture, the Chrome export, the summarizer's
+activation-conservation check, and batch-vs-scalar trace equivalence.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.dram import DramAddress, Para, TargetRowRefresh
+from repro.errors import NvmeError
+from repro.faults import FaultPlan
+from repro.sim import SimClock, merge_snapshots
+from repro.trace import (
+    EVENT_SCHEMAS,
+    TRACE_VERSION,
+    Tracer,
+    conservation_errors,
+    diff_summaries,
+    emit_golden,
+    encode_event,
+    load_trace,
+    run_golden_scenario,
+    summarize,
+    to_chrome,
+    validate_event,
+    validate_events,
+    write_chrome,
+)
+from repro.testkit.fixtures import FRAGILE, build_stack
+
+GOLDEN_FIXTURE = os.path.join(
+    os.path.dirname(__file__), "golden", "double_sided_hammer.trace.jsonl"
+)
+
+
+def _traced_stack(**kwargs):
+    clock = SimClock()
+    tracer = Tracer(clock)
+    controller, dram, ftl = build_stack(clock=clock, tracer=tracer, **kwargs)
+    return controller, dram, ftl, tracer
+
+
+def _close(controller, dram, ftl, tracer):
+    tracer.close(
+        metrics=merge_snapshots(
+            dram.metrics, ftl.metrics, controller.metrics, ftl.flash.metrics
+        )
+    )
+    return tracer.events
+
+
+# ---------------------------------------------------------------------------
+# The tracer itself
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_meta_event_first(self):
+        tracer = Tracer(SimClock())
+        assert tracer.events[0] == {
+            "name": "trace.meta", "t": 0.0, "seq": 0, "version": TRACE_VERSION,
+        }
+
+    def test_emit_stamps_sim_time_and_seq(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        clock.advance(1.5)
+        tracer.emit("ftl.trim", lba=3)
+        event = tracer.events[-1]
+        assert event["t"] == 1.5
+        assert event["seq"] == 1
+        assert event["lba"] == 3
+
+    def test_emit_at_back_stamps(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        clock.advance(2.0)
+        tracer.emit_at("ftl.crash", 0.5)
+        assert tracer.events[-1]["t"] == 0.5
+
+    def test_span_lands_at_start_with_duration(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        clock.advance(1.0)
+        with tracer.span("ftl.flush", pages=2) as extra:
+            clock.advance(0.25)
+            extra["flash_time"] = 0.25
+        event = tracer.events[-1]
+        assert event["t"] == 1.0
+        assert event["dur"] == 0.25
+        assert event["flash_time"] == 0.25
+
+    def test_streams_to_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        clock = SimClock()
+        tracer = Tracer(clock, path=path)
+        tracer.emit("ftl.trim", lba=1)
+        tracer.close()
+        events = load_trace(path)
+        assert [e["name"] for e in events] == ["trace.meta", "ftl.trim"]
+        assert tracer.events == []  # nothing buffered in streaming mode
+
+    def test_to_jsonl_memory_mode_round_trips(self):
+        tracer = Tracer(SimClock())
+        tracer.emit("ftl.trim", lba=1)
+        text = tracer.to_jsonl()
+        assert text == "".join(
+            encode_event(event) + "\n" for event in tracer.events
+        )
+
+    def test_to_jsonl_rejected_in_streaming_mode(self, tmp_path):
+        tracer = Tracer(SimClock(), path=str(tmp_path / "t.jsonl"))
+        with pytest.raises(ValueError):
+            tracer.to_jsonl()
+        tracer.close()
+
+    def test_cap_drops_and_reports(self):
+        tracer = Tracer(SimClock(), max_events=3)
+        for index in range(5):
+            tracer.emit("ftl.trim", lba=index)
+        assert tracer.emitted == 3
+        assert tracer.dropped == 3
+        tracer.close(metrics={"dram.activations": 0})
+        names = [event["name"] for event in tracer.events]
+        # Footers bypass the cap: a truncated trace still carries its
+        # rollup and its truncation marker.
+        assert names[-2:] == ["trace.metrics", "trace.dropped"]
+        assert tracer.events[-1]["count"] == 3
+
+    def test_emit_after_close_raises(self):
+        tracer = Tracer(SimClock())
+        tracer.close()
+        with pytest.raises(ValueError):
+            tracer.emit("ftl.trim", lba=0)
+
+    def test_close_idempotent(self):
+        tracer = Tracer(SimClock())
+        tracer.close(metrics={})
+        tracer.close(metrics={})
+        names = [event["name"] for event in tracer.events]
+        assert names.count("trace.metrics") == 1
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(SimClock(), max_events=0)
+
+    def test_context_manager_closes(self):
+        with Tracer(SimClock()) as tracer:
+            tracer.emit("ftl.trim", lba=0)
+        with pytest.raises(ValueError):
+            tracer.emit("ftl.trim", lba=1)
+
+    def test_encoding_is_canonical(self):
+        assert encode_event({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+
+class TestSchema:
+    def test_unknown_event_type_flagged(self):
+        problems = validate_event({"name": "nope", "t": 0.0, "seq": 0})
+        assert any("unknown event type" in p for p in problems)
+
+    def test_missing_required_field_flagged(self):
+        problems = validate_event({"name": "flash.program", "t": 0.0, "seq": 0})
+        assert any("missing field 'ppa'" in p for p in problems)
+
+    def test_wrong_type_flagged(self):
+        problems = validate_event(
+            {"name": "flash.program", "t": 0.0, "seq": 0, "ppa": "9"}
+        )
+        assert any("field 'ppa' has type str" in p for p in problems)
+
+    def test_bool_not_accepted_as_int(self):
+        problems = validate_event(
+            {"name": "flash.program", "t": 0.0, "seq": 0, "ppa": True}
+        )
+        assert any("field 'ppa'" in p for p in problems)
+
+    def test_unexpected_field_flagged(self):
+        problems = validate_event(
+            {"name": "flash.program", "t": 0.0, "seq": 0, "ppa": 1, "x": 2}
+        )
+        assert any("unexpected field 'x'" in p for p in problems)
+
+    def test_non_dict_flagged(self):
+        assert validate_event(42)
+
+    def test_seq_monotonicity_checked(self):
+        events = [
+            {"name": "flash.program", "t": 0.0, "seq": 1, "ppa": 1},
+            {"name": "flash.program", "t": 0.0, "seq": 0, "ppa": 2},
+        ]
+        problems = validate_events(events)
+        assert any("monotonically" in p for _, p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Every event type the stack can emit, driven end to end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_events():
+    return run_golden_scenario().events
+
+
+@pytest.fixture(scope="module")
+def buffered_gc_crash_events():
+    """Write buffer + GC pressure + batch bursts + crash/recover."""
+    controller, dram, ftl, tracer = _traced_stack(
+        write_buffer_pages=4, spare_blocks=2
+    )
+    controller.create_namespace(1, 0, ftl.num_lbas)
+    page = ftl.page_bytes
+    for round_index in range(4):
+        for lba in range(ftl.num_lbas):
+            data = bytes([(round_index + lba) % 255 + 1]) * page
+            controller.write(1, lba, data)
+    controller.write_burst(1, list(range(32)), [b"\x01" * page] * 32)
+    controller.trim_burst(1, list(range(8)))
+    controller.crash()
+    controller.recover()
+    return _close(controller, dram, ftl, tracer)
+
+
+@pytest.fixture(scope="module")
+def mitigated_dram_events():
+    """Scalar DRAM traffic through TRR and PARA interventions."""
+    controller, dram, ftl, tracer = _traced_stack(
+        profile=FRAGILE,
+        trr=TargetRowRefresh(tracker_capacity=4, refresh_threshold=20),
+        para=Para(probability=0.05, seed=3),
+    )
+    addr_a = dram.mapping.address_of(DramAddress(0, 0, 0))
+    addr_b = dram.mapping.address_of(DramAddress(0, 2, 0))
+    for _ in range(60):
+        dram.read(addr_a, 8)
+        dram.read(addr_b, 8)
+    return _close(controller, dram, ftl, tracer)
+
+
+@pytest.fixture(scope="module")
+def faulty_events():
+    """NAND fault injection surfacing as flash.fault events."""
+    controller, dram, ftl, tracer = _traced_stack(
+        fault_plan=FaultPlan(seed=1, read_error_rate=0.4, program_fail_rate=0.1)
+    )
+    controller.create_namespace(1, 0, ftl.num_lbas)
+    page = ftl.page_bytes
+    for lba in range(24):
+        try:
+            controller.write(1, lba, bytes([lba + 1]) * page)
+        except NvmeError:
+            pass
+    for lba in range(24):
+        try:
+            controller.read(1, lba)
+        except NvmeError:
+            pass
+    return _close(controller, dram, ftl, tracer)
+
+
+@pytest.fixture(scope="module")
+def attack_events(tmp_path_factory):
+    """One traced spray->hammer->scan cycle on the cloud testbed."""
+    from repro import AttackConfig, FtlRowhammerAttack, build_cloud_testbed
+
+    path = str(tmp_path_factory.mktemp("trace") / "attack.jsonl")
+    testbed = build_cloud_testbed(seed=7, trace_path=path)
+    attack = FtlRowhammerAttack(
+        testbed,
+        AttackConfig(max_cycles=1, spray_files=16, hammer_seconds=10.0),
+    )
+    attack.run()
+    testbed.tracer.close(
+        metrics=merge_snapshots(
+            testbed.dram.metrics,
+            testbed.ftl.metrics,
+            testbed.controller.metrics,
+            testbed.ftl.flash.metrics,
+        )
+    )
+    return load_trace(path)
+
+
+class TestSchemaCoverage:
+    def test_every_scenario_validates(
+        self,
+        golden_events,
+        buffered_gc_crash_events,
+        mitigated_dram_events,
+        faulty_events,
+        attack_events,
+    ):
+        for events in (
+            golden_events,
+            buffered_gc_crash_events,
+            mitigated_dram_events,
+            faulty_events,
+            attack_events,
+        ):
+            assert validate_events(events) == []
+
+    def test_every_event_type_is_driven(
+        self,
+        golden_events,
+        buffered_gc_crash_events,
+        mitigated_dram_events,
+        faulty_events,
+        attack_events,
+    ):
+        """The scenarios above collectively emit *every* schema entry
+        except trace.dropped (covered by the tracer cap test)."""
+        seen = set()
+        for events in (
+            golden_events,
+            buffered_gc_crash_events,
+            mitigated_dram_events,
+            faulty_events,
+            attack_events,
+        ):
+            seen.update(event["name"] for event in events)
+        assert set(EVENT_SCHEMAS) - seen == {"trace.dropped"}
+
+    def test_scenarios_conserve_activations(
+        self, buffered_gc_crash_events, mitigated_dram_events, faulty_events
+    ):
+        for events in (
+            buffered_gc_crash_events,
+            mitigated_dram_events,
+            faulty_events,
+        ):
+            assert conservation_errors(summarize(events)) == []
+
+    def test_attack_cycle_wraps_its_hammers(self, attack_events):
+        cycles = [e for e in attack_events if e["name"] == "attack.cycle"]
+        hammers = [e for e in attack_events if e["name"] == "attack.hammer"]
+        assert cycles and hammers
+        cycle = cycles[0]
+        assert cycle["hammer_ios"] == sum(h["ios"] for h in hammers)
+        assert cycle["dur"] >= 0
+
+
+# ---------------------------------------------------------------------------
+# Golden-trace regression
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenTrace:
+    def test_fixture_matches_regenerated_bytes(self, tmp_path):
+        """The committed fixture is byte-identical to a fresh emission —
+        any change to clocking, event fields, or encoding shows up here."""
+        path = str(tmp_path / "regen.jsonl")
+        emit_golden(path)
+        with open(path, "rb") as fresh, open(GOLDEN_FIXTURE, "rb") as pinned:
+            assert fresh.read() == pinned.read()
+
+    def test_fixture_validates(self):
+        events = load_trace(GOLDEN_FIXTURE)
+        assert validate_events(events) == []
+
+    def test_fixture_conserves_activations(self):
+        summary = summarize(load_trace(GOLDEN_FIXTURE))
+        assert conservation_errors(summary) == []
+        assert summary["activations"]["conserved"] is True
+
+    def test_fixture_observed_the_attack(self):
+        summary = summarize(load_trace(GOLDEN_FIXTURE))
+        assert summary["flips"] >= 1
+        assert summary["windows"]["count"] >= 2
+        # The double-sided burst dominates the activation budget.
+        assert summary["activations"]["hammer_windows"] >= 200_000
+
+    def test_memory_and_streaming_modes_agree(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        in_memory = run_golden_scenario()
+        emit_golden(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == in_memory.to_jsonl()
+
+
+# ---------------------------------------------------------------------------
+# Summaries and diffs
+# ---------------------------------------------------------------------------
+
+
+class TestSummary:
+    def test_diff_of_identical_traces_is_empty(self, golden_events):
+        summary = summarize(golden_events)
+        assert diff_summaries(summary, summary) == []
+
+    def test_diff_spots_missing_flips(self, golden_events):
+        pruned = [e for e in golden_events if e["name"] != "dram.flip"]
+        differences = diff_summaries(
+            summarize(golden_events), summarize(pruned)
+        )
+        assert any("flips" in line for line in differences)
+
+    def test_conservation_violation_detected(self, golden_events):
+        # Strip the activation events but keep the metrics footer: the
+        # traced total no longer reaches the counter.
+        pruned = [
+            e for e in golden_events
+            if e["name"] not in ("dram.activate", "dram.window")
+        ]
+        summary = summarize(pruned)
+        assert summary["activations"]["conserved"] is False
+        assert conservation_errors(summary)
+
+    def test_dropped_traces_skip_conservation(self, golden_events):
+        truncated = [
+            e for e in golden_events
+            if e["name"] not in ("dram.activate", "dram.window")
+        ]
+        truncated.append(
+            {"name": "trace.dropped", "t": 0.0, "seq": 10_000, "count": 5}
+        )
+        summary = summarize(truncated)
+        # Incomplete traces carry a lower bound, not an equality.
+        assert summary["activations"]["conserved"] is True
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event export
+# ---------------------------------------------------------------------------
+
+
+class TestChromeExport:
+    def test_structure(self, golden_events):
+        chrome = to_chrome(golden_events)
+        assert chrome["displayTimeUnit"] == "ms"
+        records = chrome["traceEvents"]
+        meta = [r for r in records if r["ph"] == "M"]
+        assert {m["name"] for m in meta} == {
+            "thread_name", "thread_sort_index",
+        }
+        payload = [r for r in records if r["ph"] != "M"]
+        assert len(payload) == len(golden_events)
+
+    def test_durations_become_complete_slices(self, golden_events):
+        chrome = to_chrome(golden_events)
+        by_name = {}
+        for record in chrome["traceEvents"]:
+            by_name.setdefault(record["name"], record)
+        assert by_name["dram.hammer"]["ph"] == "X"
+        assert by_name["dram.hammer"]["dur"] > 0
+        assert by_name["nvme.submit"]["ph"] == "i"
+        assert by_name["nvme.submit"]["s"] == "t"
+
+    def test_layers_land_on_their_tracks(self, golden_events):
+        chrome = to_chrome(golden_events)
+        tids = {
+            record["name"]: record["tid"]
+            for record in chrome["traceEvents"]
+            if record["ph"] != "M"
+        }
+        assert tids["nvme.submit"] == 2
+        assert tids["ftl.write"] == 3
+        assert tids["flash.program"] == 4
+        assert tids["dram.window"] == 5
+
+    def test_timestamps_scale_to_microseconds(self, golden_events):
+        chrome = to_chrome(golden_events)
+        stamped = [
+            (e, r)
+            for e, r in zip(
+                golden_events,
+                [r for r in chrome["traceEvents"] if r["ph"] != "M"],
+            )
+        ]
+        for event, record in stamped:
+            assert record["ts"] == pytest.approx(event["t"] * 1e6)
+
+    def test_write_chrome_is_valid_json(self, golden_events, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        write_chrome(golden_events, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            parsed = json.load(handle)
+        assert parsed == to_chrome(golden_events)
+
+
+# ---------------------------------------------------------------------------
+# Batch-vs-scalar trace equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestBatchScalarTraceEquivalence:
+    """The vectorized engine and the scalar path must tell the same
+    story: identical activation totals, flash programs, final state, and
+    conservation — only the event granularity may differ."""
+
+    @staticmethod
+    def _run(batch):
+        controller, dram, ftl, tracer = _traced_stack(seed=5)
+        controller.create_namespace(1, 0, ftl.num_lbas)
+        page = ftl.page_bytes
+        payloads = [bytes([i % 255 + 1]) * page for i in range(64)]
+        if batch:
+            controller.write_burst(1, list(range(64)), payloads)
+            controller.trim_burst(1, list(range(8)))
+        else:
+            for lba in range(64):
+                controller.write(1, lba, payloads[lba])
+            for lba in range(8):
+                controller.trim(1, lba)
+        state = [ftl.l2p.peek(lba) for lba in range(ftl.num_lbas)]
+        events = _close(controller, dram, ftl, tracer)
+        return summarize(events), state
+
+    def test_accounting_agrees(self):
+        scalar, scalar_state = self._run(batch=False)
+        batch, batch_state = self._run(batch=True)
+        assert scalar_state == batch_state
+        assert (
+            scalar["activations"]["traced_total"]
+            == batch["activations"]["traced_total"]
+        )
+        assert (
+            scalar["event_counts"]["flash.program"]
+            == batch["event_counts"]["flash.program"]
+        )
+        assert scalar["flips"] == batch["flips"] == 0
+        assert conservation_errors(scalar) == []
+        assert conservation_errors(batch) == []

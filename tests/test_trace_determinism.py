@@ -1,0 +1,128 @@
+"""Observer effect = 0: attaching a tracer changes nothing.
+
+Every test here runs the same seeded workload twice — once untraced,
+once traced — and asserts bit-identical physics (flips), metrics, and
+report/summary bytes.  The tracer never advances the clock and never
+draws randomness, so these hold exactly, not approximately.
+"""
+
+import os
+
+from repro.engine import EngineConfig, SweepEngine
+from repro.engine.spec import SweepSpec
+from repro.sim import SimClock, merge_snapshots
+from repro.testkit.fixtures import FRAGILE, build_stack
+from repro.testkit.fuzzer import run_campaign
+from repro.trace import Tracer
+
+
+def _lbas_for_rows(controller, dram, rows, bank=0):
+    ftl = controller.ftl
+    out = []
+    for row in rows:
+        for lba in range(ftl.num_lbas):
+            coords = dram.mapping.locate(ftl.l2p.entry_address(lba))
+            if coords.bank == bank and coords.row == row:
+                out.append(lba)
+                break
+        else:
+            raise AssertionError("no LBA maps to row %d" % row)
+    return out
+
+
+def _hammer(traced):
+    clock = SimClock()
+    tracer = Tracer(clock) if traced else None
+    controller, dram, ftl = build_stack(
+        profile=FRAGILE, seed=11, num_lbas=1024, clock=clock, tracer=tracer
+    )
+    controller.create_namespace(1, 0, ftl.num_lbas)
+    page = ftl.page_bytes
+    for lba in range(4):
+        controller.write(1, lba, bytes([lba + 1]) * page)
+    aggressors = _lbas_for_rows(controller, dram, (0, 2))
+    controller.read_burst(1, aggressors, repeats=150_000)
+    controller.read(1, 0)
+    snapshot = merge_snapshots(
+        dram.metrics, ftl.metrics, controller.metrics, ftl.flash.metrics
+    )
+    if tracer is not None:
+        tracer.close(metrics=snapshot)
+    return dram, clock, snapshot
+
+
+class TestHammerDeterminism:
+    def test_flips_and_metrics_identical(self):
+        untraced_dram, untraced_clock, untraced_snapshot = _hammer(False)
+        traced_dram, traced_clock, traced_snapshot = _hammer(True)
+        # Bit-identical physics: the same cells flipped the same way at
+        # the same simulated times.
+        assert traced_dram.flips == untraced_dram.flips
+        assert traced_dram.flips, "the FRAGILE hammer must actually flip"
+        assert traced_clock.now == untraced_clock.now
+        assert traced_snapshot == untraced_snapshot
+
+
+class TestFuzzDeterminism:
+    def test_report_bytes_identical(self, tmp_path):
+        kwargs = dict(seed=23, num_ops=150, num_lbas=96, profile="granite")
+        untraced = run_campaign(**kwargs).to_json()
+        traced = run_campaign(
+            trace_path_prefix=str(tmp_path / "fz"), **kwargs
+        ).to_json()
+        assert traced == untraced
+        # The traces themselves were written.
+        assert (tmp_path / "fz.scalar.jsonl").exists()
+        assert (tmp_path / "fz.batch.jsonl").exists()
+
+    def test_traced_rerun_is_byte_stable(self, tmp_path):
+        kwargs = dict(seed=23, num_ops=80, num_lbas=64)
+        first = run_campaign(trace_path_prefix=str(tmp_path / "a"), **kwargs)
+        second = run_campaign(trace_path_prefix=str(tmp_path / "b"), **kwargs)
+        assert first.to_json() == second.to_json()
+        with open(tmp_path / "a.scalar.jsonl", "rb") as a:
+            with open(tmp_path / "b.scalar.jsonl", "rb") as b:
+                assert a.read() == b.read()
+
+
+class TestSweepDeterminism:
+    @staticmethod
+    def _spec():
+        return SweepSpec.from_dict(
+            {
+                "name": "trace-determinism",
+                "kind": "fault_campaign",
+                "seed": 3,
+                "base": {"num_ops": 60, "num_lbas": 64},
+                "grid": {"profile": ["granite"]},
+                "repeats": 2,
+            }
+        )
+
+    def test_summary_identical_with_and_without_trace_dir(self, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        plain = SweepEngine(self._spec(), config=EngineConfig()).run()
+        traced = SweepEngine(
+            self._spec(), config=EngineConfig(trace_dir=trace_dir)
+        ).run()
+        again = SweepEngine(self._spec(), config=EngineConfig()).run()
+        assert plain.summary_json() == traced.summary_json()
+        assert plain.summary_json() == again.summary_json()
+
+        def stable(records):
+            # 'elapsed' is wall-clock scheduling data, excluded from the
+            # determinism contract (and from the summary).
+            return [
+                {k: v for k, v in record.items() if k != "elapsed"}
+                for record in records
+            ]
+
+        assert stable(plain.records) == stable(traced.records)
+        # One scalar + one batch trace per trial landed in the directory.
+        names = sorted(os.listdir(trace_dir))
+        assert names == [
+            "0000.00.batch.jsonl",
+            "0000.00.scalar.jsonl",
+            "0000.01.batch.jsonl",
+            "0000.01.scalar.jsonl",
+        ]
