@@ -6,6 +6,7 @@ Commands:
 * ``mitigations``  — grade every §5 defense against the same attack.
 * ``probability``  — the §4.3 analysis (analytic + Monte Carlo).
 * ``sweep``        — run a declarative parameter sweep from a JSON spec.
+* ``sweep-diff``   — compare two sweep result files canonically.
 * ``fuzz``         — differential fuzz campaign / reproducer replay.
 * ``faults``       — power-cut-mid-GC + recovery demo under fault injection.
 * ``trace``        — summarize / validate / diff / export a structured trace.
@@ -434,6 +435,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             trace_dir=args.trace_dir,
+            columnar=args.columnar,
+            check=args.check,
         ),
         fresh=args.fresh,
     )
@@ -460,6 +463,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     for trial_id in report.failed_trials:
         print("  FAILED trial %s" % trial_id)
     return 0 if report.ok else 1
+
+
+def cmd_sweep_diff(args: argparse.Namespace) -> int:
+    """Canonically compare two sweep result files (the differential gate
+    CI runs between serial and columnar executions)."""
+    from repro.engine import diff_result_files
+
+    diffs = diff_result_files(args.file_a, args.file_b)
+    if not diffs:
+        print("sweep results identical: %s == %s (canonical form, "
+              "elapsed excluded)" % (args.file_a, args.file_b))
+        return 0
+    for line in diffs:
+        print(line)
+    print("%d difference(s) between %s and %s"
+          % (len(diffs), args.file_a, args.file_b))
+    return 1
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -638,10 +658,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore an existing checkpoint and restart")
     sweep.add_argument("--json", action="store_true",
                        help="print the aggregated summary as JSON")
+    sweep.add_argument("--columnar", action="store_true",
+                       help="batch compatible trials through the columnar "
+                            "executor (records identical to serial)")
+    sweep.add_argument("--check", action="store_true",
+                       help="replay every executed trial through the scalar "
+                            "path and fail on any result mismatch")
     sweep.add_argument("--trace-dir", default=None, metavar="DIR",
                        help="per-trial structured traces land here "
                             "(trace-capable kinds; summary stays identical)")
     sweep.set_defaults(func=cmd_sweep)
+
+    sweep_diff = sub.add_parser(
+        "sweep-diff",
+        help="compare two sweep result files canonically (elapsed excluded)",
+    )
+    sweep_diff.add_argument("file_a", help="first result JSONL file")
+    sweep_diff.add_argument("file_b", help="second result JSONL file")
+    sweep_diff.set_defaults(func=cmd_sweep_diff)
 
     trace = sub.add_parser(
         "trace",

@@ -21,6 +21,7 @@ The paper's illustration (equal partitions, victim 25 % sprayed, attacker
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -69,16 +70,111 @@ def cumulative_success_probability(per_cycle: float, cycles: int) -> float:
     return 1.0 - (1.0 - per_cycle) ** cycles
 
 
+MAX_SANE_CYCLES = 10_000_000
+
+
 def cycles_to_reach(per_cycle: float, target: float) -> int:
-    """Smallest cycle count whose cumulative success meets ``target``."""
+    """Smallest cycle count whose cumulative success meets ``target``.
+
+    Closed form: ``1 - (1-p)**c >= t  ⇔  c >= log1p(-t) / log1p(-p)``, so
+    the answer is ``ceil`` of that ratio — then nudged by at most a step
+    or two so the boundary is decided by
+    :func:`cumulative_success_probability` itself, exactly as the original
+    linear search decided it, rather than by log-domain rounding.
+    """
     if not 0 < per_cycle <= 1 or not 0 < target < 1:
         raise ConfigError("probabilities must be in (0, 1)")
-    cycles = 1
+    if per_cycle == 1.0:
+        return 1
+    estimate = math.log1p(-target) / math.log1p(-per_cycle)
+    cycles = max(1, math.ceil(estimate) - 1)
     while cumulative_success_probability(per_cycle, cycles) < target:
         cycles += 1
-        if cycles > 10_000_000:
+        if cycles > MAX_SANE_CYCLES:
             raise ConfigError("target unreachable in sane cycle counts")
+    while cycles > 1 and cumulative_success_probability(per_cycle, cycles - 1) >= target:
+        cycles -= 1
+    if cycles > MAX_SANE_CYCLES:
+        raise ConfigError("target unreachable in sane cycle counts")
     return cycles
+
+
+# -- vectorized closed-form grid evaluation -----------------------------
+#
+# The ``probability_grid`` trial kind evaluates the §4.3 closed form over
+# whole parameter grids.  Scalar trials and the columnar engine both go
+# through the helpers below (with length-1 vs. length-n arrays), so their
+# records are byte-identical by construction: numpy applies the same
+# elementwise kernels either way.
+
+#: Largest integer float64 represents exactly; products beyond this lose
+#: the guarantee that vectorized division matches Python int division.
+EXACT_FLOAT_INT = 2 ** 53
+
+
+def grid_single_cycle(
+    victim_blocks: np.ndarray,
+    victim_sprayed: np.ndarray,
+    attacker_sprayed: np.ndarray,
+    physical_blocks: np.ndarray,
+) -> np.ndarray:
+    """``F_v (F_v + 2 F_a) / (4 C_v PB)`` over aligned arrays.
+
+    Matches :func:`single_cycle_success_probability` bit-for-bit while the
+    exact numerator and denominator stay below ``EXACT_FLOAT_INT`` (the
+    planner guards this; beyond it Python's big-int division rounds once
+    where float64 would round twice).
+    """
+    f_v = np.asarray(victim_sprayed, dtype=np.float64)
+    f_a = np.asarray(attacker_sprayed, dtype=np.float64)
+    c_v = np.asarray(victim_blocks, dtype=np.float64)
+    p_b = np.asarray(physical_blocks, dtype=np.float64)
+    return (f_v * (f_v + 2.0 * f_a)) / (4.0 * c_v * p_b)
+
+
+def grid_cumulative(per_cycle: np.ndarray, cycles: np.ndarray) -> np.ndarray:
+    """``1 - (1-p)**c`` elementwise (numpy power on both paths)."""
+    base = 1.0 - np.asarray(per_cycle, dtype=np.float64)
+    return 1.0 - np.power(base, np.asarray(cycles, dtype=np.float64))
+
+
+def grid_cycles_to_target(
+    per_cycle: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`cycles_to_reach`: smallest c with
+    ``1 - (1-p)**c >= target``, elementwise, same boundary semantics."""
+    p = np.asarray(per_cycle, dtype=np.float64)
+    t = np.asarray(target, dtype=np.float64)
+    if np.any((p <= 0) | (p > 1)) or np.any((t <= 0) | (t >= 1)):
+        raise ConfigError("probabilities must be in (0, 1)")
+    with np.errstate(divide="ignore"):
+        estimate = np.log1p(-t) / np.log1p(-p)
+    estimate = np.where(p >= 1.0, 1.0, estimate)
+    estimate = np.minimum(estimate, float(MAX_SANE_CYCLES) + 2.0)
+    cycles = np.maximum(np.ceil(estimate) - 1.0, 1.0)
+    # The log-domain estimate is within a step or two of the boundary;
+    # let the cumulative form decide it exactly, as the scalar path does.
+    for _ in range(4):
+        low = grid_cumulative(p, cycles) < t
+        if not np.any(low):
+            break
+        cycles = np.where(low, cycles + 1.0, cycles)
+    else:
+        while True:
+            low = grid_cumulative(p, cycles) < t
+            if not np.any(low):
+                break
+            cycles = np.where(low, cycles + 1.0, cycles)
+            if np.any(cycles[low] > MAX_SANE_CYCLES):
+                raise ConfigError("target unreachable in sane cycle counts")
+    while True:
+        high = (cycles > 1.0) & (grid_cumulative(p, cycles - 1.0) >= t)
+        if not np.any(high):
+            break
+        cycles = np.where(high, cycles - 1.0, cycles)
+    if np.any(cycles > MAX_SANE_CYCLES):
+        raise ConfigError("target unreachable in sane cycle counts")
+    return cycles.astype(np.int64)
 
 
 def paper_example_parameters(physical_blocks: int = 262_144) -> ProbabilityParameters:

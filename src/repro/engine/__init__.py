@@ -21,11 +21,22 @@ engine; new experiment types plug in via
 """
 
 from repro.engine.aggregate import fold_metrics, summarize, summary_to_json
+from repro.engine.columnar import (
+    ColumnarExecutor,
+    columnar_kinds,
+    plan_batches,
+    register_columnar_kind,
+)
 from repro.engine.engine import EngineConfig, SweepEngine, SweepReport, run_sweep
 from repro.engine.pool import SerialExecutor, WorkerPool, make_executor
 from repro.engine.runner import execute_trial, register_trial_kind, trial_kinds
 from repro.engine.spec import SweepSpec, TrialSpec
-from repro.engine.store import MemoryStore, ResultStore
+from repro.engine.store import (
+    MemoryStore,
+    ResultStore,
+    canonical_record,
+    diff_result_files,
+)
 
 __all__ = [
     "SweepSpec",
@@ -36,12 +47,18 @@ __all__ = [
     "run_sweep",
     "SerialExecutor",
     "WorkerPool",
+    "ColumnarExecutor",
     "make_executor",
     "execute_trial",
     "register_trial_kind",
     "trial_kinds",
+    "register_columnar_kind",
+    "columnar_kinds",
+    "plan_batches",
     "MemoryStore",
     "ResultStore",
+    "canonical_record",
+    "diff_result_files",
     "fold_metrics",
     "summarize",
     "summary_to_json",

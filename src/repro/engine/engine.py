@@ -47,6 +47,19 @@ class EngineConfig:
     #: only); None = tracing off.  Observability only: summaries and
     #: checkpoint records are byte-identical with and without it.
     trace_dir: Optional[str] = None
+    #: Run structurally-compatible trials through the columnar executor
+    #: (:mod:`repro.engine.columnar`): batches of trials as one numpy
+    #: program, records canonically identical to serial execution.
+    #: Single-process; takes precedence over ``workers``.
+    columnar: bool = False
+    #: Trials per columnar kernel invocation (keeps working sets
+    #: cache-resident; scheduling only, never results).
+    chunk_trials: int = 256
+    #: After execution, replay every ok trial from this run through the
+    #: scalar path and fail the sweep if any result dict differs — the
+    #: determinism invariant as a runtime check.  Doubles (at least) the
+    #: cost; meant for CI and differential debugging.
+    check: bool = False
 
 
 @dataclass
@@ -65,6 +78,10 @@ class SweepReport:
     #: True when the pool was requested but unavailable and the engine
     #: degraded to serial execution.
     degraded_to_serial: bool = False
+    #: Wall-clock seconds spent in the execution phase alone (no
+    #: expansion, store IO on open, or aggregation) — the denominator
+    #: for trials/sec comparisons across executors.
+    execution_seconds: float = 0.0
     metrics: MetricRegistry = field(default_factory=MetricRegistry)
 
     @property
@@ -107,6 +124,7 @@ class SweepEngine:
         set_trace_dir(self.config.trace_dir)
         trials = self.spec.expand()
         completed = self.store.open(self.spec)
+        execution_seconds = 0.0
         try:
             pending = [t for t in trials if t.trial_id not in completed]
             executor = make_executor(
@@ -115,9 +133,13 @@ class SweepEngine:
                 retries=self.config.retries,
                 backoff_base=self.config.backoff_base,
                 backoff_cap=self.config.backoff_cap,
+                columnar=self.config.columnar,
+                chunk_trials=self.config.chunk_trials,
             )
-            degraded = self.config.workers > 0 and isinstance(
-                executor, SerialExecutor
+            degraded = (
+                self.config.workers > 0
+                and not self.config.columnar
+                and isinstance(executor, SerialExecutor)
             )
             executed: List[Dict[str, Any]] = []
 
@@ -125,8 +147,23 @@ class SweepEngine:
                 executed.append(record)
                 self.store.append(record)
 
+            def on_results(records: List[Dict[str, Any]]) -> None:
+                executed.extend(records)
+                self.store.append_many(records)
+
             if pending:
-                executor.run(pending, on_result)
+                import time
+
+                started = time.perf_counter()
+                if getattr(executor, "supports_batch_handoff", False) and hasattr(
+                    self.store, "append_many"
+                ):
+                    executor.run_batched(pending, on_results)
+                else:
+                    executor.run(pending, on_result)
+                execution_seconds = time.perf_counter() - started
+                if self.config.check:
+                    self._check_replay(pending, executed)
         finally:
             self.store.close()
 
@@ -140,6 +177,7 @@ class SweepEngine:
             key=lambda r: (int(r.get("point_index", 0)), int(r.get("repeat", 0))),
         )
         summary = summarize(self.spec, records, registry=self.registry)
+        self.registry.gauge("sweep.execution_seconds").set(execution_seconds)
         return SweepReport(
             spec=self.spec,
             summary=summary,
@@ -147,8 +185,40 @@ class SweepEngine:
             executed=len(executed),
             skipped=len(completed),
             degraded_to_serial=degraded,
+            execution_seconds=execution_seconds,
             metrics=self.registry,
         )
+
+    def _check_replay(
+        self, pending: List[Any], executed: List[Dict[str, Any]]
+    ) -> None:
+        """The ``check`` invariant hook: every ok result from this run must
+        reproduce bit-for-bit through the scalar path."""
+        import json
+
+        from repro.engine.runner import execute_trial
+        from repro.errors import ConfigError
+
+        by_id = {trial.trial_id: trial for trial in pending}
+        mismatched: List[str] = []
+        for record in executed:
+            if record.get("status") != "ok":
+                continue
+            trial = by_id.get(record["trial_id"])
+            if trial is None:
+                mismatched.append("%s (unknown trial)" % record["trial_id"])
+                continue
+            replayed = execute_trial(trial)
+            if json.dumps(replayed, sort_keys=True) != json.dumps(
+                record["result"], sort_keys=True
+            ):
+                mismatched.append(record["trial_id"])
+        if mismatched:
+            raise ConfigError(
+                "determinism check failed: %d trial(s) did not replay "
+                "identically through the scalar path: %s"
+                % (len(mismatched), ", ".join(sorted(mismatched)[:10]))
+            )
 
 
 def run_sweep(
@@ -158,7 +228,15 @@ def run_sweep(
     timeout: Optional[float] = None,
     retries: int = 0,
     fresh: bool = False,
+    columnar: bool = False,
+    check: bool = False,
 ) -> SweepReport:
     """One-call convenience wrapper around :class:`SweepEngine`."""
-    config = EngineConfig(workers=workers, timeout=timeout, retries=retries)
+    config = EngineConfig(
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        columnar=columnar,
+        check=check,
+    )
     return SweepEngine(spec, store_path=store_path, config=config, fresh=fresh).run()

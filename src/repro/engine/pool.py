@@ -287,9 +287,26 @@ def make_executor(
     retries: int = 0,
     backoff_base: float = 0.1,
     backoff_cap: float = 2.0,
+    columnar: bool = False,
+    chunk_trials: int = 256,
 ):
     """Build the right executor for ``workers``; degrade to serial when
-    worker processes are unavailable on this platform."""
+    worker processes are unavailable on this platform.
+
+    ``columnar=True`` selects the in-process columnar executor (see
+    :mod:`repro.engine.columnar`); it is single-process, so it takes
+    precedence over ``workers`` (per-trial timeouts need a worker to
+    kill and do not apply).
+    """
+    if columnar:
+        from repro.engine.columnar import ColumnarExecutor
+
+        return ColumnarExecutor(
+            retries=retries,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            chunk_trials=chunk_trials,
+        )
     if workers <= 0:
         return SerialExecutor(retries, backoff_base, backoff_cap)
     try:

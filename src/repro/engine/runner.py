@@ -10,6 +10,9 @@ Built-ins:
 
 * ``monte_carlo`` — one §4.3 Monte Carlo batch via
   :func:`repro.attack.probability.monte_carlo_success_rate`;
+* ``probability_grid`` — the §4.3 closed form (per-cycle, cumulative,
+  cycles-to-target) at one parameter point, draw-free; whole grids of
+  these run in one shot under the columnar engine;
 * ``mitigation`` — one §5 configuration attacked and graded via
   :func:`repro.mitigations.evaluation.evaluate_mitigation`;
 * ``fault_campaign`` — one differential fuzz campaign under NAND fault
@@ -130,6 +133,48 @@ def _trial_monte_carlo(trial: TrialSpec) -> Dict[str, Any]:
     }
 
 
+# -- built-in: probability_grid -----------------------------------------
+
+
+def _trial_probability_grid(trial: TrialSpec) -> Dict[str, Any]:
+    """Evaluate the §4.3 closed form at one parameter point: per-cycle
+    probability, cumulative probability over ``cycles`` repetitions, and
+    the cycle count needed to reach ``target``.
+
+    Deterministic and draw-free; computed through the same vectorized
+    helpers the columnar engine stacks whole grids into
+    (:mod:`repro.attack.probability`), so scalar and columnar records
+    agree bit-for-bit by construction.
+    """
+    from repro.attack.probability import (
+        grid_cumulative,
+        grid_cycles_to_target,
+        grid_single_cycle,
+    )
+
+    params = dict(trial.params)
+    cycles = int(params.pop("cycles", 10))
+    target = float(params.pop("target", 0.5))
+    if cycles < 0:
+        raise ConfigError("cycles cannot be negative")
+    model = _resolve_probability_parameters(params)
+    per_cycle = grid_single_cycle(
+        [model.victim_blocks],
+        [model.victim_sprayed],
+        [model.attacker_sprayed],
+        [model.physical_blocks],
+    )
+    cumulative = grid_cumulative(per_cycle, [cycles])
+    to_target = grid_cycles_to_target(per_cycle, [target])
+    return {
+        "single_cycle": float(per_cycle[0]),
+        "cumulative": float(cumulative[0]),
+        "cycles": cycles,
+        "cycles_to_target": int(to_target[0]),
+        "target": target,
+    }
+
+
 # -- built-in: mitigation -----------------------------------------------
 
 
@@ -246,6 +291,7 @@ def _trial_flaky(trial: TrialSpec) -> Dict[str, Any]:
 
 
 register_trial_kind("monte_carlo", _trial_monte_carlo)
+register_trial_kind("probability_grid", _trial_probability_grid)
 register_trial_kind("mitigation", _trial_mitigation)
 register_trial_kind("fault_campaign", _trial_fault_campaign)
 register_trial_kind("sleep", _trial_sleep)

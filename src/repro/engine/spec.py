@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
-from repro.sim.rng import RngStream, derive_seed
+from repro.sim.rng import RngStream, SeedPrefix
 
 
 @dataclass(frozen=True)
@@ -184,6 +184,11 @@ class SweepSpec:
     def expand(self) -> List[TrialSpec]:
         """The full, ordered trial list."""
         trials: List[TrialSpec] = []
+        # Every trial seed shares the (seed, "sweep", name) hash prefix;
+        # pre-hash it once.  Bit-identical to per-trial derive_seed — the
+        # prefix cache is pinned by a SeedPrefix doctest and the engine's
+        # determinism tests.
+        prefix = SeedPrefix(self.seed, "sweep", self.name)
         for point_index, point in enumerate(self.points()):
             params = dict(self.base)
             params.update(point)
@@ -199,7 +204,7 @@ class SweepSpec:
                         repeat=repeat,
                         root_seed=self.seed,
                         spawn_key=spawn_key,
-                        seed=derive_seed(self.seed, *spawn_key),
+                        seed=prefix.derive(point_index, repeat),
                     )
                 )
         return trials

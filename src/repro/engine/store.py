@@ -24,6 +24,75 @@ from repro.errors import ConfigError
 HEADER_KEY = "sweep_header"
 
 
+#: Record fields that legitimately differ between two equivalent runs:
+#: ``elapsed`` is wall-clock (differs even between two serial runs), and
+#: ``error`` tracebacks embed the executor's own stack frames (serial,
+#: pool worker, and columnar fallback frames all spell differently).
+NONDETERMINISTIC_FIELDS = ("elapsed", "error")
+
+
+def canonical_record(record: Dict[str, Any]) -> str:
+    """A record's canonical JSON, minus the fields two equivalent runs
+    may legitimately disagree on (see ``NONDETERMINISTIC_FIELDS``).
+
+    Byte-equality claims (serial vs columnar vs pooled vs resumed) are
+    stated over this canonical form: every other field — status, params,
+    seed, the full result dict, attempt counts — and the record order in
+    the file must match exactly.  Note ``status`` stays: a trial that
+    fails under one executor must fail under all of them.
+    """
+    trimmed = {
+        k: v for k, v in record.items() if k not in NONDETERMINISTIC_FIELDS
+    }
+    return json.dumps(trimmed, sort_keys=True)
+
+
+def diff_result_files(path_a: str, path_b: str) -> List[str]:
+    """Compare two sweep result files record-by-record, canonically.
+
+    Returns human-readable difference lines (empty = files agree).  The
+    header line is compared on everything but, like records, nothing
+    wall-clock; records must match in content *and* order.
+    """
+
+    def load(path: str):
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().split("\n") if line.strip()]
+        if not lines:
+            raise ConfigError("%s is empty" % path)
+        header = json.loads(lines[0]).get(HEADER_KEY)
+        if header is None:
+            raise ConfigError("%s is not a sweep result file" % path)
+        return header, [json.loads(line) for line in lines[1:]]
+
+    header_a, records_a = load(path_a)
+    header_b, records_b = load(path_b)
+    diffs: List[str] = []
+    if header_a != header_b:
+        diffs.append(
+            "header mismatch: %s != %s"
+            % (json.dumps(header_a, sort_keys=True),
+               json.dumps(header_b, sort_keys=True))
+        )
+    if len(records_a) != len(records_b):
+        diffs.append(
+            "record count mismatch: %d != %d" % (len(records_a), len(records_b))
+        )
+    for position, (rec_a, rec_b) in enumerate(zip(records_a, records_b)):
+        if canonical_record(rec_a) != canonical_record(rec_b):
+            diffs.append(
+                "record %d (%s vs %s) differs:\n  a: %s\n  b: %s"
+                % (
+                    position,
+                    rec_a.get("trial_id"),
+                    rec_b.get("trial_id"),
+                    canonical_record(rec_a),
+                    canonical_record(rec_b),
+                )
+            )
+    return diffs
+
+
 class MemoryStore:
     """In-memory result store: same interface, no persistence."""
 
@@ -43,6 +112,9 @@ class MemoryStore:
 
     def append(self, record: Dict[str, Any]) -> None:
         self._records.append(record)
+
+    def append_many(self, records: List[Dict[str, Any]]) -> None:
+        self._records.extend(records)
 
     def records(self) -> List[Dict[str, Any]]:
         return list(self._records)
@@ -141,6 +213,25 @@ class ResultStore:
             raise ConfigError("store not opened")
         self._records.append(record)
         self._write_line(record)
+
+    def append_many(self, records: List[Dict[str, Any]]) -> None:
+        """Append a batch with one flush+fsync for the lot.
+
+        Same durability *granularity* the columnar engine produces
+        results at: a kill loses at most the batch in flight, exactly as
+        per-record appends lose at most the trial in flight.  Bytes
+        written are identical to ``append`` called in a loop.
+        """
+        if self._handle is None:
+            raise ConfigError("store not opened")
+        if not records:
+            return
+        self._records.extend(records)
+        self._handle.write(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     def records(self) -> List[Dict[str, Any]]:
         return list(self._records)

@@ -121,3 +121,112 @@ class TestMonteCarlo:
     def test_trials_validated(self):
         with pytest.raises(ConfigError):
             monte_carlo_success_rate(paper_example_parameters(), trials=0)
+
+
+class TestCyclesToReachClosedForm:
+    """The closed-form cycles_to_reach must keep the exact boundary
+    semantics of the linear search it replaced."""
+
+    @staticmethod
+    def _linear_reference(per_cycle, target):
+        cycles = 1
+        while cumulative_success_probability(per_cycle, cycles) < target:
+            cycles += 1
+        return cycles
+
+    def test_matches_linear_search_randomized(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(500):
+            per_cycle = rng.uniform(1e-4, 1.0)
+            target = rng.uniform(1e-4, 1.0 - 1e-9)
+            assert cycles_to_reach(per_cycle, target) == self._linear_reference(
+                per_cycle, target
+            ), (per_cycle, target)
+
+    def test_exact_boundaries(self):
+        # Targets that land exactly on a cumulative value: the boundary
+        # cycle itself must be returned, never one past it.
+        for per_cycle in (0.5, 0.25, 0.07):
+            for cycles in (1, 2, 3, 10):
+                target = cumulative_success_probability(per_cycle, cycles)
+                if not 0 < target < 1:
+                    continue
+                assert cycles_to_reach(per_cycle, target) == cycles
+
+    def test_certain_success_is_one_cycle(self):
+        assert cycles_to_reach(1.0, 0.999999) == 1
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ConfigError):
+            cycles_to_reach(1e-12, 0.999999999)
+
+
+class TestGridHelpers:
+    """Vectorized closed-form helpers agree elementwise with the scalar
+    functions (the columnar engine's byte-equality relies on this)."""
+
+    def test_grid_single_cycle_matches_scalar(self):
+        import numpy as np
+
+        from repro.attack.probability import grid_single_cycle
+
+        cases = [
+            paper_example_parameters(),
+            paper_example_parameters(4096),
+            ProbabilityParameters(
+                victim_blocks=1000, attacker_blocks=1000,
+                victim_sprayed=300, attacker_sprayed=800,
+                physical_blocks=2000,
+            ),
+        ]
+        grid = grid_single_cycle(
+            np.array([c.victim_blocks for c in cases]),
+            np.array([c.victim_sprayed for c in cases]),
+            np.array([c.attacker_sprayed for c in cases]),
+            np.array([c.physical_blocks for c in cases]),
+        )
+        for index, case in enumerate(cases):
+            assert float(grid[index]) == single_cycle_success_probability(case)
+
+    def test_grid_cumulative_matches_scalar(self):
+        import numpy as np
+
+        from repro.attack.probability import grid_cumulative
+
+        per_cycle = np.array([0.07, 0.5, 0.001, 0.97])
+        cycles = np.array([10, 3, 100, 1])
+        grid = grid_cumulative(per_cycle, cycles)
+        for index in range(len(per_cycle)):
+            assert float(grid[index]) == cumulative_success_probability(
+                float(per_cycle[index]), int(cycles[index])
+            )
+
+    def test_grid_cycles_to_target_matches_scalar(self):
+        import random
+
+        import numpy as np
+
+        from repro.attack.probability import grid_cycles_to_target
+
+        rng = random.Random(3)
+        per_cycle = np.array([rng.uniform(1e-4, 1.0) for _ in range(200)])
+        target = np.array([rng.uniform(1e-4, 1 - 1e-9) for _ in range(200)])
+        grid = grid_cycles_to_target(per_cycle, target)
+        for index in range(len(per_cycle)):
+            assert int(grid[index]) == cycles_to_reach(
+                float(per_cycle[index]), float(target[index])
+            )
+
+    def test_grid_cycles_to_target_validation(self):
+        import numpy as np
+
+        from repro.attack.probability import grid_cycles_to_target
+
+        with pytest.raises(ConfigError):
+            grid_cycles_to_target(np.array([0.0]), np.array([0.5]))
+        with pytest.raises(ConfigError):
+            grid_cycles_to_target(np.array([0.5]), np.array([1.0]))
+        with pytest.raises(ConfigError):
+            grid_cycles_to_target(np.array([1e-12]), np.array([1 - 1e-12]))

@@ -109,6 +109,30 @@ class TestSweepCommand:
         summary = json.loads(summary_path.read_text())
         assert summary["name"] == "cli-sweep"
 
+    def test_columnar_matches_serial_and_diff_agrees(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        path_serial = str(tmp_path / "serial.jsonl")
+        path_columnar = str(tmp_path / "columnar.jsonl")
+        assert main(["sweep", spec, "--json", "--out", path_serial]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", spec, "--columnar", "--check", "--json",
+                     "--out", path_columnar]) == 0
+        columnar = capsys.readouterr().out
+        assert serial == columnar
+        assert main(["sweep-diff", path_serial, path_columnar]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_sweep_diff_exit_code_on_mismatch(self, tmp_path, capsys):
+        spec_a = write_spec(tmp_path)
+        path_a = str(tmp_path / "a.jsonl")
+        assert main(["sweep", spec_a, "--out", path_a]) == 0
+        spec_b = write_spec(tmp_path, seed=8)
+        path_b = str(tmp_path / "b.jsonl")
+        assert main(["sweep", spec_b, "--out", path_b]) == 0
+        capsys.readouterr()
+        assert main(["sweep-diff", path_a, path_b]) == 1
+        assert "difference" in capsys.readouterr().out
+
     def test_failed_sweep_exit_code(self, tmp_path, capsys):
         spec = write_spec(
             tmp_path, kind="flaky", grid={},

@@ -1,0 +1,525 @@
+"""Columnar engine: byte-equality with the scalar path, pinned hard.
+
+The columnar executor's whole contract is "same records, faster".  These
+tests pin it from every side: the vectorized SeedSequence port against
+numpy itself, stacked generators against directly seeded ones, columnar
+records against serial records (canonically — everything except the
+wall-clock ``elapsed`` field, order included) across random specs, resume
+interop in both directions, the ``check`` replay hook, and the batched
+store append against the one-line-at-a-time original.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    ColumnarExecutor,
+    EngineConfig,
+    MemoryStore,
+    SweepEngine,
+    SweepSpec,
+    canonical_record,
+    columnar_kinds,
+    diff_result_files,
+    plan_batches,
+    register_columnar_kind,
+)
+from repro.engine.store import ResultStore
+from repro.errors import ConfigError
+from repro.sim.rng import (
+    SeedPrefix,
+    derive_seed,
+    seed_pool_states,
+    stacked_pcg64,
+)
+
+
+def canonical_records(report):
+    return [canonical_record(record) for record in report.records]
+
+
+def run_spec(spec_dict, **config_kwargs):
+    spec = SweepSpec.from_dict(spec_dict)
+    return SweepEngine(spec, config=EngineConfig(**config_kwargs)).run()
+
+
+# -- RNG foundations ----------------------------------------------------
+
+
+class TestSeedPrefix:
+    def test_matches_derive_seed(self):
+        prefix = SeedPrefix(7, "sweep", "name")
+        for point in range(5):
+            for repeat in range(3):
+                assert prefix.derive(point, repeat) == derive_seed(
+                    7, "sweep", "name", point, repeat
+                )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63 - 1),
+        labels=st.lists(
+            st.one_of(st.integers(-5, 5), st.text(max_size=8)), max_size=4
+        ),
+        tail=st.lists(
+            st.one_of(st.integers(-5, 5), st.text(max_size=8)), max_size=3
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_split_is_invisible(self, seed, labels, tail):
+        assert SeedPrefix(seed, *labels).derive(*tail) == derive_seed(
+            seed, *labels, *tail
+        )
+
+
+class TestSeedPoolStates:
+    @given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_seedsequence(self, seed):
+        row = seed_pool_states([seed])[0]
+        expected = np.random.SeedSequence(seed).generate_state(4, np.uint64)
+        assert np.array_equal(row, expected)
+
+    def test_batch_matches_per_seed(self):
+        seeds = [derive_seed(3, "sweep", "s", i, 0) for i in range(64)]
+        rows = seed_pool_states(seeds)
+        for index, seed in enumerate(seeds):
+            expected = np.random.SeedSequence(seed).generate_state(4, np.uint64)
+            assert np.array_equal(rows[index], expected)
+
+    def test_rejects_non_flat_input(self):
+        with pytest.raises(ValueError):
+            seed_pool_states(np.zeros((2, 2)))
+
+
+class TestStackedPcg64:
+    @given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_state_matches_direct_seeding(self, seed):
+        (stacked,) = stacked_pcg64([seed])
+        assert stacked.state["state"] == np.random.PCG64(seed).state["state"]
+
+    def test_streams_match_direct_seeding(self):
+        seeds = [derive_seed(9, "sweep", "t", i, 0) for i in range(20)]
+        for stacked, seed in zip(stacked_pcg64(seeds), seeds):
+            direct = np.random.Generator(np.random.PCG64(seed))
+            batched = np.random.Generator(stacked)
+            assert np.array_equal(
+                batched.integers(0, 4096, size=64),
+                direct.integers(0, 4096, size=64),
+            )
+
+    def test_empty(self):
+        assert stacked_pcg64([]) == []
+
+
+# -- planning -----------------------------------------------------------
+
+
+MC_SPEC = {
+    "name": "col",
+    "kind": "monte_carlo",
+    "seed": 11,
+    "repeats": 3,
+    "base": {"trials": 64, "physical_blocks": 4096},
+    "grid": {"victim_spray_fraction": [0.25, 0.5]},
+}
+
+
+class TestPlanner:
+    def test_registered_kinds(self):
+        assert "monte_carlo" in columnar_kinds()
+        assert "probability_grid" in columnar_kinds()
+
+    def test_compatible_trials_batch_together(self):
+        trials = SweepSpec.from_dict(MC_SPEC).expand()
+        batches, scalar = plan_batches(trials)
+        assert scalar == []
+        assert len(batches) == 1
+        assert batches[0].indices == list(range(len(trials)))
+
+    def test_incompatible_trials_fall_back(self):
+        spec = dict(MC_SPEC)
+        # Odd sample counts and non-power-of-two device sizes cannot take
+        # the vectorized draw path; they must run scalar.
+        spec["grid"] = {"trials": [64, 63], "physical_blocks": [4096, 4095]}
+        spec["base"] = {}
+        trials = SweepSpec.from_dict(spec).expand()
+        batches, scalar = plan_batches(trials)
+        batched_ids = {t.trial_id for b in batches for t in b.trials}
+        scalar_ids = {t.trial_id for _, t in scalar}
+        assert batched_ids | scalar_ids == {t.trial_id for t in trials}
+        assert batched_ids & scalar_ids == set()
+        for batch in batches:
+            for trial in batch.trials:
+                assert trial.params["trials"] == 64
+                assert trial.params["physical_blocks"] == 4096
+
+    def test_unknown_kind_is_all_scalar(self):
+        spec = {"name": "s", "kind": "sleep", "seed": 1, "repeats": 2,
+                "base": {"seconds": 0.0}}
+        trials = SweepSpec.from_dict(spec).expand()
+        batches, scalar = plan_batches(trials)
+        assert batches == []
+        assert [index for index, _ in scalar] == [0, 1]
+
+
+# -- columnar == scalar -------------------------------------------------
+
+
+class TestColumnarEqualsScalar:
+    def test_monte_carlo_fixed_spec(self):
+        serial = run_spec(MC_SPEC)
+        columnar = run_spec(MC_SPEC, columnar=True)
+        assert canonical_records(serial) == canonical_records(columnar)
+        assert serial.summary_json() == columnar.summary_json()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        repeats=st.integers(min_value=1, max_value=4),
+        samples=st.sampled_from([2, 63, 64, 100, 101, 128]),
+        victim_bits=st.integers(min_value=4, max_value=12),
+        physical_pow2=st.booleans(),
+        fractions=st.lists(
+            st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.75, 1.0]),
+            min_size=1, max_size=3, unique=True,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_monte_carlo_random_specs(
+        self, seed, repeats, samples, victim_bits, physical_pow2, fractions
+    ):
+        victim_blocks = 2 ** victim_bits
+        physical_blocks = 2 * victim_blocks + (0 if physical_pow2 else 100)
+        spec = {
+            "name": "prop",
+            "kind": "monte_carlo",
+            "seed": seed,
+            "repeats": repeats,
+            "base": {
+                "trials": samples,
+                "victim_blocks": victim_blocks,
+                "attacker_blocks": victim_blocks,
+                "attacker_sprayed": victim_blocks,
+                "physical_blocks": physical_blocks,
+            },
+            "grid": {
+                "victim_sprayed": [
+                    int(victim_blocks * fraction) for fraction in fractions
+                ]
+            },
+        }
+        serial = run_spec(spec)
+        columnar = run_spec(spec, columnar=True)
+        assert canonical_records(serial) == canonical_records(columnar)
+        assert serial.summary_json() == columnar.summary_json()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        repeats=st.integers(min_value=1, max_value=3),
+        cycles=st.integers(min_value=0, max_value=50),
+        target=st.sampled_from([0.1, 0.5, 0.9, 0.999]),
+        physical=st.sampled_from([512, 4096, 262_144, 1_000_000]),
+        fractions=st.lists(
+            st.sampled_from([0.05, 0.1, 0.25, 0.5, 0.75, 1.0]),
+            min_size=1, max_size=4, unique=True,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_probability_grid_random_specs(
+        self, seed, repeats, cycles, target, physical, fractions
+    ):
+        spec = {
+            "name": "gridprop",
+            "kind": "probability_grid",
+            "seed": seed,
+            "repeats": repeats,
+            "base": {
+                "cycles": cycles,
+                "target": target,
+                "physical_blocks": physical,
+            },
+            "grid": {"victim_spray_fraction": fractions},
+        }
+        serial = run_spec(spec)
+        columnar = run_spec(spec, columnar=True)
+        assert canonical_records(serial) == canonical_records(columnar)
+        assert serial.summary_json() == columnar.summary_json()
+
+    def test_failing_trials_match_too(self):
+        # victim_sprayed = 0 makes cycles_to_target unreachable: the
+        # scalar kind raises, so columnar must record the same failure.
+        spec = {
+            "name": "fail",
+            "kind": "probability_grid",
+            "seed": 2,
+            "repeats": 2,
+            "base": {"physical_blocks": 4096, "victim_spray_fraction": 0.0},
+        }
+        serial = run_spec(spec)
+        columnar = run_spec(spec, columnar=True)
+        assert [r["status"] for r in serial.records] == ["failed", "failed"]
+        # The error tracebacks differ (executor frames); everything the
+        # canonical form keeps — including the failed status — matches.
+        assert canonical_records(serial) == canonical_records(columnar)
+
+    def test_chunking_does_not_change_records(self):
+        spec = dict(MC_SPEC, repeats=10)
+        baseline = run_spec(spec, columnar=True)
+        spec2 = SweepSpec.from_dict(spec)
+        engine = SweepEngine(
+            spec2, config=EngineConfig(columnar=True, chunk_trials=3)
+        )
+        chunked = engine.run()
+        assert canonical_records(baseline) == canonical_records(chunked)
+
+
+# -- store parity and resume interop ------------------------------------
+
+
+class TestStoreParity:
+    def test_jsonl_files_identical_canonically(self, tmp_path):
+        path_serial = str(tmp_path / "serial.jsonl")
+        path_columnar = str(tmp_path / "columnar.jsonl")
+        SweepEngine(
+            SweepSpec.from_dict(MC_SPEC), store_path=path_serial
+        ).run()
+        SweepEngine(
+            SweepSpec.from_dict(MC_SPEC),
+            store_path=path_columnar,
+            config=EngineConfig(columnar=True),
+        ).run()
+        assert diff_result_files(path_serial, path_columnar) == []
+
+    def test_diff_reports_differences(self, tmp_path):
+        path_a = str(tmp_path / "a.jsonl")
+        SweepEngine(SweepSpec.from_dict(MC_SPEC), store_path=path_a).run()
+        spec_b = dict(MC_SPEC)
+        spec_b["seed"] = 99
+        path_b = str(tmp_path / "b.jsonl")
+        SweepEngine(SweepSpec.from_dict(spec_b), store_path=path_b).run()
+        assert diff_result_files(path_a, path_b) != []
+
+    def test_append_many_bytes_match_append(self, tmp_path):
+        spec = SweepSpec.from_dict(MC_SPEC)
+        records = [
+            {"trial_id": "0000.%02d" % i, "status": "ok", "result": {"x": i},
+             "point_index": 0, "repeat": i, "point": {}, "params": {},
+             "seed": i, "error": None, "attempts": 1, "elapsed": 0.5}
+            for i in range(5)
+        ]
+        one = ResultStore(str(tmp_path / "one.jsonl"))
+        one.open(spec)
+        for record in records:
+            one.append(record)
+        one.close()
+        many = ResultStore(str(tmp_path / "many.jsonl"))
+        many.open(spec)
+        many.append_many(records)
+        many.close()
+        with open(one.path, "rb") as handle:
+            bytes_one = handle.read()
+        with open(many.path, "rb") as handle:
+            bytes_many = handle.read()
+        assert bytes_one == bytes_many
+
+    def test_resume_serial_then_columnar(self, tmp_path):
+        reference_path = str(tmp_path / "reference.jsonl")
+        SweepEngine(
+            SweepSpec.from_dict(MC_SPEC), store_path=reference_path
+        ).run()
+        with open(reference_path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        partial_path = str(tmp_path / "partial.jsonl")
+        keep = 1 + 2  # header + two records
+        with open(partial_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:keep]) + "\n")
+        report = SweepEngine(
+            SweepSpec.from_dict(MC_SPEC),
+            store_path=partial_path,
+            config=EngineConfig(columnar=True),
+        ).run()
+        assert report.skipped == 2
+        assert report.executed == len(lines) - keep
+        assert diff_result_files(reference_path, partial_path) == []
+
+    def test_resume_columnar_then_serial(self, tmp_path):
+        reference_path = str(tmp_path / "reference.jsonl")
+        SweepEngine(
+            SweepSpec.from_dict(MC_SPEC),
+            store_path=reference_path,
+            config=EngineConfig(columnar=True),
+        ).run()
+        with open(reference_path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        partial_path = str(tmp_path / "partial.jsonl")
+        keep = 1 + 3
+        with open(partial_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:keep]) + "\n")
+        report = SweepEngine(
+            SweepSpec.from_dict(MC_SPEC), store_path=partial_path
+        ).run()
+        assert report.skipped == 3
+        assert diff_result_files(reference_path, partial_path) == []
+
+    def test_torn_line_after_batch_append(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        SweepEngine(
+            SweepSpec.from_dict(MC_SPEC),
+            store_path=path,
+            config=EngineConfig(columnar=True),
+        ).run()
+        with open(path, "ab") as handle:
+            handle.write(b'{"trial_id": "9999.00", "status"')
+        report = SweepEngine(
+            SweepSpec.from_dict(MC_SPEC), store_path=path
+        ).run()
+        assert report.executed == 0
+        assert report.ok
+
+
+# -- the check hook -----------------------------------------------------
+
+
+class TestCheckHook:
+    def test_check_passes_for_honest_executors(self):
+        for columnar in (False, True):
+            report = run_spec(MC_SPEC, columnar=columnar, check=True)
+            assert report.ok
+
+    def test_check_catches_a_lying_kernel(self):
+        from repro.engine.runner import register_trial_kind
+
+        def scalar_kind(trial):
+            return {"value": trial.seed % 97}
+
+        def lying_signature(trial):
+            return ("lies",)
+
+        def lying_kernel(trials):
+            return [{"value": -1} for _ in trials]
+
+        register_trial_kind("liar", scalar_kind, replace=True)
+        register_columnar_kind(
+            "liar", lying_signature, lying_kernel, replace=True
+        )
+        spec = {"name": "liar", "kind": "liar", "seed": 5, "repeats": 3}
+        assert run_spec(spec, columnar=True).ok  # without check: undetected
+        with pytest.raises(ConfigError, match="determinism check failed"):
+            run_spec(spec, columnar=True, check=True)
+
+    def test_register_twice_requires_replace(self):
+        with pytest.raises(ConfigError):
+            register_columnar_kind(
+                "monte_carlo", lambda t: None, lambda ts: []
+            )
+
+
+# -- executor robustness ------------------------------------------------
+
+
+class TestExecutorRobustness:
+    def test_broken_kernel_falls_back_to_scalar(self):
+        from repro.engine.runner import register_trial_kind
+
+        def scalar_kind(trial):
+            return {"value": trial.seed % 97}
+
+        def broken_kernel(trials):
+            raise RuntimeError("kernel exploded")
+
+        register_trial_kind("fragile", scalar_kind, replace=True)
+        register_columnar_kind(
+            "fragile", lambda t: ("all",), broken_kernel, replace=True
+        )
+        spec = {"name": "fragile", "kind": "fragile", "seed": 5, "repeats": 4}
+        report = run_spec(spec, columnar=True)
+        assert report.ok
+        assert canonical_records(report) == canonical_records(run_spec(spec))
+
+    def test_wrong_result_count_falls_back(self):
+        from repro.engine.runner import register_trial_kind
+
+        def scalar_kind(trial):
+            return {"value": 1}
+
+        register_trial_kind("short", scalar_kind, replace=True)
+        register_columnar_kind(
+            "short", lambda t: ("all",), lambda ts: [{"value": 1}],
+            replace=True,
+        )
+        spec = {"name": "short", "kind": "short", "seed": 5, "repeats": 3}
+        report = run_spec(spec, columnar=True)
+        assert report.ok
+
+    def test_retries_apply_on_scalar_fallback(self, tmp_path):
+        flaky_state = str(tmp_path / "flaky.txt")
+        spec = {
+            "name": "flaky-col", "kind": "flaky", "seed": 1, "repeats": 1,
+            "base": {"path": flaky_state, "fail_times": 1},
+        }
+        report = run_spec(spec, columnar=True, retries=1)
+        assert report.ok
+        assert report.records[0]["attempts"] == 2
+
+    def test_executor_direct_run_interface(self):
+        trials = SweepSpec.from_dict(MC_SPEC).expand()
+        collected = []
+        ColumnarExecutor().run(trials, collected.append)
+        assert [r["trial_id"] for r in collected] == [
+            t.trial_id for t in trials
+        ]
+
+    def test_memory_store_append_many(self):
+        store = MemoryStore()
+        store.append_many([{"trial_id": "a", "status": "ok"}])
+        assert len(store.records()) == 1
+
+
+# -- probability_grid scalar kind ---------------------------------------
+
+
+class TestProbabilityGridKind:
+    def test_result_fields(self):
+        spec = {
+            "name": "g", "kind": "probability_grid", "seed": 1, "repeats": 1,
+            "base": {"cycles": 10, "target": 0.5},
+        }
+        report = run_spec(spec)
+        result = report.records[0]["result"]
+        assert set(result) == {
+            "single_cycle", "cumulative", "cycles", "cycles_to_target",
+            "target",
+        }
+        # Paper defaults: ~7% per cycle, >50% within 10 cycles, 10 cycles
+        # to pass one-half.
+        assert result["single_cycle"] == pytest.approx(0.0703, abs=0.002)
+        assert result["cumulative"] > 0.5
+        assert result["cycles_to_target"] == 10
+
+    def test_matches_scalar_functions(self):
+        from repro.attack.probability import (
+            cumulative_success_probability,
+            cycles_to_reach,
+            paper_example_parameters,
+            single_cycle_success_probability,
+        )
+
+        spec = {
+            "name": "g2", "kind": "probability_grid", "seed": 1, "repeats": 1,
+            "base": {"cycles": 7, "target": 0.9, "physical_blocks": 262_144},
+        }
+        result = run_spec(spec).records[0]["result"]
+        p = single_cycle_success_probability(paper_example_parameters())
+        assert result["single_cycle"] == p
+        assert result["cumulative"] == cumulative_success_probability(p, 7)
+        assert result["cycles_to_target"] == cycles_to_reach(p, 0.9)
+
+    def test_negative_cycles_fail(self):
+        spec = {
+            "name": "g3", "kind": "probability_grid", "seed": 1, "repeats": 1,
+            "base": {"cycles": -1},
+        }
+        report = run_spec(spec)
+        assert not report.ok
