@@ -1,0 +1,77 @@
+"""Serving-frontend benchmarks: scheduler throughput and the §5 curve.
+
+Two measurements:
+
+* scheduler overhead — wall-clock throughput of the event-driven DRR
+  scheduler itself (commands dispatched per host second) on a saturated
+  multi-tenant scenario; regressions here slow every serving experiment.
+* the noisy-neighbor trade-off — the rate-limit grid the paper's §5
+  argues about, reported as (cap, achieved activation rate, flips,
+  benign p99).  The assertion pins the shape: tightening the cap must
+  monotonically lower the attacker's achieved activation rate, and the
+  capped-below-threshold points must stop flipping bits.
+"""
+
+from repro.serve import ServeScenario, run_scenario
+
+from bench_utils import print_report
+
+
+def noisy_scenario(cap):
+    attacker = {"name": "attacker", "kind": "hammer_attacker", "ops": 4000}
+    if cap is not None:
+        attacker["max_iops"] = cap
+    return ServeScenario.from_dict(
+        {
+            "name": "bench-noisy",
+            "seed": 11,
+            "device": {"num_lbas": 1024, "profile": "tempered"},
+            "tenants": [
+                attacker,
+                {"name": "reader", "kind": "bursty_reader", "ops": 1000},
+                {"name": "logger", "kind": "log_writer", "ops": 1000},
+                {"name": "scanner", "kind": "scan_reader", "ops": 1000},
+            ],
+        }
+    )
+
+
+def test_scheduler_dispatch_throughput(benchmark):
+    scenario = noisy_scenario(None)
+
+    def op():
+        return run_scenario(scenario)
+
+    report = benchmark(op)
+    commands = sum(t["commands"] for t in report.tenants)
+    assert commands == 7000  # every admitted command completed
+
+
+def test_rate_limit_curve_shape():
+    caps = [None, 32000, 16000, 8000]
+    rows = []
+    rates = []
+    for cap in caps:
+        report = run_scenario(noisy_scenario(cap))
+        attacker = report.attacker
+        benign_p99 = max(
+            t["p99"] for t in report.tenants if t["kind"] != "hammer_attacker"
+        )
+        rates.append(attacker["activation_rate"])
+        rows.append(
+            "cap=%-9s act_rate=%8.0f/s below=%-5s flips=%2d benign_p99=%.4gs"
+            % (
+                cap,
+                attacker["activation_rate"],
+                attacker["below_threshold"],
+                report.flips,
+                benign_p99,
+            )
+        )
+        if attacker["below_threshold"]:
+            assert report.flips == 0
+        threshold = attacker["hammer_threshold"]
+    print_report("§5 rate-limit mitigation (tempered profile)", rows)
+    assert rates == sorted(rates, reverse=True)
+    assert rates[0] > threshold  # unlimited attacker can hammer
+    assert rates[-1] < threshold  # tight cap suppresses it

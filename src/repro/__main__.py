@@ -5,6 +5,8 @@ Commands:
 * ``demo``         — run the end-to-end cloud attack and print the outcome.
 * ``mitigations``  — grade every §5 defense against the same attack.
 * ``probability``  — the §4.3 analysis (analytic + Monte Carlo).
+* ``serve``        — run a multi-tenant serving scenario through the
+  deterministic QoS scheduler.
 * ``sweep``        — run a declarative parameter sweep from a JSON spec.
 * ``sweep-diff``   — compare two sweep result files canonically.
 * ``fuzz``         — differential fuzz campaign / reproducer replay.
@@ -419,6 +421,60 @@ def cmd_probability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run one multi-tenant serving scenario and report per-tenant QoS."""
+    from repro.serve import ServeScenario, run_scenario
+
+    scenario = ServeScenario.load(args.scenario)
+    report = run_scenario(scenario, trace_path=args.trace)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(report.exposition())
+    if args.json:
+        sys.stdout.write(report.to_json() + "\n")
+        return 0
+    print(
+        "scenario %r: %d tenants, %d commands in %s simulated"
+        % (
+            report.scenario,
+            len(report.tenants),
+            sum(t["commands"] for t in report.tenants),
+            format_duration(report.duration),
+        )
+    )
+    print(
+        "%-12s %-15s %8s %10s %10s %10s %10s %5s %5s"
+        % ("tenant", "kind", "cmds", "iops", "p50", "p95", "p99", "bp", "thr")
+    )
+    for tenant in report.tenants:
+        print(
+            "%-12s %-15s %8d %10s %10s %10s %10s %5d %5d"
+            % (
+                tenant["name"],
+                tenant["kind"],
+                tenant["commands"],
+                format_rate(tenant["iops"]),
+                format_duration(tenant["p50"]),
+                format_duration(tenant["p95"]),
+                format_duration(tenant["p99"]),
+                tenant["backpressure"],
+                tenant["throttled"],
+            )
+        )
+    if report.attacker is not None:
+        verdict = "BELOW" if report.attacker["below_threshold"] else "ABOVE"
+        print(
+            "attacker activation rate %s — %s hammer threshold %s; %d flips"
+            % (
+                format_rate(report.attacker["activation_rate"]),
+                verdict,
+                format_rate(report.attacker["hammer_threshold"]),
+                report.flips,
+            )
+        )
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.engine import EngineConfig, SweepEngine, SweepSpec
 
@@ -698,6 +754,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regenerate the golden double-sided-hammer "
                             "fixture trace to OUT_JSONL")
     trace.set_defaults(func=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a multi-tenant serving scenario (JSON) through the "
+             "deterministic QoS scheduler",
+    )
+    serve.add_argument("scenario", help="path to a ServeScenario JSON file")
+    serve.add_argument("--trace", default=None, metavar="TRACE_JSONL",
+                       help="stream a structured trace of the run here")
+    serve.add_argument("--metrics-out", default=None, metavar="PROM_TXT",
+                       help="write the Prometheus metrics exposition here")
+    serve.add_argument("--json", action="store_true",
+                       help="print the full report as JSON instead of text")
+    serve.set_defaults(func=cmd_serve)
 
     table1 = sub.add_parser("table1", help="re-measure Table 1")
     table1.set_defaults(func=cmd_table1)

@@ -29,6 +29,7 @@ from repro.attack.scan import ScanHit, scan_sprayed_files
 from repro.attack.exfiltrate import LeakRecord, extract_ssh_keys, simulate_setuid_execution
 from repro.attack.orchestrator import AttackConfig, AttackResult, FtlRowhammerAttack
 from repro.attack.report import render_attack_report, render_cycle_csv
+from repro.attack.tenant import aggressor_loop
 from repro.attack.timing_recon import (
     RowClass,
     TimingReconResult,
@@ -76,6 +77,7 @@ __all__ = [
     "paper_example_parameters",
     "render_attack_report",
     "render_cycle_csv",
+    "aggressor_loop",
     "RowClass",
     "TimingReconResult",
     "cluster_rows",

@@ -1,0 +1,86 @@
+"""Attacker-as-tenant adapter for the serving frontend.
+
+The serving layer drives every tenant from a replayable trace of
+namespace-relative LBAs, so the hammer tenant's trace must name concrete
+LBAs whose L2P entries alternate between *distinct DRAM rows of one
+bank* — a loop whose entries share a row degenerates into row-buffer
+hits and activates nothing (the controller's burst path models exactly
+that).  This module does the attacker's §4.2 recon step against the
+live device: probe candidate LBAs, group their L2P entry addresses by
+(bank, row), and return a read loop that alternates rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.nvme.controller import NvmeController
+from repro.nvme.namespace import Namespace
+
+
+def aggressor_loop(
+    controller: NvmeController,
+    namespace: Namespace,
+    pairs: int = 1,
+    candidates: int = 256,
+) -> Tuple[int, ...]:
+    """A namespace-relative read loop guaranteed to alternate DRAM rows.
+
+    Samples up to ``candidates`` evenly spaced LBAs from the namespace,
+    locates each one's L2P entry in DRAM, picks the bank with the most
+    distinct rows, and interleaves ``2 * pairs`` of those rows' LBAs so
+    consecutive reads always open a different row.  Rows exactly two
+    apart are preferred: they straddle a victim row that collects *both*
+    neighbours' activations (the double-sided pattern the disturbance
+    model is calibrated against); two merely-distinct rows each hammer
+    their victims from one side only, which can sit below every cell
+    threshold at the same activation rate.  Pure offline computation
+    from the address mapping — nothing here touches the clock or the
+    flash.
+    """
+    if pairs < 1:
+        raise ConfigError("aggressor loop needs at least one row pair")
+    l2p = controller.ftl.l2p
+    dram = controller.ftl.memory.dram
+    locate3 = dram.mapping.locate3
+    step = max(1, namespace.num_lbas // candidates)
+    # First LBA seen per (bank, row): one representative aggressor each.
+    rows: Dict[Tuple[int, int], int] = {}
+    for ns_lba in range(0, namespace.num_lbas, step):
+        address = l2p.entry_address(namespace.translate(ns_lba))
+        bank, row, _column = locate3(address)
+        rows.setdefault((bank, row), ns_lba)
+    by_bank: Dict[int, List[Tuple[int, int]]] = {}
+    for (bank, row), ns_lba in rows.items():
+        by_bank.setdefault(bank, []).append((row, ns_lba))
+    bank = max(by_bank, key=lambda b: (len(by_bank[b]), -b))
+    bank_rows = sorted(by_bank[bank])
+    wanted = 2 * pairs
+    if len(bank_rows) < 2:
+        raise ConfigError(
+            "namespace %d maps into a single DRAM row of every bank; "
+            "a hammer loop there cannot alternate activations"
+            % namespace.nsid
+        )
+    # Prefer double-sided straddles: rows (r, r+2) sandwich victim r+1.
+    row_to_lba = dict(bank_rows)
+    taken: set = set()
+    loop: List[int] = []
+    for row, ns_lba in bank_rows:
+        if len(loop) >= wanted:
+            break
+        partner = row + 2
+        if row in taken or partner not in row_to_lba or partner in taken:
+            continue
+        taken.update((row, partner))
+        loop.extend((ns_lba, row_to_lba[partner]))
+    # Top up (or fall back) with any remaining distinct rows: single-sided
+    # pressure is still a valid aggressor when the table has no straddles.
+    for row, ns_lba in bank_rows:
+        if len(loop) >= wanted or len(loop) >= len(bank_rows):
+            break
+        if row not in taken:
+            taken.add(row)
+            loop.append(ns_lba)
+    return tuple(loop)

@@ -19,6 +19,9 @@ Built-ins:
   injection and power cycles (:func:`repro.testkit.fuzzer.run_campaign`
   with a :class:`repro.faults.FaultPlan` assembled from ``faults`` /
   ``faults.*`` parameters);
+* ``serve`` — one multi-tenant serving scenario
+  (:func:`repro.serve.run_scenario`) with sweepable per-tenant QoS
+  overrides (``max_iops`` / ``attacker_max_iops`` / ``benign_max_iops``);
 * ``sleep`` / ``flaky`` — inert kinds for soak-testing the scheduler's
   timeout and retry paths (used by the test suite and benchmarks).
 
@@ -29,6 +32,7 @@ import-cycle free (``mitigations.evaluation`` itself runs on the engine).
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Any, Callable, Dict, List, Optional
@@ -258,6 +262,70 @@ def _trial_fault_campaign(trial: TrialSpec) -> Dict[str, Any]:
     }
 
 
+# -- built-in: serve ----------------------------------------------------
+
+
+def _trial_serve(trial: TrialSpec) -> Dict[str, Any]:
+    """One multi-tenant serving scenario (see :mod:`repro.serve`).
+
+    The ``scenario`` base key carries a full :class:`ServeScenario` dict;
+    sweep axes then override QoS knobs across its tenants:
+
+    * ``max_iops`` — cap for *every* tenant (``null`` = unlimited);
+    * ``attacker_max_iops`` / ``benign_max_iops`` — cap only tenants
+      whose workload kind is / is not ``hammer_attacker`` (the §5
+      noisy-neighbor grid sweeps ``attacker_max_iops``);
+    * ``quantum`` — the arbiter's round quantum.
+
+    The flat result fields are the sweep-aggregable answer: did the
+    attacker's activation rate stay below the hammer threshold, and what
+    p99 did the benign tenants pay.
+    """
+    from repro.serve import ServeScenario, run_scenario
+
+    params = dict(trial.params)
+    raw = params.pop("scenario", None)
+    if raw is None:
+        raise ConfigError("serve trials need a 'scenario' base key")
+    raw = json.loads(json.dumps(raw))  # private copy; trials share params
+    seed = int(params.pop("seed", trial.seed))
+    for axis, applies in (
+        ("max_iops", lambda tenant: True),
+        ("attacker_max_iops", lambda tenant: tenant.get("kind") == "hammer_attacker"),
+        ("benign_max_iops", lambda tenant: tenant.get("kind") != "hammer_attacker"),
+    ):
+        if axis in params:
+            cap = params.pop(axis)
+            for tenant in raw.get("tenants", []):
+                if applies(tenant):
+                    tenant["max_iops"] = None if cap is None else float(cap)
+    if "quantum" in params:
+        raw["quantum"] = int(params.pop("quantum"))
+    if params:
+        raise ConfigError("unknown serve trial params: %s" % sorted(params))
+    scenario = ServeScenario.from_dict(raw)
+    report = run_scenario(scenario, seed=seed)
+
+    benign = [t for t in report.tenants if t["kind"] != "hammer_attacker"]
+    benign_p99 = [t["p99"] for t in benign]
+    result: Dict[str, Any] = {
+        "duration": report.duration,
+        "flips": report.flips,
+        "commands": sum(t["commands"] for t in report.tenants),
+        "benign_iops_total": sum(t["iops"] for t in benign),
+        "benign_p99_max": max(benign_p99) if benign_p99 else 0.0,
+        "benign_p99_mean": (
+            sum(benign_p99) / len(benign_p99) if benign_p99 else 0.0
+        ),
+        "tenants": report.tenants,
+    }
+    if report.attacker is not None:
+        result["attacker_activation_rate"] = report.attacker["activation_rate"]
+        result["hammer_threshold"] = report.attacker["hammer_threshold"]
+        result["attacker_below_threshold"] = report.attacker["below_threshold"]
+    return result
+
+
 # -- built-in soak kinds (scheduler testing) ----------------------------
 
 
@@ -293,6 +361,7 @@ def _trial_flaky(trial: TrialSpec) -> Dict[str, Any]:
 register_trial_kind("monte_carlo", _trial_monte_carlo)
 register_trial_kind("probability_grid", _trial_probability_grid)
 register_trial_kind("mitigation", _trial_mitigation)
+register_trial_kind("serve", _trial_serve)
 register_trial_kind("fault_campaign", _trial_fault_campaign)
 register_trial_kind("sleep", _trial_sleep)
 register_trial_kind("flaky", _trial_flaky)

@@ -37,10 +37,16 @@ class IopsRateLimiter:
             return 0.0
         deficit = commands - self._tokens
         self._tokens = 0.0
-        delay = deficit / self.max_iops
-        # Account the future refill we just spent.
-        self._last_refill = now + delay
-        return delay
+        # The bucket may already be in debt: an earlier over-draw pushed
+        # ``_last_refill`` into the future, and that delay has not elapsed
+        # yet when the caller's ``now`` has not moved (same-timestamp
+        # bursts).  New borrowers must queue *behind* the existing debt —
+        # anchoring on ``now`` instead would re-issue the same small delay
+        # to every same-timestamp caller and let k such calls sustain
+        # k * max_iops.
+        ready_at = max(now, self._last_refill) + deficit / self.max_iops
+        self._last_refill = ready_at
+        return ready_at - now
 
     def effective_rate(self, requested_iops: float) -> float:
         """The sustained rate actually achievable under this limiter."""

@@ -1,0 +1,57 @@
+"""Multi-tenant serving frontend: the cloud case study at scale.
+
+The paper's Fig. 2 shows two VMs sharing one SSD's FTL; this package
+serves N tenants against the same shared stack through a deterministic
+event-driven scheduler — bounded per-tenant queue pairs, deficit
+round-robin arbitration, per-tenant IOPS rate limiting (§5's
+mitigation), and replayable seeded workload traces.  See
+:mod:`repro.serve.scheduler` for the arbitration rules and
+:mod:`repro.serve.scenario` for the JSON experiment format.
+"""
+
+from repro.serve.qos import TenantConfig, TenantQos
+from repro.serve.scenario import (
+    DeviceConfig,
+    ServeReport,
+    ServeScenario,
+    derive_serve_seed,
+    run_scenario,
+)
+from repro.serve.scheduler import (
+    DEFAULT_LATENCY_BOUNDS,
+    ServeScheduler,
+    TenantRuntime,
+    write_payload,
+)
+from repro.serve.workload import (
+    WORKLOAD_KINDS,
+    TraceOp,
+    WorkloadTrace,
+    bursty_reader,
+    generate_workload,
+    hammer_attacker,
+    log_writer,
+    scan_reader,
+)
+
+__all__ = [
+    "TenantConfig",
+    "TenantQos",
+    "DeviceConfig",
+    "ServeReport",
+    "ServeScenario",
+    "derive_serve_seed",
+    "run_scenario",
+    "DEFAULT_LATENCY_BOUNDS",
+    "ServeScheduler",
+    "TenantRuntime",
+    "write_payload",
+    "WORKLOAD_KINDS",
+    "TraceOp",
+    "WorkloadTrace",
+    "bursty_reader",
+    "generate_workload",
+    "hammer_attacker",
+    "log_writer",
+    "scan_reader",
+]

@@ -1,0 +1,108 @@
+"""Per-tenant QoS configuration: weights, rate limits, queue bounds.
+
+The §5 mitigation the serving layer exists to study — "rate-limiting
+user IOs below the rowhammering access rate" — becomes a per-tenant
+:class:`~repro.nvme.ratelimit.IopsRateLimiter` here, next to the two
+knobs any real multi-tenant frontend carries: an arbitration *weight*
+(deficit round-robin shares) and a bounded *queue depth* (admission
+control: a full submission queue stalls the tenant's arrivals — commands
+back up, they are never dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.nvme.ratelimit import IopsRateLimiter
+
+
+@dataclass(frozen=True)
+class TenantQos:
+    """The arbiter-facing knobs for one tenant."""
+
+    #: Deficit round-robin share; a weight-2 tenant earns twice the
+    #: quantum of a weight-1 tenant per arbitration round.
+    weight: int = 1
+    #: Token-bucket IOPS cap (None = unlimited — no limiter at all).
+    max_iops: Optional[float] = None
+    #: Token-bucket burst allowance, in commands.
+    burst: float = 32.0
+    #: Submission-queue depth; arrivals beyond it backpressure the tenant.
+    queue_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ConfigError("tenant weight must be at least 1")
+        if self.max_iops is not None and self.max_iops <= 0:
+            raise ConfigError("max_iops must be positive (or null)")
+        if self.burst < 1:
+            raise ConfigError("burst must be at least 1 token")
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be at least 1")
+
+    def limiter(self) -> Optional[IopsRateLimiter]:
+        """A fresh token bucket for this tenant (None when unlimited)."""
+        if self.max_iops is None:
+            return None
+        return IopsRateLimiter(self.max_iops, burst=self.burst)
+
+
+@dataclass
+class TenantConfig:
+    """One tenant: a named workload plus its QoS envelope."""
+
+    name: str
+    kind: str
+    ops: int = 1000
+    qos: TenantQos = field(default_factory=TenantQos)
+    #: Extra keyword params for the workload generator (rate, burst, ...).
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant needs a name")
+        if self.ops < 0:
+            raise ConfigError("tenant %r has negative op count" % self.name)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TenantConfig":
+        data = dict(data)
+        qos = TenantQos(
+            weight=int(data.pop("weight", 1)),
+            max_iops=(
+                None
+                if data.get("max_iops") is None
+                else float(data["max_iops"])
+            ),
+            burst=float(data.pop("burst", 32.0)),
+            queue_depth=int(data.pop("queue_depth", 32)),
+        )
+        data.pop("max_iops", None)
+        try:
+            name = str(data.pop("name"))
+            kind = str(data.pop("kind"))
+        except KeyError as exc:
+            raise ConfigError("tenant needs %s" % exc) from None
+        ops = int(data.pop("ops", 1000))
+        params = dict(data.pop("params", {}))
+        if data:
+            raise ConfigError(
+                "unknown tenant keys for %r: %s" % (name, sorted(data))
+            )
+        return cls(name=name, kind=kind, ops=ops, qos=qos, params=params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "ops": self.ops,
+            "weight": self.qos.weight,
+            "max_iops": self.qos.max_iops,
+            "burst": self.qos.burst,
+            "queue_depth": self.qos.queue_depth,
+        }
+        if self.params:
+            out["params"] = dict(self.params)
+        return out

@@ -1,0 +1,250 @@
+"""Replayable workload-trace generators: command streams as data.
+
+A workload trace is an ordered list of ``(issue_time, opcode, lba)``
+records — nothing else.  The generators below are pure functions of a
+seed and a handful of shape parameters, so the exact same trace can be
+regenerated anywhere (or serialized to JSON and replayed verbatim).
+Keeping the stream as *data* is what makes serving runs byte-
+deterministic: the scheduler consumes traces, it never draws randomness.
+
+The built-in tenant archetypes mirror the ROADMAP's serving item:
+
+* ``bursty_reader`` — random reads arriving in bursts with idle gaps
+  (an interactive tenant: high peak rate, modest average).
+* ``log_writer`` — a log-structured writer appending sequentially at a
+  steady rate, wrapping around its namespace.
+* ``scan_reader`` — a scan-heavy tenant streaming sequentially through
+  its namespace (analytics; merciless on the queue).
+* ``hammer_attacker`` — the paper's attacker as just another tenant: a
+  tight read loop over a small aggressor LBA set, issued as fast as the
+  arbiter will let it through.  The aggressor set itself comes from
+  :func:`repro.attack.tenant.aggressor_loop` unless given explicitly.
+
+Issue times are *offsets* from the serving run's start; the scheduler
+adds its own epoch.  Times never decrease within a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.sim.rng import RngStream
+
+#: Opcode strings a trace may carry (subset of NVMe the scheduler maps).
+TRACE_OPS = ("read", "write", "trim")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One command in a workload trace."""
+
+    issue: float
+    op: str
+    lba: int
+
+    def __post_init__(self) -> None:
+        if self.op not in TRACE_OPS:
+            raise ConfigError("unknown trace op %r" % (self.op,))
+        if self.issue < 0:
+            raise ConfigError("issue time cannot be negative")
+        if self.lba < 0:
+            raise ConfigError("trace LBA cannot be negative")
+
+
+@dataclass
+class WorkloadTrace:
+    """A tenant's whole command stream, replayable and serializable."""
+
+    tenant: str
+    kind: str
+    ops: List[TraceOp]
+
+    def __post_init__(self) -> None:
+        last = 0.0
+        for op in self.ops:
+            if op.issue < last:
+                raise ConfigError(
+                    "trace for %r is not time-ordered" % self.tenant
+                )
+            last = op.issue
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def duration(self) -> float:
+        """Offset of the last arrival (0 for an empty trace)."""
+        return self.ops[-1].issue if self.ops else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "ops": [[op.issue, op.op, op.lba] for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadTrace":
+        return cls(
+            tenant=str(data["tenant"]),
+            kind=str(data["kind"]),
+            ops=[
+                TraceOp(float(issue), str(op), int(lba))
+                for issue, op, lba in data["ops"]
+            ],
+        )
+
+
+def _check_common(name: str, num_blocks: int, ops: int, rate: float) -> None:
+    if num_blocks < 1:
+        raise ConfigError("tenant %r has no blocks" % name)
+    if ops < 0:
+        raise ConfigError("tenant %r has negative op count" % name)
+    if rate <= 0:
+        raise ConfigError("tenant %r needs a positive rate" % name)
+
+
+def bursty_reader(
+    name: str,
+    num_blocks: int,
+    ops: int,
+    rng: RngStream,
+    rate: float = 50_000.0,
+    burst: int = 32,
+    duty: float = 0.25,
+) -> WorkloadTrace:
+    """Random reads in bursts of ``burst`` at ``rate``, idle in between.
+
+    ``duty`` is the fraction of time spent bursting, so the long-run
+    average arrival rate is ``rate * duty``.
+    """
+    _check_common(name, num_blocks, ops, rate)
+    if burst < 1:
+        raise ConfigError("tenant %r needs burst >= 1" % name)
+    if not 0 < duty <= 1:
+        raise ConfigError("tenant %r needs duty in (0, 1]" % name)
+    spacing = 1.0 / rate
+    gap = (burst / rate) * (1.0 / duty - 1.0)
+    out: List[TraceOp] = []
+    t = 0.0
+    while len(out) < ops:
+        for _ in range(min(burst, ops - len(out))):
+            out.append(TraceOp(t, "read", rng.randint(0, num_blocks)))
+            t += spacing
+        t += gap
+    return WorkloadTrace(name, "bursty_reader", out)
+
+
+def log_writer(
+    name: str,
+    num_blocks: int,
+    ops: int,
+    rng: RngStream,
+    rate: float = 20_000.0,
+    start: int = 0,
+) -> WorkloadTrace:
+    """Steady sequential writes, wrapping around the namespace."""
+    _check_common(name, num_blocks, ops, rate)
+    if not 0 <= start < num_blocks:
+        raise ConfigError("tenant %r start block out of range" % name)
+    spacing = 1.0 / rate
+    out = [
+        TraceOp(i * spacing, "write", (start + i) % num_blocks)
+        for i in range(ops)
+    ]
+    return WorkloadTrace(name, "log_writer", out)
+
+
+def scan_reader(
+    name: str,
+    num_blocks: int,
+    ops: int,
+    rng: RngStream,
+    rate: float = 100_000.0,
+    stride: int = 1,
+) -> WorkloadTrace:
+    """A full-throttle sequential scan (stride-able) over the namespace."""
+    _check_common(name, num_blocks, ops, rate)
+    if stride < 1:
+        raise ConfigError("tenant %r needs stride >= 1" % name)
+    spacing = 1.0 / rate
+    out = [
+        TraceOp(i * spacing, "read", (i * stride) % num_blocks)
+        for i in range(ops)
+    ]
+    return WorkloadTrace(name, "scan_reader", out)
+
+
+def hammer_attacker(
+    name: str,
+    num_blocks: int,
+    ops: int,
+    rng: RngStream,
+    rate: float = 10_000_000.0,
+    lbas: Any = None,
+) -> WorkloadTrace:
+    """The attacker as a tenant: a tight loop over aggressor LBAs.
+
+    The default ``rate`` is far above any device ceiling — the attacker
+    *wants* every command in flight immediately; admission control and
+    the QoS limiter are what actually pace it.  ``lbas`` names the
+    aggressor loop (namespace-relative); scenarios normally fill it via
+    :func:`repro.attack.tenant.aggressor_loop` so the loop provably
+    alternates DRAM rows.
+    """
+    _check_common(name, num_blocks, ops, rate)
+    if not lbas:
+        raise ConfigError(
+            "tenant %r needs aggressor 'lbas' (see repro.attack.tenant)" % name
+        )
+    loop = [int(lba) for lba in lbas]
+    for lba in loop:
+        if not 0 <= lba < num_blocks:
+            raise ConfigError("tenant %r aggressor LBA out of range" % name)
+    spacing = 1.0 / rate
+    out = [
+        TraceOp(i * spacing, "read", loop[i % len(loop)]) for i in range(ops)
+    ]
+    return WorkloadTrace(name, "hammer_attacker", out)
+
+
+#: kind name -> generator.  Every generator takes
+#: ``(name, num_blocks, ops, rng, **params)`` and returns a trace.
+WORKLOAD_KINDS: Dict[str, Callable[..., WorkloadTrace]] = {
+    "bursty_reader": bursty_reader,
+    "log_writer": log_writer,
+    "scan_reader": scan_reader,
+    "hammer_attacker": hammer_attacker,
+}
+
+
+def generate_workload(
+    kind: str,
+    name: str,
+    num_blocks: int,
+    ops: int,
+    seed: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> WorkloadTrace:
+    """Generate a tenant's trace from its seed-derived stream.
+
+    The stream is labeled ``serve/workload/<name>`` so tenants draw
+    independently: adding or reordering one tenant cannot perturb
+    another's trace.
+    """
+    try:
+        fn = WORKLOAD_KINDS[kind]
+    except KeyError:
+        raise ConfigError(
+            "unknown workload kind %r (known: %s)"
+            % (kind, sorted(WORKLOAD_KINDS))
+        ) from None
+    rng = RngStream(seed, "serve", "workload", name)
+    try:
+        return fn(name, num_blocks, ops, rng, **(params or {}))
+    except TypeError as exc:
+        raise ConfigError(
+            "bad params for workload %r (%s): %s" % (name, kind, exc)
+        ) from None

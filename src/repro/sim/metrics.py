@@ -7,6 +7,7 @@ no background threads — so they cost almost nothing on the hot paths.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 
@@ -135,6 +136,36 @@ class Histogram:
             if running >= target:
                 return self.bounds[i]
         return float("inf")
+
+    def percentile(self, q: float) -> float:
+        """Exact-rank percentile: the upper edge of the bucket holding the
+        ``ceil(q * total)``-th smallest observation.
+
+        This is numpy's ``method="inverted_cdf"`` rank applied to bucketed
+        data, so for observations that coincide with bucket edges it agrees
+        with ``numpy.quantile`` exactly (property-tested).  Observations in
+        the overflow bucket report ``inf`` — the bucket has no upper edge,
+        and pretending otherwise would understate tail latency.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError("percentile must be in [0,1]")
+        if self.total == 0:
+            return 0.0
+        rank = min(self.total, max(1, math.ceil(q * self.total)))
+        running = 0
+        for i, count in enumerate(self.counts[:-1]):
+            running += count
+            if running >= rank:
+                return self.bounds[i]
+        return float("inf")
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard latency summary: p50/p95/p99 in one dict."""
+        return {
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's buckets into this one.

@@ -129,6 +129,29 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
                      "to": _INT},
         "optional": {"check_region": _BOOL},
     },
+    # -- multi-tenant serving frontend -----------------------------------
+    "serve.complete": {
+        "required": {"tenant": _STR, "opcode": _STR, "lba": _INT,
+                     "status": _STR, "wait": _NUM, "dur": _NUM},
+        "optional": {},
+    },
+    "serve.throttle": {
+        "required": {"tenant": _STR, "delay": _NUM},
+        "optional": {},
+    },
+    "serve.backpressure": {
+        "required": {"tenant": _STR, "queued": _INT},
+        "optional": {},
+    },
+    "serve.tenant": {
+        "required": {"tenant": _STR, "commands": _INT, "iops": _NUM,
+                     "p99": _NUM},
+        "optional": {},
+    },
+    "serve.run": {
+        "required": {"tenants": _INT, "commands": _INT, "dur": _NUM},
+        "optional": {},
+    },
     # -- attack orchestration --------------------------------------------
     "attack.hammer": {
         "required": {"plan": _STR, "lbas": _INT, "ios": _INT,

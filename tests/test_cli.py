@@ -318,3 +318,49 @@ class TestTraceCommand:
         assert names == ["0000.00.batch.jsonl", "0000.00.scalar.jsonl"]
         assert main(["trace", str(trace_dir / names[0]), "--validate"]) == 0
         capsys.readouterr()
+
+
+class TestServeCommand:
+    def _scenario_path(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({
+            "name": "cli-serve",
+            "seed": 11,
+            "device": {"num_lbas": 512, "profile": "tempered"},
+            "tenants": [
+                {"name": "attacker", "kind": "hammer_attacker", "ops": 400},
+                {"name": "scanner", "kind": "scan_reader", "ops": 200,
+                 "max_iops": 20000},
+            ],
+        }))
+        return str(path)
+
+    def test_table_output(self, tmp_path, capsys):
+        assert main(["serve", self._scenario_path(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'cli-serve': 2 tenants" in out
+        assert "attacker" in out and "scanner" in out
+        assert "hammer threshold" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["serve", self._scenario_path(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "cli-serve"
+        assert len(payload["tenants"]) == 2
+        assert payload["attacker"]["hammer_threshold"] == 20000.0
+
+    def test_trace_and_metrics_outputs_deterministic(self, tmp_path, capsys):
+        scenario = self._scenario_path(tmp_path)
+        for tag in ("a", "b"):
+            assert main([
+                "serve", scenario,
+                "--trace", str(tmp_path / ("trace-%s.jsonl" % tag)),
+                "--metrics-out", str(tmp_path / ("metrics-%s.txt" % tag)),
+            ]) == 0
+        capsys.readouterr()
+        for stem in ("trace", "metrics"):
+            a = (tmp_path / ("%s-a.%s" % (stem, "jsonl" if stem == "trace" else "txt"))).read_bytes()
+            b = (tmp_path / ("%s-b.%s" % (stem, "jsonl" if stem == "trace" else "txt"))).read_bytes()
+            assert a == b
+        metrics = (tmp_path / "metrics-a.txt").read_text()
+        assert "serve_" in metrics

@@ -350,3 +350,73 @@ class TestExecutorDegradation:
 
         executor = make_executor(workers=2)
         assert isinstance(executor, (WorkerPool, SerialExecutor))
+
+
+class TestBatchedHandoff:
+    """``run_batched`` + ``append_many``: chunked checkpoint handoff must
+    be byte-identical to the per-record path, only the fsync cadence may
+    differ."""
+
+    def test_run_batched_delivers_same_records_as_run(self):
+        from repro.engine.store import canonical_record
+
+        spec = small_spec()
+        per_record, batched = [], []
+        SerialExecutor().run(spec.expand(), per_record.append)
+        SerialExecutor().run_batched(spec.expand(), batched.extend)
+        assert [canonical_record(r) for r in per_record] == [
+            canonical_record(r) for r in batched
+        ]
+
+    def test_run_batched_chunks_by_batch_size(self):
+        from repro.engine.pool import BATCH_RECORDS
+
+        spec = small_spec(repeats=BATCH_RECORDS)  # several full chunks
+        chunks = []
+        SerialExecutor().run_batched(spec.expand(), chunks.append)
+        assert sum(len(chunk) for chunk in chunks) == len(spec.expand())
+        assert all(len(chunk) <= BATCH_RECORDS for chunk in chunks)
+        assert len(chunks) > 1
+
+    def test_append_many_bytes_identical_to_looped_append(self, tmp_path):
+        spec = small_spec()
+        records = []
+        SerialExecutor().run(spec.expand(), records.append)
+
+        looped = str(tmp_path / "looped.jsonl")
+        store_a = ResultStore(looped)
+        store_a.open(spec)
+        for record in records:
+            store_a.append(record)
+        store_a.close()
+
+        chunked = str(tmp_path / "chunked.jsonl")
+        store_b = ResultStore(chunked)
+        store_b.open(spec)
+        store_b.append_many(records)
+        store_b.close()
+
+        with open(looped, "rb") as a, open(chunked, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_executors_advertise_batch_handoff(self):
+        assert SerialExecutor.supports_batch_handoff
+        assert WorkerPool.supports_batch_handoff
+
+    def test_engine_batched_path_matches_per_record_path(
+        self, tmp_path, monkeypatch
+    ):
+        """A sweep checkpointed through ``run_batched``/``append_many``
+        produces the same result file as one forced onto the per-record
+        ``run``/``append`` path."""
+        from repro.engine.store import diff_result_files
+
+        spec = small_spec()
+        path_batched = str(tmp_path / "batched.jsonl")
+        path_single = str(tmp_path / "single.jsonl")
+        run_sweep(spec, store_path=path_batched, workers=0)
+        monkeypatch.setattr(
+            SerialExecutor, "supports_batch_handoff", False
+        )
+        run_sweep(spec, store_path=path_single, workers=0)
+        assert diff_result_files(path_batched, path_single) == []

@@ -50,3 +50,54 @@ class TestExamples:
         out = run_example("dram_calibration.py", capsys)
         assert "lpddr4-new-2020" in out
         assert "no flips" not in out
+
+
+class TestServeSpecs:
+    """The committed serving scenario/sweep JSONs stay loadable and show
+    the §5 trade-off they exist to demonstrate."""
+
+    SPECS = os.path.join(EXAMPLES_DIR, "specs")
+
+    def test_smoke_scenario_runs(self):
+        from repro.serve import ServeScenario, run_scenario
+
+        scenario = ServeScenario.load(
+            os.path.join(self.SPECS, "serve_smoke.json")
+        )
+        report = run_scenario(scenario)
+        assert report.attacker is not None
+        assert all(t["errors"] == 0 for t in report.tenants)
+        assert all(
+            t["commands"] == config.ops
+            for t, config in zip(report.tenants, scenario.tenants)
+        )
+
+    def test_fig2_16tenant_scenario_loads(self):
+        from repro.serve import ServeScenario
+
+        scenario = ServeScenario.load(
+            os.path.join(self.SPECS, "serve_fig2_16tenants.json")
+        )
+        assert len(scenario.tenants) == 16
+        kinds = {tenant.kind for tenant in scenario.tenants}
+        assert "hammer_attacker" in kinds and len(kinds) == 4
+
+    def test_noisy_neighbor_sweep_shows_rate_limit_trade_off(self, tmp_path):
+        from repro.engine import SweepSpec, run_sweep
+
+        spec = SweepSpec.from_json(
+            open(os.path.join(self.SPECS, "serve_noisy_neighbor.json")).read()
+        )
+        report = run_sweep(spec, store_path=str(tmp_path / "nn.jsonl"))
+        by_cap = {
+            record["point"]["max_iops"]: record["result"]
+            for record in report.records
+        }
+        # Unlimited: the attacker hammers above threshold and flips bits.
+        assert not by_cap[None]["attacker_below_threshold"]
+        assert by_cap[None]["flips"] > 0
+        # Capped below the hammer rate: activation suppressed, no flips —
+        # and the benign tenants pay for it in p99.
+        assert by_cap[8000]["attacker_below_threshold"]
+        assert by_cap[8000]["flips"] == 0
+        assert by_cap[8000]["benign_p99_max"] > by_cap[None]["benign_p99_max"]

@@ -227,3 +227,46 @@ class TestRateLimiter:
             controller.read(1, 1)
         elapsed = controller.clock.now - began
         assert elapsed >= 49 / 100  # cannot beat 100 IOPS sustained
+
+    def test_same_timestamp_borrowers_queue_behind_debt(self):
+        """Repeated over-draws at one timestamp must stack their delays.
+
+        Regression: anchoring each borrow on ``now`` instead of the
+        bucket's outstanding debt re-issued the same small delay to every
+        same-timestamp caller, so k callers sustained k * max_iops."""
+        limiter = IopsRateLimiter(max_iops=100, burst=1)
+        assert limiter.delay_for(0.0) == 0.0  # the burst token
+        delays = [limiter.delay_for(0.0) for _ in range(5)]
+        assert delays == sorted(delays)
+        for i, delay in enumerate(delays):
+            assert delay == pytest.approx((i + 1) / 100)
+
+    def test_debt_drains_while_waiting(self):
+        limiter = IopsRateLimiter(max_iops=100, burst=1)
+        limiter.delay_for(0.0)
+        delay = limiter.delay_for(0.0)  # in debt until 0.01
+        assert delay == pytest.approx(0.01)
+        # Once the debt has elapsed, a command at the ready time pays
+        # for itself only — no residue from the cleared debt.
+        assert limiter.delay_for(delay + 0.01) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fractional_tokens_carry_over(self):
+        """A refill may land between whole tokens; the fraction must be
+        kept, not truncated, or slow limiters overcharge."""
+        limiter = IopsRateLimiter(max_iops=3, burst=1)
+        assert limiter.delay_for(0.0) == 0.0
+        # 0.1s at 3 IOPS refills 0.3 tokens; the command borrows the
+        # remaining 0.7 and waits 0.7/3 s — not a full 1/3 s.
+        assert limiter.delay_for(0.1) == pytest.approx(0.7 / 3)
+
+    def test_sustained_rate_capped_under_same_timestamp_bursts(self):
+        limiter = IopsRateLimiter(max_iops=1000, burst=1)
+        # 10 bursts of 10 commands, each burst issued at one timestamp.
+        now = 0.0
+        total_wait = 0.0
+        for _ in range(10):
+            waits = [limiter.delay_for(now) for _ in range(10)]
+            total_wait = max(total_wait, now + max(waits))
+            now += 0.001  # bursts arrive far faster than the cap drains
+        # 100 commands through a 1000 IOPS cap need >= ~99ms of clock.
+        assert total_wait >= 99 / 1000

@@ -1,0 +1,458 @@
+"""Tests for the multi-tenant serving frontend.
+
+Covers the workload-trace generators (replayable, seeded, validated),
+per-tenant QoS config, the deficit-round-robin scheduler's fairness and
+admission-control semantics (backpressure never drops), rate-limit
+enforcement, end-to-end determinism (byte-identical reports, metrics
+expositions, and trace files), the attacker-as-tenant aggressor-loop
+recon, and the ``serve`` sweep trial kind.
+"""
+
+import filecmp
+import json
+
+import pytest
+
+from repro.engine import SweepSpec, run_sweep
+from repro.engine.runner import execute_trial
+from repro.engine.spec import TrialSpec
+from repro.engine.store import diff_result_files
+from repro.errors import ConfigError
+from repro.serve import (
+    DeviceConfig,
+    ServeScenario,
+    TenantConfig,
+    TenantQos,
+    TraceOp,
+    WorkloadTrace,
+    WORKLOAD_KINDS,
+    derive_serve_seed,
+    generate_workload,
+    run_scenario,
+)
+from repro.nvme.ratelimit import IopsRateLimiter
+
+
+def scenario_dict(**overrides):
+    raw = {
+        "name": "serve-test",
+        "seed": 11,
+        "device": {"num_lbas": 512, "profile": "granite"},
+        "tenants": [
+            {"name": "reader", "kind": "bursty_reader", "ops": 150},
+            {"name": "logger", "kind": "log_writer", "ops": 150},
+        ],
+    }
+    raw.update(overrides)
+    return raw
+
+
+def noisy_dict(**tenant0_overrides):
+    attacker = {"name": "attacker", "kind": "hammer_attacker", "ops": 3000}
+    attacker.update(tenant0_overrides)
+    return {
+        "name": "serve-noisy",
+        "seed": 11,
+        "device": {"num_lbas": 1024, "profile": "tempered"},
+        "tenants": [
+            attacker,
+            {"name": "scanner", "kind": "scan_reader", "ops": 600},
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload traces
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloads:
+    def test_every_kind_generates_requested_ops(self):
+        for kind in WORKLOAD_KINDS:
+            params = {"lbas": [0, 3]} if kind == "hammer_attacker" else {}
+            trace = generate_workload(kind, "t", 64, 25, seed=5, params=params)
+            assert len(trace.ops) == 25
+            assert trace.kind == kind
+            for op in trace.ops:
+                assert 0 <= op.lba < 64
+                assert op.issue >= 0.0
+
+    def test_issue_times_monotonic(self):
+        trace = generate_workload("bursty_reader", "t", 64, 200, seed=5)
+        issues = [op.issue for op in trace.ops]
+        assert issues == sorted(issues)
+
+    def test_same_seed_same_trace(self):
+        a = generate_workload("bursty_reader", "t", 64, 100, seed=9)
+        b = generate_workload("bursty_reader", "t", 64, 100, seed=9)
+        assert a.ops == b.ops
+
+    def test_different_seed_different_trace(self):
+        a = generate_workload("bursty_reader", "t", 64, 100, seed=9)
+        b = generate_workload("bursty_reader", "t", 64, 100, seed=10)
+        assert a.ops != b.ops
+
+    def test_round_trip(self):
+        trace = generate_workload("log_writer", "t", 64, 30, seed=2)
+        again = WorkloadTrace.from_dict(trace.to_dict())
+        assert again == trace
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_workload("nope", "t", 64, 10, seed=1)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_workload(
+                "log_writer", "t", 64, 10, seed=1, params={"bogus": 1}
+            )
+
+    def test_hammer_requires_lbas(self):
+        with pytest.raises(ConfigError):
+            generate_workload("hammer_attacker", "t", 64, 10, seed=1)
+
+    def test_trace_op_validated(self):
+        with pytest.raises(ConfigError):
+            TraceOp(0.0, "jump", 0)
+        with pytest.raises(ConfigError):
+            TraceOp(-1.0, "read", 0)
+
+
+# ---------------------------------------------------------------------------
+# QoS configuration
+# ---------------------------------------------------------------------------
+
+
+class TestQos:
+    def test_defaults_unlimited(self):
+        qos = TenantQos()
+        assert qos.limiter() is None
+
+    def test_capped_builds_limiter(self):
+        limiter = TenantQos(max_iops=100.0).limiter()
+        assert isinstance(limiter, IopsRateLimiter)
+        assert limiter.max_iops == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TenantQos(weight=0)
+        with pytest.raises(ConfigError):
+            TenantQos(max_iops=0)
+        with pytest.raises(ConfigError):
+            TenantQos(burst=0.5)
+        with pytest.raises(ConfigError):
+            TenantQos(queue_depth=0)
+
+    def test_tenant_from_dict_flat_keys(self):
+        config = TenantConfig.from_dict(
+            {"name": "a", "kind": "log_writer", "ops": 9,
+             "weight": 3, "max_iops": 500, "queue_depth": 8}
+        )
+        assert config.qos.weight == 3
+        assert config.qos.max_iops == 500.0
+        assert config.qos.queue_depth == 8
+
+    def test_tenant_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            TenantConfig.from_dict({"name": "a", "kind": "log_writer", "x": 1})
+
+    def test_tenant_round_trip(self):
+        config = TenantConfig.from_dict(
+            {"name": "a", "kind": "scan_reader", "ops": 5, "weight": 2}
+        )
+        assert TenantConfig.from_dict(config.to_dict()) == config
+
+
+# ---------------------------------------------------------------------------
+# Scenario config
+# ---------------------------------------------------------------------------
+
+
+class TestScenario:
+    def test_round_trip(self):
+        scenario = ServeScenario.from_dict(scenario_dict())
+        again = ServeScenario.from_dict(scenario.to_dict())
+        assert again.to_dict() == scenario.to_dict()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeScenario.from_dict(scenario_dict(extra=1))
+        with pytest.raises(ConfigError):
+            ServeScenario.from_dict(
+                scenario_dict(device={"num_lbas": 512, "bogus": 1})
+            )
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(profile="adamantium")
+
+    def test_duplicate_tenant_names_rejected(self):
+        raw = scenario_dict()
+        raw["tenants"][1]["name"] = raw["tenants"][0]["name"]
+        with pytest.raises(ConfigError):
+            ServeScenario.from_dict(raw)
+
+    def test_device_too_small_for_tenants(self):
+        raw = scenario_dict(device={"num_lbas": 1})
+        with pytest.raises(ConfigError):
+            run_scenario(ServeScenario.from_dict(raw))
+
+    def test_load(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario_dict()))
+        assert ServeScenario.load(str(path)).name == "serve-test"
+
+
+# ---------------------------------------------------------------------------
+# The scheduler, end to end
+# ---------------------------------------------------------------------------
+
+
+class TestServing:
+    def test_every_command_completes(self):
+        report = run_scenario(ServeScenario.from_dict(scenario_dict()))
+        for tenant in report.tenants:
+            assert tenant["commands"] == 150
+            assert tenant["errors"] == 0
+        assert report.duration > 0
+
+    def test_backpressure_stalls_but_never_drops(self):
+        raw = scenario_dict()
+        # Arrivals far beyond device rate, through a shallow queue.
+        raw["tenants"] = [
+            {"name": "flood", "kind": "scan_reader", "ops": 300,
+             "queue_depth": 4, "params": {"rate": 10_000_000}},
+        ]
+        report = run_scenario(ServeScenario.from_dict(raw))
+        (tenant,) = report.tenants
+        assert tenant["backpressure"] > 0
+        assert tenant["commands"] == 300  # delayed, not dropped
+
+    def test_weighted_tenant_sees_lower_latency_under_contention(self):
+        raw = scenario_dict()
+        raw["tenants"] = [
+            {"name": "light", "kind": "scan_reader", "ops": 400,
+             "weight": 1, "params": {"rate": 10_000_000}},
+            {"name": "heavy", "kind": "scan_reader", "ops": 400,
+             "weight": 4, "params": {"rate": 10_000_000}},
+        ]
+        report = run_scenario(ServeScenario.from_dict(raw))
+        light, heavy = report.tenants
+        assert heavy["mean_latency"] < light["mean_latency"]
+        assert light["commands"] == heavy["commands"] == 400
+
+    def test_rate_limit_enforced(self):
+        raw = scenario_dict()
+        raw["tenants"] = [
+            {"name": "capped", "kind": "scan_reader", "ops": 300,
+             "max_iops": 5000, "burst": 1,
+             "params": {"rate": 10_000_000}},
+        ]
+        report = run_scenario(ServeScenario.from_dict(raw))
+        (tenant,) = report.tenants
+        assert tenant["throttled"] > 0
+        # Sustained rate may not exceed the cap (burst of 1 token).
+        assert tenant["iops"] <= 5000 * 1.05
+
+    def test_percentiles_ordered(self):
+        report = run_scenario(ServeScenario.from_dict(scenario_dict()))
+        for tenant in report.tenants:
+            assert tenant["p50"] <= tenant["p95"] <= tenant["p99"]
+
+    def test_no_attacker_no_attacker_section(self):
+        report = run_scenario(ServeScenario.from_dict(scenario_dict()))
+        assert report.attacker is None
+        assert report.flips == 0  # granite never flips
+
+    def test_report_json_shape(self):
+        report = run_scenario(ServeScenario.from_dict(scenario_dict()))
+        payload = json.loads(report.to_json())
+        assert set(payload) == {
+            "scenario", "seed", "duration", "tenants", "attacker", "flips",
+        }
+
+    def test_seed_override_changes_run(self):
+        scenario = ServeScenario.from_dict(scenario_dict())
+        a = run_scenario(scenario, seed=1)
+        b = run_scenario(scenario, seed=2)
+        assert a.seed == 1 and b.seed == 2
+        assert a.to_json() != b.to_json()
+
+
+class TestDeterminism:
+    def test_report_and_exposition_byte_identical(self):
+        scenario = ServeScenario.from_dict(noisy_dict())
+        a = run_scenario(scenario)
+        b = run_scenario(scenario)
+        assert a.to_json() == b.to_json()
+        assert a.exposition() == b.exposition()
+        assert a.exposition()  # non-empty: the metrics actually rendered
+
+    def test_traced_runs_byte_identical(self, tmp_path):
+        scenario = ServeScenario.from_dict(noisy_dict())
+        path_a = str(tmp_path / "a.jsonl")
+        path_b = str(tmp_path / "b.jsonl")
+        run_scenario(scenario, trace_path=path_a)
+        run_scenario(scenario, trace_path=path_b)
+        assert filecmp.cmp(path_a, path_b, shallow=False)
+
+    def test_workload_seed_derivation_is_stable(self):
+        assert derive_serve_seed(7, "s", "t") == derive_serve_seed(7, "s", "t")
+        assert derive_serve_seed(7, "s", "t") != derive_serve_seed(7, "s", "u")
+        assert derive_serve_seed(7, "s", "t") != derive_serve_seed(8, "s", "t")
+
+
+# ---------------------------------------------------------------------------
+# The attacker tenant: recon and the §5 rate-limit trade-off
+# ---------------------------------------------------------------------------
+
+
+class TestAttackerTenant:
+    def test_unlimited_attacker_hammers(self):
+        report = run_scenario(ServeScenario.from_dict(noisy_dict()))
+        assert report.attacker is not None
+        assert report.attacker["tenants"] == ["attacker"]
+        assert report.attacker["activation_rate"] > report.attacker[
+            "hammer_threshold"
+        ]
+        assert not report.attacker["below_threshold"]
+        assert report.flips > 0
+
+    def test_rate_limit_suppresses_hammering(self):
+        report = run_scenario(
+            ServeScenario.from_dict(noisy_dict(max_iops=8000))
+        )
+        assert report.attacker["below_threshold"]
+        assert report.attacker["activation_rate"] < report.attacker[
+            "hammer_threshold"
+        ]
+        assert report.flips == 0
+
+    def test_aggressor_loop_prefers_double_sided_straddle(self):
+        from repro.attack.tenant import aggressor_loop
+        from repro.nvme.controller import DeviceTimingModel
+        from repro.testkit.fixtures import GRANITE, build_stack
+
+        controller, dram, ftl = build_stack(
+            profile=GRANITE, seed=3, num_lbas=1024, layout="hashed",
+            timing=DeviceTimingModel(),
+        )
+        namespace = controller.create_namespace(1, 0, 512)
+        loop = aggressor_loop(controller, namespace, pairs=1)
+        assert len(loop) == 2
+        locate3 = dram.mapping.locate3
+        placed = [
+            locate3(ftl.l2p.entry_address(namespace.translate(lba)))
+            for lba in loop
+        ]
+        banks = {bank for bank, _row, _col in placed}
+        rows = sorted(row for _bank, row, _col in placed)
+        assert len(banks) == 1
+        assert rows[1] - rows[0] == 2  # straddles the victim between them
+
+    def test_aggressor_loop_rejects_single_row_namespace(self):
+        from repro.attack.tenant import aggressor_loop
+        from repro.nvme.controller import DeviceTimingModel
+        from repro.testkit.fixtures import GRANITE, build_stack
+
+        # A linear L2P packs 256 4-byte entries per 1024-byte row: a
+        # 256-LBA namespace lands entirely inside one row.
+        controller, _dram, _ftl = build_stack(
+            profile=GRANITE, seed=3, num_lbas=1024, layout="linear",
+            timing=DeviceTimingModel(),
+        )
+        namespace = controller.create_namespace(1, 0, 256)
+        with pytest.raises(ConfigError):
+            aggressor_loop(controller, namespace)
+
+    def test_aggressor_loop_validates_pairs(self):
+        from repro.attack.tenant import aggressor_loop
+
+        with pytest.raises(ConfigError):
+            aggressor_loop(None, None, pairs=0)
+
+
+# ---------------------------------------------------------------------------
+# The serve sweep trial kind
+# ---------------------------------------------------------------------------
+
+
+def serve_spec(**overrides):
+    raw = {
+        "name": "serve-sweep-test",
+        "kind": "serve",
+        "seed": 7,
+        "base": {"scenario": noisy_dict()},
+        "grid": {"max_iops": [None, 8000]},
+    }
+    raw.update(overrides)
+    return SweepSpec.from_dict(raw)
+
+
+class TestServeTrialKind:
+    def test_sweep_shows_the_trade_off(self, tmp_path):
+        report = run_sweep(serve_spec(), store_path=str(tmp_path / "r.jsonl"))
+        by_cap = {
+            record["point"]["max_iops"]: record["result"]
+            for record in report.records
+        }
+        assert not by_cap[None]["attacker_below_threshold"]
+        assert by_cap[8000]["attacker_below_threshold"]
+        assert by_cap[None]["flips"] > by_cap[8000]["flips"]
+        # Throttling costs the benign tenant tail latency.
+        assert by_cap[8000]["benign_p99_max"] >= by_cap[None]["benign_p99_max"]
+
+    def test_sweep_records_byte_identical_across_runs(self, tmp_path):
+        path_a = str(tmp_path / "a.jsonl")
+        path_b = str(tmp_path / "b.jsonl")
+        run_sweep(serve_spec(), store_path=path_a)
+        run_sweep(serve_spec(), store_path=path_b)
+        assert diff_result_files(path_a, path_b) == []
+
+    def test_trial_kind_matches_direct_run(self):
+        """A serve trial pinned to the scenario's own seed reports exactly
+        what a direct run_scenario call reports — the engine adds no
+        nondeterminism around the serving layer."""
+        raw = noisy_dict()
+        trial = TrialSpec(
+            trial_id="t", kind="serve",
+            params={"scenario": raw, "seed": raw["seed"]},
+            point={}, point_index=0, repeat=0, root_seed=7, spawn_key=(0,),
+            seed=999,  # must be ignored in favor of the params seed
+        )
+        result = execute_trial(trial)
+        report = run_scenario(ServeScenario.from_dict(raw))
+        assert result["tenants"] == report.tenants
+        assert result["flips"] == report.flips
+        assert result["duration"] == report.duration
+
+    def test_missing_scenario_rejected(self):
+        trial = TrialSpec(
+            trial_id="t", kind="serve", params={}, point={}, point_index=0,
+            repeat=0, root_seed=7, spawn_key=(0,), seed=7,
+        )
+        with pytest.raises(ConfigError):
+            execute_trial(trial)
+
+    def test_attacker_axis_only_touches_attacker(self):
+        trial = TrialSpec(
+            trial_id="t", kind="serve",
+            params={"scenario": noisy_dict(), "attacker_max_iops": 4000},
+            point={}, point_index=0, repeat=0, root_seed=7, spawn_key=(0,),
+            seed=noisy_dict()["seed"],
+        )
+        result = execute_trial(trial)
+        by_name = {t["name"]: t for t in result["tenants"]}
+        assert by_name["attacker"]["max_iops"] == 4000.0
+        assert by_name["scanner"]["max_iops"] is None
+        assert result["attacker_below_threshold"]
+
+    def test_unknown_param_rejected(self):
+        trial = TrialSpec(
+            trial_id="t", kind="serve",
+            params={"scenario": noisy_dict(), "bogus": 1},
+            point={}, point_index=0, repeat=0, root_seed=7, spawn_key=(0,),
+            seed=7,
+        )
+        with pytest.raises(ConfigError):
+            execute_trial(trial)

@@ -386,3 +386,100 @@ class TestRegistryProperties:
             if key in ("g", "h") or key.endswith(".mean"):
                 continue  # gauges keep the other's reading, means are ratios
             assert snap_merged[key] == pytest.approx(value)
+
+
+class TestPercentile:
+    """Exact-rank percentiles: the serving layer's p50/p95/p99 source."""
+
+    def test_empty_is_zero(self):
+        assert Histogram("h", [1.0]).percentile(0.5) == 0.0
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0]).percentile(-0.1)
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0]).percentile(1.1)
+
+    def test_reports_bucket_upper_edges(self):
+        hist = Histogram("h", [1.0, 2.0, 4.0])
+        for value in [0.5, 0.6, 1.5, 3.0]:
+            hist.observe(value)
+        assert hist.percentile(0.50) == 1.0
+        assert hist.percentile(0.75) == 2.0
+        assert hist.percentile(1.00) == 4.0
+
+    def test_overflow_reports_inf(self):
+        hist = Histogram("h", [1.0])
+        hist.observe(5.0)
+        assert hist.percentile(0.99) == float("inf")
+
+    def test_percentiles_dict(self):
+        hist = Histogram("h", [1.0, 2.0])
+        hist.observe(0.5)
+        assert hist.percentiles() == {"p50": 1.0, "p95": 1.0, "p99": 1.0}
+
+    def test_observe_many_counts_every_observation(self):
+        loop = Histogram("a", [1.0, 2.0, 4.0])
+        batch = Histogram("b", [1.0, 2.0, 4.0])
+        for _ in range(7):
+            loop.observe(1.5)
+        batch.observe_many(1.5, 7)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert loop.percentile(q) == batch.percentile(q)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_numpy_inverted_cdf_on_bucketed_values(self, values, q):
+        """percentile(q) == numpy.quantile(method="inverted_cdf") applied
+        to the observations after bucketing (each value snapped to its
+        bucket's upper edge, inf for the overflow bucket) — the histogram
+        adds bucketing error, never rank error."""
+        numpy = pytest.importorskip("numpy")
+        bounds = [0.5, 1.0, 2.0, 5.0, 8.0]
+        hist = Histogram("h", bounds)
+        snapped = []
+        for value in values:
+            hist.observe(value)
+            snapped.append(
+                next(
+                    (bound for bound in bounds if value <= bound),
+                    float("inf"),
+                )
+            )
+        expected = float(
+            numpy.quantile(numpy.array(snapped), q, method="inverted_cdf")
+        )
+        assert hist.percentile(q) == expected
+
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=4, max_size=4
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_numpy_on_exact_edge_observations(self, counts, q):
+        """Observations placed exactly on bucket edges suffer no bucketing
+        error at all, so the histogram must agree with numpy on the raw
+        data, not just the snapped data."""
+        numpy = pytest.importorskip("numpy")
+        bounds = [1.0, 2.0, 4.0, 8.0]
+        hist = Histogram("h", bounds)
+        raw = []
+        for bound, count in zip(bounds, counts):
+            hist.observe_many(bound, count)
+            raw.extend([bound] * count)
+        if not raw:
+            assert hist.percentile(q) == 0.0
+            return
+        expected = float(
+            numpy.quantile(numpy.array(raw), q, method="inverted_cdf")
+        )
+        assert hist.percentile(q) == expected

@@ -270,6 +270,29 @@ def faulty_events():
 
 
 @pytest.fixture(scope="module")
+def serve_events(tmp_path_factory):
+    """A traced multi-tenant serving run: attacker backpressured through
+    a full queue, one benign tenant throttled by its IOPS cap."""
+    from repro.serve import ServeScenario, run_scenario
+
+    path = str(tmp_path_factory.mktemp("trace") / "serve.jsonl")
+    scenario = ServeScenario.from_dict(
+        {
+            "name": "trace-serve",
+            "seed": 11,
+            "device": {"num_lbas": 512, "profile": "tempered"},
+            "tenants": [
+                {"name": "attacker", "kind": "hammer_attacker", "ops": 600},
+                {"name": "scanner", "kind": "scan_reader", "ops": 300,
+                 "max_iops": 20000, "queue_depth": 4},
+            ],
+        }
+    )
+    run_scenario(scenario, trace_path=path)
+    return load_trace(path)
+
+
+@pytest.fixture(scope="module")
 def attack_events(tmp_path_factory):
     """One traced spray->hammer->scan cycle on the cloud testbed."""
     from repro import AttackConfig, FtlRowhammerAttack, build_cloud_testbed
@@ -300,6 +323,7 @@ class TestSchemaCoverage:
         mitigated_dram_events,
         faulty_events,
         attack_events,
+        serve_events,
     ):
         for events in (
             golden_events,
@@ -307,6 +331,7 @@ class TestSchemaCoverage:
             mitigated_dram_events,
             faulty_events,
             attack_events,
+            serve_events,
         ):
             assert validate_events(events) == []
 
@@ -317,6 +342,7 @@ class TestSchemaCoverage:
         mitigated_dram_events,
         faulty_events,
         attack_events,
+        serve_events,
     ):
         """The scenarios above collectively emit *every* schema entry
         except trace.dropped (covered by the tracer cap test)."""
@@ -327,6 +353,7 @@ class TestSchemaCoverage:
             mitigated_dram_events,
             faulty_events,
             attack_events,
+            serve_events,
         ):
             seen.update(event["name"] for event in events)
         assert set(EVENT_SCHEMAS) - seen == {"trace.dropped"}
