@@ -11,6 +11,8 @@ Commands:
 * ``sweep-diff``   — compare two sweep result files canonically.
 * ``fuzz``         — differential fuzz campaign / reproducer replay.
 * ``faults``       — power-cut-mid-GC + recovery demo under fault injection.
+* ``payload``      — compile / explain / run / diff / fuzz declarative
+  attack-payload programs (the DSL under :mod:`repro.payload`).
 * ``trace``        — summarize / validate / diff / export a structured trace.
 * ``table1``       — re-measure Table 1's minimal flip rates.
 * ``info``         — describe the default testbed.
@@ -307,6 +309,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         conservation_errors,
         diff_summaries,
         emit_golden,
+        emit_payload_golden,
         format_summary,
         load_trace,
         summarize,
@@ -317,10 +320,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.emit_golden:
         count = emit_golden(args.emit_golden)
         print("golden trace: %d event(s) -> %s" % (count, args.emit_golden))
-        if args.file is None:
-            return 0
+    if args.emit_payload_golden:
+        count = emit_payload_golden(args.emit_payload_golden)
+        print("payload golden trace: %d event(s) -> %s"
+              % (count, args.emit_payload_golden))
     if args.file is None:
-        print("trace: need a trace file (or --emit-golden PATH)")
+        if args.emit_golden or args.emit_payload_golden:
+            return 0
+        print("trace: need a trace file (or --emit-golden / "
+              "--emit-payload-golden PATH)")
         return 2
     events = load_trace(args.file)
     summary = summarize(events)
@@ -358,6 +366,357 @@ def cmd_trace(args: argparse.Namespace) -> int:
     elif not args.validate or status == 0:
         print(format_summary(summary))
     return status
+
+
+def _load_payload_program(path: str):
+    """Load a payload program from DSL text or its JSON form (sniffed)."""
+    import os
+
+    from repro.payload import Program, parse_program
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if text.lstrip().startswith("{"):
+        return Program.from_json(text)
+    default_name = os.path.splitext(os.path.basename(path))[0]
+    return parse_program(text, default_name=default_name)
+
+
+def _parse_bindings(pairs) -> dict:
+    from repro.errors import ConfigError
+
+    bindings = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ConfigError("--bind expects NAME=VALUE, got %r" % pair)
+        try:
+            bindings[name] = int(value)
+        except ValueError:
+            raise ConfigError("--bind %s: %r is not an integer" % (name, value))
+    return bindings
+
+
+def _payload_source(args):
+    """The program named on the command line: a file or a --template."""
+    from repro.errors import ConfigError
+    from repro.payload import TEMPLATES, build_template
+
+    if args.file is not None and args.template is not None:
+        raise ConfigError("give a program file or --template, not both")
+    if args.file is not None:
+        return _load_payload_program(args.file)
+    if args.template is not None:
+        if args.template not in TEMPLATES:
+            raise ConfigError(
+                "unknown template %r (have: %s)"
+                % (args.template, ", ".join(sorted(TEMPLATES)))
+            )
+        return build_template(
+            args.template, pairs=args.pairs, repeats=args.repeats
+        )
+    raise ConfigError("payload: need a program file or --template KIND")
+
+
+def cmd_payload_compile(args: argparse.Namespace) -> int:
+    """Parse -> resolve -> compile; print the stream, never execute."""
+    from repro.errors import ConfigError
+    from repro.payload import PayloadError, compile_program, resolve_program
+
+    try:
+        program = _payload_source(args)
+        bindings = _parse_bindings(args.bind)
+        if bindings or program.placeholders():
+            program = resolve_program(program, bindings)
+        compiled = compile_program(program)
+    except (PayloadError, ConfigError) as error:
+        print("payload compile: %s" % error)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(program.to_json())
+            handle.write("\n")
+    if args.bin:
+        with open(args.bin, "wb") as handle:
+            handle.write(compiled.to_bytes())
+    print("payload %r (target=%s): %d instruction(s), %d byte(s)"
+          % (compiled.name, compiled.target,
+             len(compiled.instructions), len(compiled.to_bytes())))
+    print("static totals: reads=%d acts=%d pres=%d refreshes=%d wait=%.9gs"
+          % (compiled.total_reads, compiled.total_acts, compiled.total_pres,
+             compiled.total_refreshes, compiled.total_wait_seconds))
+    for line in compiled.disassemble().splitlines():
+        print("  %s" % line)
+    return 0
+
+
+def cmd_payload_explain(args: argparse.Namespace) -> int:
+    """Show a program's canonical text, placeholders, and compiled form."""
+    from repro.errors import ConfigError
+    from repro.payload import (
+        PayloadError,
+        compile_program,
+        format_program,
+        resolve_program,
+    )
+
+    try:
+        program = _payload_source(args)
+    except (PayloadError, ConfigError) as error:
+        print("payload explain: %s" % error)
+        return 2
+    print(format_program(program), end="")
+    placeholders = program.placeholders()
+    if placeholders:
+        print()
+        print("placeholders: %s" % ", ".join("@" + p for p in placeholders))
+        print("  (bind with --bind NAME=VALUE, or let 'payload run' resolve "
+              "them by live L2P recon)")
+    bindings = _parse_bindings(args.bind)
+    try:
+        resolved = resolve_program(program, bindings) if placeholders else program
+        compiled = compile_program(resolved)
+    except (PayloadError, ConfigError) as error:
+        print()
+        print("not compilable as-is: %s" % error)
+        return 0
+    print()
+    print("compiles to %d instruction(s); static reads=%d acts=%d"
+          % (len(compiled.instructions), compiled.total_reads,
+             compiled.total_acts))
+    for line in compiled.disassemble().splitlines():
+        print("  %s" % line)
+    return 0
+
+
+def cmd_payload_run(args: argparse.Namespace) -> int:
+    """Compile and execute one program on a fresh cloud testbed.
+
+    ``stack`` programs run on the attacker VM; placeholders resolve by
+    live L2P recon (overridable with --bind).  Byte-deterministic for a
+    fixed seed: two runs print identical output and identical traces.
+    """
+    from repro.errors import ConfigError
+    from repro.payload import (
+        PayloadError,
+        compile_program,
+        execute_payload,
+        recon_bindings,
+        resolve_program,
+    )
+    from repro.sim import merge_snapshots
+
+    try:
+        program = _payload_source(args)
+        testbed = build_cloud_testbed(seed=args.seed, trace_path=args.trace)
+        bindings = {}
+        if program.placeholders() and program.target == "stack":
+            bindings = recon_bindings(
+                testbed.controller,
+                testbed.attacker_ns.nsid,
+                victim_nsid=testbed.victim_ns.nsid,
+                limit=max(args.pairs, 8),
+            )
+        bindings.update(_parse_bindings(args.bind))
+        if bindings or program.placeholders():
+            program = resolve_program(program, bindings)
+        compiled = compile_program(program)
+        if compiled.target == "dram":
+            result = execute_payload(
+                compiled, dram=testbed.dram, trace_payload=True
+            )
+        else:
+            result = execute_payload(
+                compiled, vm=testbed.attacker_vm, trace_payload=True
+            )
+    except (PayloadError, ConfigError) as error:
+        print("payload run: %s" % error)
+        return 2
+    if testbed.tracer is not None:
+        testbed.tracer.close(
+            metrics=merge_snapshots(
+                testbed.dram.metrics,
+                testbed.ftl.metrics,
+                testbed.controller.metrics,
+                testbed.ftl.flash.metrics,
+            )
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "program": result.program,
+                    "target": result.target,
+                    "reads": result.reads,
+                    "acts": result.acts,
+                    "bursts": result.bursts,
+                    "interpreted": result.interpreted,
+                    "duration": result.duration,
+                    "flips": [
+                        {"bank": flip.bank, "row": flip.row,
+                         "byte": flip.byte_offset, "bit": flip.bit,
+                         "to": flip.flips_to}
+                        for flip in result.flips
+                    ],
+                    "flip_count": result.flip_count,
+                    "seed": args.seed,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
+    print("payload %r (target=%s, seed=%d)"
+          % (result.program, result.target, args.seed))
+    print("  reads=%d acts=%d bursts=%d interpreted=%d"
+          % (result.reads, result.acts, result.bursts, result.interpreted))
+    print("  simulated time: %s" % format_duration(result.duration))
+    print("  bit flips: %d" % result.flip_count)
+    for flip in result.flips[:8]:
+        print("    bank %d row %d byte %d bit %d -> %d"
+              % (flip.bank, flip.row, flip.byte_offset, flip.bit,
+                 flip.flips_to))
+    if result.flip_count > 8:
+        print("    ... %d more" % (result.flip_count - 8))
+    if args.trace:
+        print("  trace -> %s" % args.trace)
+    return 0
+
+
+def cmd_payload_diff(args: argparse.Namespace) -> int:
+    """The DSL-vs-hand-coded equivalence gate (CI runs this).
+
+    For every pattern shape, execute the hand-coded :class:`HammerPlan`
+    on one fresh traced testbed and its compiled-DSL twin
+    (:func:`program_from_plan`) on another, then require byte-identical
+    flips, clocks, and trace files.  Exit 1 on any divergence.
+    """
+    import os
+    import tempfile
+
+    from repro.attack.hammer import (
+        double_sided_plan,
+        many_sided_plan,
+        one_location_plan,
+        single_sided_plan,
+    )
+    from repro.attack.profile import DeviceProfile
+    from repro.attack.recon import find_cross_partition_triples
+    from repro.payload import compile_program, execute_payload, program_from_plan
+    from repro.sim import merge_snapshots
+
+    def fresh(trace_path):
+        testbed = build_cloud_testbed(seed=args.seed, trace_path=trace_path)
+        profile = DeviceProfile.from_device(testbed.controller)
+        triples = [
+            t
+            for t in find_cross_partition_triples(
+                profile, testbed.attacker_ns, testbed.victim_ns
+            )
+            if t.left_lbas and t.right_lbas
+        ]
+        if len(triples) < 2:
+            raise RuntimeError(
+                "recon found %d usable triple(s); need 2" % len(triples)
+            )
+        return testbed, triples
+
+    def plan_for(shape, testbed, triples):
+        ns = testbed.attacker_ns
+        if shape == "double_sided":
+            return double_sided_plan(triples[0], ns)
+        if shape == "single_sided":
+            return single_sided_plan(triples[0], ns)
+        if shape == "many_sided":
+            return many_sided_plan(triples[: max(2, args.pairs)], ns)
+        return one_location_plan(triples[0].aggressor_pair[0], ns)
+
+    def finish(testbed):
+        testbed.tracer.close(
+            metrics=merge_snapshots(
+                testbed.dram.metrics,
+                testbed.ftl.metrics,
+                testbed.controller.metrics,
+                testbed.ftl.flash.metrics,
+            )
+        )
+
+    failures = 0
+    for shape in ("double_sided", "single_sided", "many_sided", "one_location"):
+        with tempfile.TemporaryDirectory() as tmp:
+            hand_path = os.path.join(tmp, "hand.jsonl")
+            dsl_path = os.path.join(tmp, "dsl.jsonl")
+
+            hand_tb, hand_triples = fresh(hand_path)
+            plan = plan_for(shape, hand_tb, hand_triples)
+            plan.execute(hand_tb.attacker_vm, args.ios)
+            finish(hand_tb)
+            hand_flips = tuple(hand_tb.dram.flips)
+            hand_clock = hand_tb.dram.clock.now
+
+            dsl_tb, dsl_triples = fresh(dsl_path)
+            twin = program_from_plan(plan_for(shape, dsl_tb, dsl_triples),
+                                     args.ios)
+            compiled = compile_program(twin)
+            execute_payload(compiled, vm=dsl_tb.attacker_vm,
+                            trace_payload=False)
+            finish(dsl_tb)
+            dsl_flips = tuple(dsl_tb.dram.flips)
+            dsl_clock = dsl_tb.dram.clock.now
+
+            with open(hand_path, "rb") as handle:
+                hand_bytes = handle.read()
+            with open(dsl_path, "rb") as handle:
+                dsl_bytes = handle.read()
+
+        problems = []
+        if hand_flips != dsl_flips:
+            problems.append("flips differ (%d vs %d)"
+                            % (len(hand_flips), len(dsl_flips)))
+        if hand_clock != dsl_clock:
+            problems.append("clock differs (%.9g vs %.9g)"
+                            % (hand_clock, dsl_clock))
+        if hand_bytes != dsl_bytes:
+            problems.append("trace bytes differ (%d vs %d byte(s))"
+                            % (len(hand_bytes), len(dsl_bytes)))
+        if problems:
+            failures += 1
+            print("%-14s DIVERGED: %s" % (shape, "; ".join(problems)))
+        else:
+            print("%-14s equivalent: %d flip(s), %d trace byte(s) identical"
+                  % (shape, len(hand_flips), len(hand_bytes)))
+    if failures:
+        print("payload diff: %d shape(s) diverged" % failures)
+        return 1
+    print("payload diff: 4/4 shapes byte-identical (hand-coded == compiled DSL)")
+    return 0
+
+
+def cmd_payload_fuzz(args: argparse.Namespace) -> int:
+    """Grammar-based payload fuzz campaign (mutation + ddmin shrink)."""
+    from repro.testkit.payload_fuzz import run_payload_campaign
+
+    report = run_payload_campaign(
+        seed=args.seed,
+        num_programs=args.programs,
+        mutations_per_program=args.mutations,
+        target=args.target,
+        profile=args.profile,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    if args.repro_out and report.shrunk is not None:
+        with open(args.repro_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.shrunk, sort_keys=True, indent=2))
+            handle.write("\n")
+        print("shrunk payload reproducer written to %s" % args.repro_out)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_mitigations(args: argparse.Namespace) -> int:
@@ -733,6 +1092,89 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_diff.add_argument("file_b", help="second result JSONL file")
     sweep_diff.set_defaults(func=cmd_sweep_diff)
 
+    payload = sub.add_parser(
+        "payload",
+        help="compile / explain / run / diff / fuzz declarative attack "
+             "payload programs",
+    )
+    payload_sub = payload.add_subparsers(dest="payload_command", required=True)
+
+    def _program_source_args(sub_parser):
+        sub_parser.add_argument("file", nargs="?", default=None,
+                                help="payload program: DSL text or its JSON "
+                                     "form (sniffed)")
+        sub_parser.add_argument("--template", default=None, metavar="KIND",
+                                help="use a built-in pattern template instead "
+                                     "of a file (double_sided, single_sided, "
+                                     "many_sided, one_location)")
+        sub_parser.add_argument("--pairs", type=int, default=2,
+                                help="aggressor pairs for the many_sided "
+                                     "template")
+        sub_parser.add_argument("--repeats", type=int, default=120_000,
+                                help="loop count for template programs")
+        sub_parser.add_argument("--bind", action="append", metavar="NAME=LBA",
+                                help="bind a @placeholder (repeatable)")
+
+    payload_compile = payload_sub.add_parser(
+        "compile", help="parse + resolve + compile; print the encoded stream"
+    )
+    _program_source_args(payload_compile)
+    payload_compile.add_argument("--out", default=None, metavar="PROGRAM_JSON",
+                                 help="write the resolved program JSON here")
+    payload_compile.add_argument("--bin", default=None, metavar="STREAM_BIN",
+                                 help="write the encoded 64-bit command "
+                                      "stream here")
+    payload_compile.set_defaults(func=cmd_payload_compile)
+
+    payload_explain = payload_sub.add_parser(
+        "explain", help="show canonical text, placeholders, compiled form"
+    )
+    _program_source_args(payload_explain)
+    payload_explain.set_defaults(func=cmd_payload_explain)
+
+    payload_run = payload_sub.add_parser(
+        "run",
+        help="execute a program on a fresh cloud testbed (placeholders "
+             "resolve by live L2P recon)",
+    )
+    _program_source_args(payload_run)
+    payload_run.add_argument("--trace", default=None, metavar="TRACE_JSONL",
+                             help="stream a structured trace of the run here")
+    payload_run.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    payload_run.set_defaults(func=cmd_payload_run)
+
+    payload_diff = payload_sub.add_parser(
+        "diff",
+        help="equivalence gate: hand-coded plans vs compiled DSL twins "
+             "must match byte-for-byte (exit 1 on divergence)",
+    )
+    payload_diff.add_argument("--ios", type=int, default=240_000,
+                              help="I/O budget per pattern")
+    payload_diff.add_argument("--pairs", type=int, default=2,
+                              help="aggressor pairs for the many-sided shape")
+    payload_diff.set_defaults(func=cmd_payload_diff)
+
+    payload_fuzz = payload_sub.add_parser(
+        "fuzz", help="grammar-based payload fuzz campaign with ddmin shrink"
+    )
+    payload_fuzz.add_argument("--programs", type=int, default=20,
+                              help="base programs to generate")
+    payload_fuzz.add_argument("--mutations", type=int, default=2,
+                              help="mutants per base program")
+    payload_fuzz.add_argument("--target", choices=["stack", "dram"],
+                              default="stack")
+    payload_fuzz.add_argument("--profile", choices=["granite", "fragile"],
+                              default="fragile")
+    payload_fuzz.add_argument("--out", default=None,
+                              help="write the campaign report JSON here")
+    payload_fuzz.add_argument("--repro-out", default=None,
+                              help="write the shrunk reproducer program JSON "
+                                   "here on failure")
+    payload_fuzz.add_argument("--json", action="store_true",
+                              help="print the full report as JSON")
+    payload_fuzz.set_defaults(func=cmd_payload_fuzz)
+
     trace = sub.add_parser(
         "trace",
         help="summarize / validate / diff / export a structured JSONL trace",
@@ -753,6 +1195,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--emit-golden", default=None, metavar="OUT_JSONL",
                        help="regenerate the golden double-sided-hammer "
                             "fixture trace to OUT_JSONL")
+    trace.add_argument("--emit-payload-golden", default=None,
+                       metavar="OUT_JSONL",
+                       help="regenerate the golden compiled-payload fixture "
+                            "trace to OUT_JSONL")
     trace.set_defaults(func=cmd_trace)
 
     serve = sub.add_parser(

@@ -326,6 +326,73 @@ def _trial_serve(trial: TrialSpec) -> Dict[str, Any]:
     return result
 
 
+# -- built-in: payload --------------------------------------------------
+
+
+def _trial_payload(trial: TrialSpec) -> Dict[str, Any]:
+    """Run one payload-DSL program against a seeded cloud testbed.
+
+    Either a ``program`` base key (a :class:`repro.payload.Program` dict)
+    or a ``template`` name (``double_sided`` / ``single_sided`` /
+    ``many_sided`` / ``one_location``) selects the pattern; the
+    pattern-parameter axes ``repeats`` and ``pairs`` are sweepable, so a
+    grid spec can walk hammer intensity and sidedness as data.
+    Placeholders not covered by an explicit ``bindings`` table are
+    resolved by live L2P recon on the testbed, exactly as an attacker
+    would.
+    """
+    from repro.payload import (
+        Program,
+        build_template,
+        compile_program,
+        execute_payload,
+        recon_bindings,
+        resolve_program,
+    )
+    from repro.scenarios import build_cloud_testbed
+
+    params = dict(trial.params)
+    seed = int(params.pop("seed", trial.seed))
+    raw = params.pop("program", None)
+    template = params.pop("template", None)
+    repeats = int(params.pop("repeats", 120_000))
+    pairs = int(params.pop("pairs", 2))
+    bindings = dict(params.pop("bindings", {}))
+    if params:
+        raise ConfigError("unknown payload trial params: %s" % sorted(params))
+    if (raw is None) == (template is None):
+        raise ConfigError(
+            "payload trials need exactly one of 'program' or 'template'"
+        )
+    if raw is not None:
+        program = Program.from_dict(json.loads(json.dumps(raw)))
+    else:
+        program = build_template(template, pairs=pairs, repeats=repeats)
+
+    testbed = build_cloud_testbed(seed=seed)
+    if program.placeholders() - set(bindings):
+        recon = recon_bindings(
+            testbed.controller, 2, victim_nsid=1, limit=max(pairs, 8)
+        )
+        recon.update(bindings)
+        bindings = recon
+    compiled = compile_program(resolve_program(program, bindings))
+    result = execute_payload(
+        compiled, vm=testbed.attacker_vm, dram=testbed.dram
+    )
+    return {
+        "program": compiled.name,
+        "target": compiled.target,
+        "flips": len(result.flips),
+        "reads": result.reads,
+        "acts": result.acts,
+        "bursts": result.bursts,
+        "duration": result.duration,
+        "static_reads": compiled.total_reads,
+        "static_acts": compiled.total_acts,
+    }
+
+
 # -- built-in soak kinds (scheduler testing) ----------------------------
 
 
@@ -362,6 +429,7 @@ register_trial_kind("monte_carlo", _trial_monte_carlo)
 register_trial_kind("probability_grid", _trial_probability_grid)
 register_trial_kind("mitigation", _trial_mitigation)
 register_trial_kind("serve", _trial_serve)
+register_trial_kind("payload", _trial_payload)
 register_trial_kind("fault_campaign", _trial_fault_campaign)
 register_trial_kind("sleep", _trial_sleep)
 register_trial_kind("flaky", _trial_flaky)

@@ -1,0 +1,118 @@
+"""Builders: every hand-coded :class:`HammerPlan` as a DSL program.
+
+:func:`program_from_plan` is the equivalence bridge — it re-expresses an
+already-constructed plan as the one-loop program whose coalesced
+execution issues the *identical* ``vm.hammer_reads(lbas, repeats)`` call
+``HammerPlan.execute`` would, which is what the differential tests and
+the CI diff gate pin byte-for-byte.
+
+The ``*_program`` templates are the offline form: placeholder programs
+(``@agg_left`` …) an attacker writes before knowing the device, resolved
+later by :func:`repro.payload.resolver.recon_bindings`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.payload.program import Label, Loop, PayloadError, Program, Read
+
+#: Default I/O budget of the template builders, matching the committed
+#: golden scenario's double-sided burst.
+DEFAULT_REPEATS = 120_000
+
+
+def plan_repeats(plan, total_ios: int) -> int:
+    """The loop count ``HammerPlan.execute`` derives from an I/O budget."""
+    if not plan.lbas:
+        raise PayloadError("cannot build a program from an empty plan")
+    return max(1, total_ios // len(plan.lbas))
+
+
+def program_from_plan(plan, total_ios: int) -> Program:
+    """The compiled-DSL twin of ``plan.execute(vm, total_ios)``.
+
+    One loop of the plan's LBA reads with the exact repeat count the
+    hand-coded path computes; the executor coalesces it into the same
+    single burst, so flips, clock, metrics, and trace bytes all match.
+    """
+    return Program(
+        name=plan.name.replace("-", "_"),
+        target="stack",
+        steps=(
+            Loop(
+                count=plan_repeats(plan, total_ios),
+                body=tuple(Read(lba=lba) for lba in plan.lbas),
+            ),
+        ),
+    )
+
+
+def double_sided_program(repeats: int = DEFAULT_REPEATS) -> Program:
+    """§4's demonstrated attack: alternate the two rows around the victim."""
+    return Program(
+        name="double_sided",
+        target="stack",
+        steps=(
+            Label(name="hammer"),
+            Loop(count=repeats, body=(Read(lba="agg_left"), Read(lba="agg_right"))),
+        ),
+    )
+
+
+def single_sided_program(repeats: int = DEFAULT_REPEATS) -> Program:
+    """One aggressor plus a far-away conflict dummy (partition boundary)."""
+    return Program(
+        name="single_sided",
+        target="stack",
+        steps=(
+            Label(name="hammer"),
+            Loop(count=repeats, body=(Read(lba="agg_left"), Read(lba="conflict"))),
+        ),
+    )
+
+
+def many_sided_program(pairs: int, repeats: int = DEFAULT_REPEATS) -> Program:
+    """TRRespass-style sampler thrashing over ``pairs`` aggressor pairs."""
+    if pairs < 1:
+        raise PayloadError("many-sided program needs at least one pair")
+    body: Tuple[Read, ...] = tuple(
+        Read(lba="agg%d_%s" % (index, side))
+        for index in range(pairs)
+        for side in ("left", "right")
+    )
+    return Program(
+        name="many_sided",
+        target="stack",
+        steps=(Label(name="hammer"), Loop(count=repeats, body=body)),
+    )
+
+
+def one_location_program(repeats: int = DEFAULT_REPEATS) -> Program:
+    """A single repeatedly-read address (closed-page controllers only)."""
+    return Program(
+        name="one_location",
+        target="stack",
+        steps=(Label(name="hammer"), Loop(count=repeats, body=(Read(lba="loc"),))),
+    )
+
+
+#: Template registry for the CLI and the sweep trial kind.
+TEMPLATES = {
+    "double_sided": double_sided_program,
+    "single_sided": single_sided_program,
+    "many_sided": many_sided_program,
+    "one_location": one_location_program,
+}
+
+
+def build_template(kind: str, pairs: int = 2, repeats: int = DEFAULT_REPEATS) -> Program:
+    """Instantiate a named template (``pairs`` only applies to many_sided)."""
+    if kind not in TEMPLATES:
+        raise PayloadError(
+            "unknown payload template %r (valid: %s)"
+            % (kind, ", ".join(sorted(TEMPLATES)))
+        )
+    if kind == "many_sided":
+        return many_sided_program(pairs=pairs, repeats=repeats)
+    return TEMPLATES[kind](repeats=repeats)

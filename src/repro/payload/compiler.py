@@ -1,0 +1,264 @@
+"""Stage 3: compile a resolved program into a flat encoded stream.
+
+Modeled on the litex payload-executor's ``Encoder``/``OpCode`` scheme
+(SNIPPETS.md §1): the step tree flattens into a linear list of fixed-width
+instructions — ``LOOP`` carries its iteration count and the length of the
+body that follows, so nesting survives flattening without unrolling.  The
+compiled form is what the executor interprets and what serializes to a
+deterministic byte stream (``to_bytes``), which the CI differential job
+``cmp``s across runs.
+
+Static analysis happens here too: per-opcode counts multiplied through
+loop nests give the exact I/O and activation totals *before* running
+anything, and the compile-time error paths (unbound placeholder,
+zero-iteration loop, loop nesting past :data:`MAX_LOOP_DEPTH`) fail with
+messages that say how to fix the program, not just that it is wrong.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.payload.program import (
+    Act,
+    Label,
+    Loop,
+    PayloadError,
+    Pre,
+    Program,
+    Read,
+    Refresh,
+    Step,
+    Wait,
+    is_placeholder,
+)
+
+#: Maximum loop nesting depth the encoding supports.
+MAX_LOOP_DEPTH = 4
+
+#: Largest value a packed operand field can carry (28 bits, litex-style).
+MAX_OPERAND = (1 << 28) - 1
+
+
+class CompileError(PayloadError):
+    """A program that cannot be lowered to the flat stream."""
+
+
+class OpCode(enum.IntEnum):
+    """Instruction opcodes of the flat stream (stable encoding values)."""
+
+    NOOP = 0
+    ACT = 1
+    READ = 2
+    PRE = 3
+    WAIT = 4
+    REF = 5
+    LABEL = 6
+    LOOP = 7
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One fixed-width instruction: opcode plus two operand fields.
+
+    Field meaning per opcode — ACT: (bank, row); READ: (lba, 0);
+    WAIT: (nanoseconds, 0) with the exact float kept in ``seconds``;
+    LABEL: (string-table index, 0); LOOP: (count, body_len).
+    """
+
+    op: OpCode
+    a: int = 0
+    b: int = 0
+    #: Exact wall-clock payload for WAIT (the packed ``a`` field is the
+    #: rounded-nanosecond mirror used only by the byte encoding).
+    seconds: float = 0.0
+
+    def encode(self) -> int:
+        """Pack into one 64-bit word: op(8) | a(28) | b(28)."""
+        return (int(self.op) << 56) | (self.a << 28) | self.b
+
+
+@dataclass(frozen=True)
+class CompiledPayload:
+    """The flat instruction stream plus its static profile."""
+
+    name: str
+    target: str
+    instructions: Tuple[Instr, ...]
+    #: LABEL string table; instruction operand ``a`` indexes it.
+    labels: Tuple[str, ...] = ()
+    #: Exact totals, loop counts multiplied through.
+    total_reads: int = 0
+    total_acts: int = 0
+    total_pres: int = 0
+    total_refreshes: int = 0
+    total_wait_seconds: float = 0.0
+
+    @property
+    def total_ios(self) -> int:
+        return self.total_reads
+
+    def to_bytes(self) -> bytes:
+        """Deterministic binary form: 8-byte big-endian words."""
+        return b"".join(
+            instr.encode().to_bytes(8, "big") for instr in self.instructions
+        )
+
+    def disassemble(self) -> str:
+        """Human-readable listing (the ``payload explain`` output body)."""
+        lines = []
+        depth_stack: List[int] = []
+        for index, instr in enumerate(self.instructions):
+            while depth_stack and depth_stack[-1] == index:
+                depth_stack.pop()
+            pad = "  " * len(depth_stack)
+            if instr.op is OpCode.ACT:
+                text = "act bank=%d row=%d" % (instr.a, instr.b)
+            elif instr.op is OpCode.READ:
+                text = "read lba=%d" % instr.a
+            elif instr.op is OpCode.PRE:
+                text = "pre"
+            elif instr.op is OpCode.WAIT:
+                text = "wait %gs" % instr.seconds
+            elif instr.op is OpCode.REF:
+                text = "refresh"
+            elif instr.op is OpCode.LABEL:
+                text = "label %s" % self.labels[instr.a]
+            elif instr.op is OpCode.LOOP:
+                text = "loop count=%d body=%d" % (instr.a, instr.b)
+                depth_stack.append(index + 1 + instr.b)
+            else:
+                text = "noop"
+            lines.append("%04d  %s%s" % (index, pad, text))
+        return "\n".join(lines)
+
+
+_STACK_ONLY = "only 'stack' programs may 'read' (this one targets %r)"
+_DRAM_ONLY = "step %r needs the 'dram' target (this program targets %r)"
+
+
+def _check_operand(value: int, what: str, path: str) -> int:
+    if is_placeholder(value):
+        raise CompileError(
+            "%s: unbound placeholder @%s in %s — resolve the program first "
+            "(resolver.resolve_program with a bindings table, or let "
+            "'payload run' recon the device)" % (path, value, what)
+        )
+    if value > MAX_OPERAND:
+        raise CompileError(
+            "%s: %s=%d exceeds the %d-bit operand field" % (path, what, value, 28)
+        )
+    return value
+
+
+def compile_program(program: Program) -> CompiledPayload:
+    """Lower a fully-resolved :class:`Program` to a :class:`CompiledPayload`.
+
+    Raises :class:`CompileError` on unresolved placeholders, invalid
+    step/target combinations, zero-iteration or empty loops, and loop
+    nesting deeper than :data:`MAX_LOOP_DEPTH`.
+    """
+    instructions: List[Instr] = []
+    label_table: List[str] = []
+    label_index: Dict[str, int] = {}
+    totals = {"reads": 0, "acts": 0, "pres": 0, "refreshes": 0, "wait": 0.0}
+
+    def emit(steps: Tuple[Step, ...], depth: int, multiplier: int, path: str) -> None:
+        for position, step in enumerate(steps):
+            where = "%s.%d" % (path, position)
+            if isinstance(step, Read):
+                if program.target != "stack":
+                    raise CompileError(
+                        "%s: %s" % (where, _STACK_ONLY % program.target)
+                    )
+                lba = _check_operand(step.lba, "read lba", where)
+                instructions.append(Instr(OpCode.READ, a=lba))
+                totals["reads"] += multiplier
+            elif isinstance(step, Act):
+                if program.target != "dram":
+                    raise CompileError(
+                        "%s: %s" % (where, _DRAM_ONLY % ("act", program.target))
+                    )
+                bank = _check_operand(step.bank, "act bank", where)
+                row = _check_operand(step.row, "act row", where)
+                instructions.append(Instr(OpCode.ACT, a=bank, b=row))
+                totals["acts"] += multiplier
+            elif isinstance(step, Pre):
+                if program.target != "dram":
+                    raise CompileError(
+                        "%s: %s" % (where, _DRAM_ONLY % ("pre", program.target))
+                    )
+                instructions.append(Instr(OpCode.PRE))
+                totals["pres"] += multiplier
+            elif isinstance(step, Refresh):
+                if program.target != "dram":
+                    raise CompileError(
+                        "%s: %s" % (where, _DRAM_ONLY % ("refresh", program.target))
+                    )
+                instructions.append(Instr(OpCode.REF))
+                totals["refreshes"] += multiplier
+            elif isinstance(step, Wait):
+                if step.seconds < 0:
+                    raise CompileError(
+                        "%s: wait duration cannot be negative" % where
+                    )
+                nanos = min(int(round(step.seconds * 1e9)), MAX_OPERAND)
+                instructions.append(
+                    Instr(OpCode.WAIT, a=nanos, seconds=step.seconds)
+                )
+                totals["wait"] += multiplier * step.seconds
+            elif isinstance(step, Label):
+                if step.name not in label_index:
+                    label_index[step.name] = len(label_table)
+                    label_table.append(step.name)
+                instructions.append(Instr(OpCode.LABEL, a=label_index[step.name]))
+            elif isinstance(step, Loop):
+                if step.count == 0:
+                    raise CompileError(
+                        "%s: loop iterates zero times and can never "
+                        "contribute work — delete it, or make the count a "
+                        "sweep parameter if 0 was a degenerate axis value"
+                        % where
+                    )
+                if not step.body:
+                    raise CompileError(
+                        "%s: loop body is empty — a loop must contain at "
+                        "least one step" % where
+                    )
+                if depth + 1 > MAX_LOOP_DEPTH:
+                    raise CompileError(
+                        "%s: loop nesting depth %d exceeds the limit of %d "
+                        "— flatten inner loops (multiply the counts) or "
+                        "split the program" % (where, depth + 1, MAX_LOOP_DEPTH)
+                    )
+                if step.count > MAX_OPERAND:
+                    raise CompileError(
+                        "%s: loop count %d exceeds the %d-bit operand field"
+                        % (where, step.count, 28)
+                    )
+                header_at = len(instructions)
+                instructions.append(Instr(OpCode.LOOP, a=step.count))
+                emit(step.body, depth + 1, multiplier * step.count, where)
+                body_len = len(instructions) - header_at - 1
+                instructions[header_at] = Instr(
+                    OpCode.LOOP, a=step.count, b=body_len
+                )
+            else:
+                raise CompileError(
+                    "%s: unknown step type %r" % (where, type(step).__name__)
+                )
+
+    emit(program.steps, 0, 1, "step")
+    return CompiledPayload(
+        name=program.name,
+        target=program.target,
+        instructions=tuple(instructions),
+        labels=tuple(label_table),
+        total_reads=totals["reads"],
+        total_acts=totals["acts"],
+        total_pres=totals["pres"],
+        total_refreshes=totals["refreshes"],
+        total_wait_seconds=totals["wait"],
+    )

@@ -1,0 +1,309 @@
+"""Text front-end for payload programs.
+
+The surface syntax is one directive or step per line, ``#`` comments,
+and braces for loop bodies — close to the PyRAM examples in SNIPPETS.md
+but line-oriented so errors carry exact ``line:col`` positions::
+
+    # double-sided hammer through the stack
+    name double_sided
+    target stack
+
+    label hammer
+    loop 120000 {
+        read @agg_left
+        read @agg_right
+    }
+
+Grammar (per line)::
+
+    name <ident>              program name (once, before any step)
+    target stack|dram         execution target (once, before any step)
+    act <bank> <row>          operands: non-negative int or @placeholder
+    read <lba>
+    pre
+    wait <seconds>
+    refresh
+    label <ident>
+    loop <count> {            body runs until the matching '}'
+    }
+
+Every syntax error raises :class:`ParseError` with the offending line,
+column, and a one-line explanation of what was expected.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.payload.program import (
+    Act,
+    Label,
+    Loop,
+    Operand,
+    PayloadError,
+    Pre,
+    Program,
+    Read,
+    Refresh,
+    Step,
+    TARGETS,
+    Wait,
+)
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+
+class ParseError(PayloadError):
+    """A syntax error with the exact source position."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        self.line = line
+        self.col = col
+        super().__init__("line %d, col %d: %s" % (line, col, message))
+
+
+class _Token:
+    __slots__ = ("text", "line", "col")
+
+    def __init__(self, text: str, line: int, col: int) -> None:
+        self.text = text
+        self.line = line
+        self.col = col
+
+
+def _tokenize_line(raw: str, lineno: int) -> List[_Token]:
+    """Split one source line into tokens, tracking column positions."""
+    # Strip comments first so '#' can trail a step.
+    hash_at = raw.find("#")
+    body = raw if hash_at < 0 else raw[:hash_at]
+    tokens = []
+    col = 0
+    for match in re.finditer(r"\S+", body):
+        tokens.append(_Token(match.group(0), lineno, match.start() + 1))
+        col = match.start() + 1
+    del col
+    return tokens
+
+
+def _parse_operand_token(token: _Token, what: str) -> Operand:
+    text = token.text
+    if text.startswith("@"):
+        name = text[1:]
+        if not _IDENT.match(name):
+            raise ParseError(
+                "%s placeholder %r is not a valid @name" % (what, text),
+                token.line,
+                token.col,
+            )
+        return name
+    try:
+        value = int(text, 0)
+    except ValueError:
+        raise ParseError(
+            "%s must be a non-negative integer or @placeholder, got %r"
+            % (what, text),
+            token.line,
+            token.col,
+        )
+    if value < 0:
+        raise ParseError(
+            "%s cannot be negative (got %d)" % (what, value), token.line, token.col
+        )
+    return value
+
+
+def _expect_argc(tokens: List[_Token], count: int, usage: str) -> None:
+    head = tokens[0]
+    if len(tokens) - 1 != count:
+        raise ParseError(
+            "'%s' takes %d argument%s (usage: %s)"
+            % (head.text, count, "" if count == 1 else "s", usage),
+            head.line,
+            head.col,
+        )
+
+
+def parse_program(text: str, default_name: str = "payload") -> Program:
+    """Parse DSL source text into a :class:`Program`.
+
+    Raises :class:`ParseError` (with line/col) on any malformed input.
+    """
+    name: Optional[str] = None
+    target: Optional[str] = None
+    # Stack of (loop_count_token, partial step list); top is current scope.
+    root: List[Step] = []
+    scopes: List[Tuple[Optional[_Token], List[Step]]] = [(None, root)]
+    saw_step = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize_line(raw, lineno)
+        if not tokens:
+            continue
+        head = tokens[0]
+        keyword = head.text
+
+        if keyword == "}":
+            _expect_argc(tokens, 0, "}")
+            if len(scopes) == 1:
+                raise ParseError("'}' with no open loop", head.line, head.col)
+            count_token, body = scopes.pop()
+            assert count_token is not None
+            count = int(count_token.text, 0)
+            scopes[-1][1].append(Loop(count=count, body=tuple(body)))
+            continue
+
+        if keyword == "name":
+            _expect_argc(tokens, 1, "name <ident>")
+            if saw_step or len(scopes) > 1:
+                raise ParseError(
+                    "'name' must appear before any step", head.line, head.col
+                )
+            if not _IDENT.match(tokens[1].text):
+                raise ParseError(
+                    "program name %r is not a valid identifier" % tokens[1].text,
+                    tokens[1].line,
+                    tokens[1].col,
+                )
+            name = tokens[1].text
+            continue
+
+        if keyword == "target":
+            _expect_argc(tokens, 1, "target stack|dram")
+            if saw_step or len(scopes) > 1:
+                raise ParseError(
+                    "'target' must appear before any step", head.line, head.col
+                )
+            if tokens[1].text not in TARGETS:
+                raise ParseError(
+                    "unknown target %r (valid: %s)"
+                    % (tokens[1].text, ", ".join(TARGETS)),
+                    tokens[1].line,
+                    tokens[1].col,
+                )
+            target = tokens[1].text
+            continue
+
+        saw_step = True
+        current = scopes[-1][1]
+
+        if keyword == "act":
+            _expect_argc(tokens, 2, "act <bank> <row>")
+            current.append(
+                Act(
+                    bank=_parse_operand_token(tokens[1], "act bank"),
+                    row=_parse_operand_token(tokens[2], "act row"),
+                )
+            )
+        elif keyword == "read":
+            _expect_argc(tokens, 1, "read <lba>")
+            current.append(Read(lba=_parse_operand_token(tokens[1], "read lba")))
+        elif keyword == "pre":
+            _expect_argc(tokens, 0, "pre")
+            current.append(Pre())
+        elif keyword == "wait":
+            _expect_argc(tokens, 1, "wait <seconds>")
+            try:
+                seconds = float(tokens[1].text)
+            except ValueError:
+                raise ParseError(
+                    "wait duration must be a number, got %r" % tokens[1].text,
+                    tokens[1].line,
+                    tokens[1].col,
+                )
+            if seconds < 0:
+                raise ParseError(
+                    "wait duration cannot be negative (got %s)" % tokens[1].text,
+                    tokens[1].line,
+                    tokens[1].col,
+                )
+            current.append(Wait(seconds=seconds))
+        elif keyword == "refresh":
+            _expect_argc(tokens, 0, "refresh")
+            current.append(Refresh())
+        elif keyword == "label":
+            _expect_argc(tokens, 1, "label <ident>")
+            if not _IDENT.match(tokens[1].text):
+                raise ParseError(
+                    "label name %r is not a valid identifier" % tokens[1].text,
+                    tokens[1].line,
+                    tokens[1].col,
+                )
+            current.append(Label(name=tokens[1].text))
+        elif keyword == "loop":
+            if len(tokens) != 3 or tokens[2].text != "{":
+                raise ParseError(
+                    "loop syntax is 'loop <count> {' with the brace on the "
+                    "same line",
+                    head.line,
+                    head.col,
+                )
+            try:
+                count = int(tokens[1].text, 0)
+            except ValueError:
+                raise ParseError(
+                    "loop count must be an integer, got %r" % tokens[1].text,
+                    tokens[1].line,
+                    tokens[1].col,
+                )
+            if count < 0:
+                raise ParseError(
+                    "loop count cannot be negative (got %d)" % count,
+                    tokens[1].line,
+                    tokens[1].col,
+                )
+            scopes.append((tokens[1], []))
+        else:
+            raise ParseError(
+                "unknown keyword %r (expected act, read, pre, wait, refresh, "
+                "label, loop, or '}')" % keyword,
+                head.line,
+                head.col,
+            )
+
+    if len(scopes) > 1:
+        open_token = scopes[-1][0]
+        assert open_token is not None
+        raise ParseError(
+            "loop opened here is never closed (missing '}')",
+            open_token.line,
+            open_token.col,
+        )
+
+    return Program(
+        name=name or default_name,
+        target=target or "stack",
+        steps=tuple(root),
+    )
+
+
+def format_program(program: Program) -> str:
+    """Render a :class:`Program` back to DSL source (parse round-trips)."""
+
+    def operand(value: Operand) -> str:
+        return "@" + value if isinstance(value, str) else str(value)
+
+    lines = ["name %s" % program.name, "target %s" % program.target, ""]
+
+    def emit(steps: Tuple[Step, ...], depth: int) -> None:
+        pad = "    " * depth
+        for step in steps:
+            if isinstance(step, Act):
+                lines.append("%sact %s %s" % (pad, operand(step.bank), operand(step.row)))
+            elif isinstance(step, Read):
+                lines.append("%sread %s" % (pad, operand(step.lba)))
+            elif isinstance(step, Pre):
+                lines.append("%spre" % pad)
+            elif isinstance(step, Wait):
+                lines.append("%swait %s" % (pad, repr(step.seconds)))
+            elif isinstance(step, Refresh):
+                lines.append("%srefresh" % pad)
+            elif isinstance(step, Label):
+                lines.append("%slabel %s" % (pad, step.name))
+            elif isinstance(step, Loop):
+                lines.append("%sloop %d {" % (pad, step.count))
+                emit(step.body, depth + 1)
+                lines.append("%s}" % pad)
+
+    emit(program.steps, 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,291 @@
+"""The payload program model: hammer patterns as data, not code.
+
+A :class:`Program` is an ordered tree of steps — ``act``, ``read``,
+``pre``, ``wait``, ``refresh``, ``label``, and (nestable) ``loop`` — that
+describes an attack payload the way Phoenix's PyRAM and the litex payload
+executor describe DDR command streams: declaratively, with *placeholders*
+(``@name``) standing in for the concrete rows/LBAs that only live recon
+can supply.  Programs round-trip through JSON, so the fuzzer can mutate
+them, the sweep engine can parameterize them, and a failing pattern ships
+as a one-file reproducer.
+
+Two execution targets exist:
+
+* ``stack`` — the program reads namespace-relative *LBAs* through the
+  whole NVMe/FTL stack (the paper's attack surface: each read probes an
+  L2P entry in DRAM).  Steps: ``read``, ``wait``, ``label``, ``loop``.
+* ``dram`` — the program drives the :class:`~repro.dram.module.DramModule`
+  directly with *(bank, row)* activations, the substrate for
+  refresh-aligned and U-TRR-style experiments.  Steps: ``act``, ``pre``,
+  ``wait``, ``refresh``, ``label``, ``loop``.
+
+The pipeline is parse -> resolve -> compile -> execute; each stage lives
+in its own module and is individually testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, Tuple, Union
+
+from repro.errors import ConfigError
+
+#: Valid execution targets.
+TARGETS = ("stack", "dram")
+
+#: A concrete operand or an unresolved ``@name`` placeholder.
+Operand = Union[int, str]
+
+
+class PayloadError(ConfigError):
+    """Base class for every payload-pipeline error."""
+
+
+def is_placeholder(value: Any) -> bool:
+    """Whether an operand is an unresolved ``@name`` reference."""
+    return isinstance(value, str)
+
+
+def _parse_operand(raw: Any, what: str) -> Operand:
+    """Validate one JSON operand: a non-negative int or an ``@name``."""
+    if isinstance(raw, bool):
+        raise PayloadError("%s must be an integer or '@name', got %r" % (what, raw))
+    if isinstance(raw, int):
+        if raw < 0:
+            raise PayloadError("%s cannot be negative (got %d)" % (what, raw))
+        return raw
+    if isinstance(raw, str):
+        if not raw.startswith("@") or len(raw) < 2:
+            raise PayloadError(
+                "%s placeholder must look like '@name', got %r" % (what, raw)
+            )
+        return raw[1:]
+    raise PayloadError("%s must be an integer or '@name', got %r" % (what, raw))
+
+
+def _encode_operand(value: Operand) -> Any:
+    return "@" + value if isinstance(value, str) else value
+
+
+# ---------------------------------------------------------------------------
+# steps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Act:
+    """Activate one DRAM row (dram target).  ``bank``/``row`` may be
+    placeholders."""
+
+    bank: Operand
+    row: Operand
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read one namespace-relative LBA through the stack (stack target).
+    ``lba`` may be a placeholder."""
+
+    lba: Operand
+
+
+@dataclass(frozen=True)
+class Pre:
+    """Precharge: close every open row (dram target)."""
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Advance simulated time by ``seconds`` (both targets)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Refresh:
+    """Advance time to the next refresh-window boundary (dram target), so
+    the following activations land in a fresh window."""
+
+
+@dataclass(frozen=True)
+class Label:
+    """A named marker; traced as ``payload.label``, otherwise inert."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat ``body`` ``count`` times.  Loops nest (bounded by the
+    compiler's depth limit)."""
+
+    count: int
+    body: Tuple["Step", ...]
+
+
+Step = Union[Act, Read, Pre, Wait, Refresh, Label, Loop]
+
+#: JSON ``op`` tag per step class.
+_OP_NAMES = {
+    Act: "act",
+    Read: "read",
+    Pre: "pre",
+    Wait: "wait",
+    Refresh: "refresh",
+    Label: "label",
+    Loop: "loop",
+}
+
+
+def step_to_dict(step: Step) -> Dict[str, Any]:
+    """One step as its JSON object form."""
+    if isinstance(step, Act):
+        return {"op": "act", "bank": _encode_operand(step.bank),
+                "row": _encode_operand(step.row)}
+    if isinstance(step, Read):
+        return {"op": "read", "lba": _encode_operand(step.lba)}
+    if isinstance(step, Pre):
+        return {"op": "pre"}
+    if isinstance(step, Wait):
+        return {"op": "wait", "seconds": step.seconds}
+    if isinstance(step, Refresh):
+        return {"op": "refresh"}
+    if isinstance(step, Label):
+        return {"op": "label", "name": step.name}
+    if isinstance(step, Loop):
+        return {
+            "op": "loop",
+            "count": step.count,
+            "body": [step_to_dict(inner) for inner in step.body],
+        }
+    raise PayloadError("unknown step type %r" % type(step).__name__)
+
+
+def step_from_dict(raw: Any) -> Step:
+    """Parse one JSON step object (raises :class:`PayloadError`)."""
+    if not isinstance(raw, dict):
+        raise PayloadError("step must be a JSON object, got %r" % type(raw).__name__)
+    op = raw.get("op")
+    if op == "act":
+        return Act(
+            bank=_parse_operand(raw.get("bank"), "act bank"),
+            row=_parse_operand(raw.get("row"), "act row"),
+        )
+    if op == "read":
+        return Read(lba=_parse_operand(raw.get("lba"), "read lba"))
+    if op == "pre":
+        return Pre()
+    if op == "wait":
+        seconds = raw.get("seconds")
+        if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+            raise PayloadError("wait needs a numeric 'seconds', got %r" % seconds)
+        return Wait(seconds=float(seconds))
+    if op == "refresh":
+        return Refresh()
+    if op == "label":
+        name = raw.get("name")
+        if not isinstance(name, str) or not name:
+            raise PayloadError("label needs a non-empty 'name'")
+        return Label(name=name)
+    if op == "loop":
+        count = raw.get("count")
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise PayloadError("loop needs an integer 'count', got %r" % count)
+        body = raw.get("body")
+        if not isinstance(body, list):
+            raise PayloadError("loop needs a 'body' list of steps")
+        return Loop(count=count, body=tuple(step_from_dict(inner) for inner in body))
+    raise PayloadError("unknown step op %r" % op)
+
+
+# ---------------------------------------------------------------------------
+# the program
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Program:
+    """One payload program: a name, a target, and a step tree."""
+
+    name: str
+    target: str
+    steps: Tuple[Step, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PayloadError("program needs a name")
+        if self.target not in TARGETS:
+            raise PayloadError(
+                "unknown target %r (valid: %s)" % (self.target, ", ".join(TARGETS))
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    def walk(self) -> Iterator[Step]:
+        """Every step, depth-first (loop headers before their bodies)."""
+        stack = list(reversed(self.steps))
+        while stack:
+            step = stack.pop()
+            yield step
+            if isinstance(step, Loop):
+                stack.extend(reversed(step.body))
+
+    def placeholders(self) -> FrozenSet[str]:
+        """Names of every unresolved ``@name`` operand."""
+        names = set()
+        for step in self.walk():
+            if isinstance(step, Read) and is_placeholder(step.lba):
+                names.add(step.lba)
+            elif isinstance(step, Act):
+                if is_placeholder(step.bank):
+                    names.add(step.bank)
+                if is_placeholder(step.row):
+                    names.add(step.row)
+        return frozenset(names)
+
+    @property
+    def is_resolved(self) -> bool:
+        return not self.placeholders()
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "steps": [step_to_dict(step) for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Any) -> "Program":
+        if not isinstance(raw, dict):
+            raise PayloadError("program must be a JSON object")
+        unknown = set(raw) - {"name", "target", "steps"}
+        if unknown:
+            raise PayloadError("unknown program keys: %s" % sorted(unknown))
+        name = raw.get("name")
+        if not isinstance(name, str) or not name:
+            raise PayloadError("program needs a non-empty 'name'")
+        steps = raw.get("steps")
+        if not isinstance(steps, list):
+            raise PayloadError("program needs a 'steps' list")
+        return cls(
+            name=name,
+            target=raw.get("target", "stack"),
+            steps=tuple(step_from_dict(step) for step in steps),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Program":
+        import json
+
+        try:
+            raw = json.loads(text)
+        except ValueError as error:
+            raise PayloadError("program is not valid JSON: %s" % error)
+        return cls.from_dict(raw)

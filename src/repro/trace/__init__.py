@@ -14,7 +14,13 @@ entry points:
 """
 
 from repro.trace.chrome import to_chrome, write_chrome
-from repro.trace.golden import GOLDEN_SEED, emit_golden, run_golden_scenario
+from repro.trace.golden import (
+    GOLDEN_SEED,
+    emit_golden,
+    emit_payload_golden,
+    run_golden_scenario,
+    run_payload_golden_scenario,
+)
 from repro.trace.schema import (
     EVENT_SCHEMAS,
     validate_event,
@@ -44,5 +50,7 @@ __all__ = [
     "write_chrome",
     "GOLDEN_SEED",
     "emit_golden",
+    "emit_payload_golden",
     "run_golden_scenario",
+    "run_payload_golden_scenario",
 ]

@@ -97,3 +97,78 @@ def emit_golden(path: str) -> int:
     """Stream the golden trace to ``path``; returns events written."""
     tracer = run_golden_scenario(tracer_path=path)
     return tracer.emitted
+
+
+#: Source text of the golden payload program: the same double-sided
+#: pattern as the classic scenario, expressed in the DSL with
+#: placeholders resolved against the live layout.
+PAYLOAD_GOLDEN_SOURCE = """\
+# golden payload: double-sided hammer through the stack
+name golden_double_sided
+target stack
+
+label hammer
+loop %d {
+    read @agg_left
+    read @agg_right
+}
+""" % GOLDEN_REPEATS
+
+
+def run_payload_golden_scenario(tracer_path=None, max_events: int = 200_000):
+    """The payload-DSL twin of :func:`run_golden_scenario`.
+
+    Runs the full parse -> resolve -> compile -> execute pipeline on the
+    same seeded FRAGILE stack, with ``payload.*`` events ON, so the
+    committed fixture pins the executor's trace surface as well as the
+    physics.  Pure function of :data:`GOLDEN_SEED`.
+    """
+    from repro.host.blockdev import BlockDevice
+    from repro.host.vm import AccessMode, Vm
+    from repro.payload import (
+        compile_program,
+        execute_payload,
+        parse_program,
+        resolve_program,
+    )
+    from repro.testkit.fixtures import FRAGILE, build_stack
+
+    clock = SimClock()
+    tracer = Tracer(clock, path=tracer_path, max_events=max_events)
+    controller, dram, ftl = build_stack(
+        profile=FRAGILE,
+        seed=GOLDEN_SEED,
+        num_lbas=GOLDEN_NUM_LBAS,
+        clock=clock,
+        tracer=tracer,
+    )
+    controller.create_namespace(GOLDEN_NSID, 0, GOLDEN_NUM_LBAS)
+    page = ftl.page_bytes
+    for lba in range(4):
+        controller.write(GOLDEN_NSID, lba, bytes([lba + 1]) * page)
+    controller.read(GOLDEN_NSID, 0)
+
+    aggressors = _lbas_for_rows(controller, dram, (0, 2))
+    vm = Vm(
+        "attacker", BlockDevice(controller, GOLDEN_NSID), AccessMode.RAW
+    )
+    program = parse_program(PAYLOAD_GOLDEN_SOURCE)
+    resolved = resolve_program(
+        program, {"agg_left": aggressors[0], "agg_right": aggressors[1]}
+    )
+    compiled = compile_program(resolved)
+    execute_payload(compiled, vm=vm, trace_payload=True)
+
+    controller.read(GOLDEN_NSID, 1)
+    tracer.close(
+        metrics=merge_snapshots(
+            dram.metrics, ftl.metrics, controller.metrics, ftl.flash.metrics
+        )
+    )
+    return tracer
+
+
+def emit_payload_golden(path: str) -> int:
+    """Stream the payload golden trace to ``path``; returns events written."""
+    tracer = run_payload_golden_scenario(tracer_path=path)
+    return tracer.emitted

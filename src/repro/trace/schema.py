@@ -152,6 +152,17 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
         "required": {"tenants": _INT, "commands": _INT, "dur": _NUM},
         "optional": {},
     },
+    # -- payload DSL executor --------------------------------------------
+    "payload.run": {
+        "required": {"program": _STR, "target": _STR, "reads": _INT,
+                     "acts": _INT, "bursts": _INT, "flips": _INT,
+                     "dur": _NUM},
+        "optional": {},
+    },
+    "payload.label": {
+        "required": {"program": _STR, "label": _STR},
+        "optional": {},
+    },
     # -- attack orchestration --------------------------------------------
     "attack.hammer": {
         "required": {"plan": _STR, "lbas": _INT, "ios": _INT,

@@ -364,3 +364,160 @@ class TestServeCommand:
             assert a == b
         metrics = (tmp_path / "metrics-a.txt").read_text()
         assert "serve_" in metrics
+
+
+class TestPayloadCommand:
+    @staticmethod
+    def _template_args(*extra):
+        return [
+            "payload", "compile", "--template", "double_sided",
+            "--bind", "agg_left=5", "--bind", "agg_right=7",
+        ] + list(extra)
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["payload"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["payload", "compile", "--template", "double_sided"]
+        )
+        assert args.payload_command == "compile"
+        assert args.repeats == 120_000
+        assert args.pairs == 2
+        diff = build_parser().parse_args(["payload", "diff"])
+        assert diff.ios == 240_000
+
+    def test_compile_template(self, capsys):
+        assert main(self._template_args()) == 0
+        out = capsys.readouterr().out
+        assert "'double_sided' (target=stack)" in out
+        assert "static totals: reads=240000" in out
+        assert "loop count=120000 body=2" in out
+        assert "read lba=5" in out and "read lba=7" in out
+
+    def test_compile_unbound_placeholder_exits_2(self, capsys):
+        code = main(["payload", "compile", "--template", "double_sided"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "payload compile:" in out
+        assert "unbound placeholder" in out
+
+    def test_compile_requires_one_source(self, capsys):
+        assert main(["payload", "compile"]) == 2
+        assert "payload compile:" in capsys.readouterr().out
+
+    def test_compile_writes_program_and_binary(self, tmp_path, capsys):
+        out_json = str(tmp_path / "p.json")
+        out_bin = str(tmp_path / "p.bin")
+        assert main(
+            self._template_args("--out", out_json, "--bin", out_bin)
+        ) == 0
+        capsys.readouterr()
+        from repro.payload import Program, compile_program
+
+        with open(out_json, "r", encoding="utf-8") as handle:
+            program = Program.from_json(handle.read())
+        assert program.is_resolved
+        compiled = compile_program(program)
+        with open(out_bin, "rb") as handle:
+            assert handle.read() == compiled.to_bytes()
+        assert len(compiled.to_bytes()) == 8 * len(compiled.instructions)
+
+    def test_compile_loads_dsl_text_file(self, tmp_path, capsys):
+        path = tmp_path / "mine.payload"
+        path.write_text("loop 100 {\n    read 3\n}\n")
+        assert main(["payload", "compile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "'mine'" in out  # name defaults to the file stem
+        assert "reads=100" in out
+
+    def test_compile_loads_json_program_file(self, tmp_path, capsys):
+        from repro.payload import build_template, resolve_program
+
+        program = resolve_program(
+            build_template("double_sided", repeats=500),
+            {"agg_left": 1, "agg_right": 2},
+        )
+        path = tmp_path / "p.json"
+        path.write_text(program.to_json())
+        assert main(["payload", "compile", str(path)]) == 0
+        assert "reads=1000" in capsys.readouterr().out
+
+    def test_explain_lists_placeholders(self, capsys):
+        assert main(
+            ["payload", "explain", "--template", "many_sided", "--pairs", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "placeholders:" in out
+        assert "@agg0_left" in out and "@agg2_right" in out
+        assert "not compilable as-is" in out  # nothing bound yet
+
+    def test_explain_compiles_when_bound(self, capsys):
+        assert main(
+            ["payload", "explain", "--template", "one_location",
+             "--bind", "loc=9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compiles to" in out
+        assert "read lba=9" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(
+            ["--seed", "13", "payload", "run",
+             "--template", "double_sided", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "double_sided"
+        assert payload["target"] == "stack"
+        assert payload["reads"] == 240_000
+        assert payload["bursts"] == 1
+        assert payload["seed"] == 13
+        assert payload["flip_count"] == len(payload["flips"])
+        for flip in payload["flips"]:
+            assert set(flip) == {"bank", "row", "byte", "bit", "to"}
+
+    def test_run_output_is_deterministic(self, capsys):
+        argv = ["--seed", "13", "payload", "run",
+                "--template", "double_sided", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_run_dram_target_program(self, tmp_path, capsys):
+        path = tmp_path / "dram.payload"
+        path.write_text(
+            "target dram\nloop 2000 {\n    act 0 4\n    act 0 6\n}\n"
+        )
+        assert main(["payload", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "target=dram" in out
+        assert "acts=4000" in out
+
+    def test_diff_gate_passes_at_ci_seed(self, capsys):
+        assert main(["--seed", "13", "payload", "diff"]) == 0
+        out = capsys.readouterr().out
+        assert "payload diff: 4/4 shapes byte-identical" in out
+        assert "DIVERGED" not in out
+        # The gate seed compares NONZERO flip sets for double_sided.
+        for line in out.splitlines():
+            if line.startswith("double_sided"):
+                assert "equivalent:" in line
+                flips = int(line.split("equivalent:")[1].split("flip")[0])
+                assert flips > 0
+
+    def test_fuzz_campaign(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        code = main(
+            ["--seed", "5", "payload", "fuzz", "--programs", "3",
+             "--mutations", "1", "--out", report_path, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["checked"] == 6
+        with open(report_path, "r", encoding="utf-8") as handle:
+            assert json.loads(handle.read()) == payload

@@ -63,6 +63,88 @@ class TestTrrEvasion:
         assert trr.evaded_by(5)
 
 
+class TestTrrEdgeCases:
+    """Boundary behavior of the bounded sampler: capacity 0 is rejected,
+    capacity >= distinct rows tracks everything, eviction picks the
+    coldest entry, and windows clear exactly one bank."""
+
+    def test_tracker_capacity_zero_rejected_with_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            TargetRowRefresh(tracker_capacity=0)
+        assert "at least 1" in str(excinfo.value)
+        with pytest.raises(ValueError):
+            TargetRowRefresh(tracker_capacity=-1)
+
+    def test_capacity_at_least_distinct_rows_never_evicts(self):
+        # 4 distinct rows, capacity 4: every count accumulates to the
+        # threshold and every row eventually triggers.
+        trr = TargetRowRefresh(tracker_capacity=4, refresh_threshold=10)
+        rows = [10, 20, 30, 40]
+        refreshes = []
+        for _ in range(10):
+            for row in rows:
+                refreshes.extend(trr.on_activation(0, row))
+        assert refreshes == [9, 11, 19, 21, 29, 31, 39, 41]
+        assert trr.refreshes_issued == 4
+
+    def test_eviction_removes_the_coldest_entry(self):
+        trr = TargetRowRefresh(tracker_capacity=2, refresh_threshold=100)
+        trr.on_activation(0, 10)
+        trr.on_activation(0, 10)  # row 10 is hot (count 2)
+        trr.on_activation(0, 20)  # row 20 is cold (count 1)
+        trr.on_activation(0, 30)  # evicts 20, not 10
+        assert trr.on_activation(0, 10) == []  # still tracked: count now 3
+        trr_check = TargetRowRefresh(tracker_capacity=2, refresh_threshold=4)
+        for _ in range(2):
+            trr_check.on_activation(0, 10)
+        trr_check.on_activation(0, 20)
+        trr_check.on_activation(0, 30)  # evicts cold row 20
+        # Row 10 survived the eviction with its count intact.
+        assert trr_check.on_activation(0, 10) == []
+        assert trr_check.on_activation(0, 10) == [9, 11]
+
+    def test_on_window_clears_only_the_given_bank(self):
+        trr = TargetRowRefresh(tracker_capacity=4, refresh_threshold=2)
+        trr.on_activation(0, 10)
+        trr.on_activation(1, 20)
+        trr.on_window(0)
+        # Bank 0 restarted from zero; bank 1 kept its count.
+        assert trr.on_activation(0, 10) == []
+        assert trr.on_activation(1, 20) == [19, 21]
+
+    def test_on_window_for_untracked_bank_is_a_noop(self):
+        trr = TargetRowRefresh(tracker_capacity=4, refresh_threshold=2)
+        trr.on_window(3)  # never activated: must not raise
+        trr.on_activation(0, 10)
+        assert trr.on_activation(0, 10) == [9, 11]
+
+    def test_count_survives_refresh_trigger_reset(self):
+        # After triggering, the row's count restarts at zero but the row
+        # stays tracked (no eviction slot is freed).
+        trr = TargetRowRefresh(tracker_capacity=1, refresh_threshold=2)
+        trr.on_activation(0, 10)
+        assert trr.on_activation(0, 10) == [9, 11]
+        assert trr.on_activation(0, 10) == []
+        assert trr.on_activation(0, 10) == [9, 11]
+        assert trr.refreshes_issued == 2
+
+    def test_evaded_by_exact_boundary(self):
+        trr = TargetRowRefresh(tracker_capacity=4)
+        assert not trr.evaded_by(0)
+        assert not trr.evaded_by(4)  # == capacity: every row fits
+        assert trr.evaded_by(5)  # capacity + 1: thrashing begins
+        single = TargetRowRefresh(tracker_capacity=1)
+        assert not single.evaded_by(1)
+        assert single.evaded_by(2)
+
+    def test_refreshes_issued_accumulates_across_banks(self):
+        trr = TargetRowRefresh(tracker_capacity=4, refresh_threshold=2)
+        for bank in range(3):
+            trr.on_activation(bank, 10)
+            trr.on_activation(bank, 10)
+        assert trr.refreshes_issued == 3
+
+
 class TestPara:
     def test_probability_validated(self):
         with pytest.raises(ValueError):

@@ -420,3 +420,80 @@ class TestBatchedHandoff:
         )
         run_sweep(spec, store_path=path_single, workers=0)
         assert diff_result_files(path_batched, path_single) == []
+
+
+class TestPayloadTrialKind:
+    @staticmethod
+    def _spec(**overrides):
+        raw = {
+            "name": "payload-grid",
+            "kind": "payload",
+            "seed": 13,
+            "base": {"template": "double_sided"},
+            "grid": {"repeats": [40_000, 80_000]},
+        }
+        raw.update(overrides)
+        return SweepSpec.from_dict(raw)
+
+    def test_registered(self):
+        assert "payload" in trial_kinds()
+
+    def test_template_grid_sweeps_repeats(self):
+        report = run_sweep(self._spec())
+        results = [record["result"] for record in report.records]
+        assert [r["reads"] for r in results] == [80_000, 160_000]
+        for result in results:
+            assert result["program"] == "double_sided"
+            assert result["target"] == "stack"
+            assert result["bursts"] == 1
+            assert result["reads"] == result["static_reads"]
+
+    def test_results_deterministic(self):
+        def stable(report):
+            return [
+                {k: v for k, v in record.items() if k != "elapsed"}
+                for record in report.records
+            ]
+
+        assert stable(run_sweep(self._spec())) == \
+            stable(run_sweep(self._spec()))
+
+    def test_program_dict_with_explicit_bindings(self):
+        from repro.payload import build_template
+
+        program = build_template("one_location", repeats=5_000)
+        spec = SweepSpec.from_dict({
+            "name": "payload-prog",
+            "kind": "payload",
+            "seed": 13,
+            "base": {
+                "program": json.loads(program.to_json()),
+                "bindings": {"loc": 40},
+            },
+        })
+        report = run_sweep(spec)
+        result = report.records[0]["result"]
+        assert result["reads"] == 5_000
+
+    def test_needs_exactly_one_source(self):
+        spec = SweepSpec.from_dict({
+            "name": "bad", "kind": "payload", "seed": 1, "base": {},
+        })
+        with pytest.raises(ConfigError):
+            execute_trial(spec.expand()[0])
+        both = SweepSpec.from_dict({
+            "name": "bad2", "kind": "payload", "seed": 1,
+            "base": {"template": "double_sided",
+                     "program": {"name": "p", "target": "stack",
+                                 "steps": [{"op": "read", "lba": 1}]}},
+        })
+        with pytest.raises(ConfigError):
+            execute_trial(both.expand()[0])
+
+    def test_unknown_param_rejected(self):
+        spec = SweepSpec.from_dict({
+            "name": "bad3", "kind": "payload", "seed": 1,
+            "base": {"template": "double_sided", "bogus": 1},
+        })
+        with pytest.raises(ConfigError):
+            execute_trial(spec.expand()[0])

@@ -1,0 +1,247 @@
+"""Tests for the payload compiler: the flat stream and its error paths.
+
+Stage 3 in isolation: instruction encoding, static totals multiplied
+through loop nests, byte-stream determinism, the disassembler, and every
+compile-time error path the ISSUE calls out (unbound placeholder,
+zero-iteration loop, nesting past the depth limit) with actionable
+messages.
+"""
+
+import pytest
+
+from repro.payload import (
+    Act,
+    CompileError,
+    Instr,
+    Label,
+    Loop,
+    MAX_LOOP_DEPTH,
+    MAX_OPERAND,
+    OpCode,
+    Pre,
+    Program,
+    Read,
+    Refresh,
+    Wait,
+    build_template,
+    compile_program,
+    parse_program,
+    resolve_program,
+)
+
+
+def _stack(*steps, name="p"):
+    return Program(name=name, target="stack", steps=tuple(steps))
+
+
+def _dram(*steps, name="p"):
+    return Program(name=name, target="dram", steps=tuple(steps))
+
+
+class TestEncoding:
+    def test_instruction_packs_op_a_b(self):
+        instr = Instr(OpCode.ACT, a=3, b=17)
+        assert instr.encode() == (1 << 56) | (3 << 28) | 17
+
+    def test_stream_is_8_byte_big_endian_words(self):
+        compiled = compile_program(_stack(Read(lba=5), Read(lba=6)))
+        raw = compiled.to_bytes()
+        assert len(raw) == 16
+        assert raw[:8] == ((2 << 56) | (5 << 28)).to_bytes(8, "big")
+
+    def test_bytes_deterministic(self):
+        program = resolve_program(
+            build_template("double_sided"), {"agg_left": 1, "agg_right": 2}
+        )
+        assert (
+            compile_program(program).to_bytes()
+            == compile_program(program).to_bytes()
+        )
+
+    def test_loop_header_carries_count_and_body_len(self):
+        compiled = compile_program(
+            _stack(Loop(count=9, body=(Read(lba=1), Read(lba=2))))
+        )
+        header = compiled.instructions[0]
+        assert header.op is OpCode.LOOP
+        assert header.a == 9
+        assert header.b == 2
+
+    def test_wait_keeps_exact_float(self):
+        seconds = 0.001 + 0.0002  # not exactly representable in binary
+        compiled = compile_program(_stack(Wait(seconds=seconds)))
+        instr = compiled.instructions[0]
+        assert instr.seconds == seconds
+        assert instr.a == int(round(seconds * 1e9))
+
+    def test_huge_wait_nanos_capped_in_encoding_only(self):
+        compiled = compile_program(_stack(Wait(seconds=10.0)))
+        assert compiled.instructions[0].a == MAX_OPERAND
+        assert compiled.instructions[0].seconds == 10.0
+
+    def test_label_table_deduplicates(self):
+        compiled = compile_program(
+            _stack(Label(name="x"), Label(name="y"), Label(name="x"))
+        )
+        assert compiled.labels == ("x", "y")
+        assert [i.a for i in compiled.instructions] == [0, 1, 0]
+
+
+class TestStaticTotals:
+    def test_loop_multiplies_reads(self):
+        compiled = compile_program(
+            _stack(Loop(count=1000, body=(Read(lba=1), Read(lba=2))))
+        )
+        assert compiled.total_reads == 2000
+        assert compiled.total_ios == 2000
+
+    def test_nested_loops_multiply_through(self):
+        compiled = compile_program(
+            _stack(Loop(count=3, body=(Loop(count=4, body=(Read(lba=1),)),)))
+        )
+        assert compiled.total_reads == 12
+
+    def test_dram_totals(self):
+        compiled = compile_program(
+            _dram(
+                Loop(count=5, body=(Act(bank=0, row=1), Pre())),
+                Refresh(),
+                Wait(seconds=0.25),
+            )
+        )
+        assert compiled.total_acts == 5
+        assert compiled.total_pres == 5
+        assert compiled.total_refreshes == 1
+        assert compiled.total_wait_seconds == 0.25
+
+    def test_wait_total_scales_with_loop(self):
+        compiled = compile_program(
+            _stack(Loop(count=4, body=(Read(lba=0), Wait(seconds=0.5))))
+        )
+        assert compiled.total_wait_seconds == 2.0
+
+
+class TestDisassembly:
+    def test_listing_shape(self):
+        program = resolve_program(
+            build_template("double_sided", repeats=100),
+            {"agg_left": 7, "agg_right": 8},
+        )
+        listing = compile_program(program).disassemble().splitlines()
+        assert listing[0] == "0000  label hammer"
+        assert listing[1] == "0001  loop count=100 body=2"
+        assert listing[2] == "0002    read lba=7"
+        assert listing[3] == "0003    read lba=8"
+
+    def test_nesting_indents(self):
+        compiled = compile_program(
+            _stack(Loop(count=2, body=(Loop(count=3, body=(Read(lba=1),)),)))
+        )
+        lines = compiled.disassemble().splitlines()
+        assert lines[2].startswith("0002      read")
+
+
+class TestErrorPaths:
+    def test_unbound_placeholder_names_the_fix(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_stack(Read(lba="agg_left")))
+        message = str(excinfo.value)
+        assert "unbound placeholder @agg_left" in message
+        assert "resolve the program first" in message
+        assert "step.0" in message
+
+    def test_zero_iteration_loop_is_actionable(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_stack(Loop(count=0, body=(Read(lba=1),))))
+        message = str(excinfo.value)
+        assert "iterates zero times" in message
+        assert "sweep parameter" in message
+
+    def test_empty_loop_body(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_stack(Loop(count=3, body=())))
+        assert "loop body is empty" in str(excinfo.value)
+
+    def test_nesting_depth_limit(self):
+        step = Read(lba=1)
+        for _ in range(MAX_LOOP_DEPTH + 1):
+            step = Loop(count=2, body=(step,))
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_stack(step))
+        message = str(excinfo.value)
+        assert "exceeds the limit of %d" % MAX_LOOP_DEPTH in message
+        assert "flatten inner loops" in message
+
+    def test_max_depth_itself_compiles(self):
+        step = Read(lba=1)
+        for _ in range(MAX_LOOP_DEPTH):
+            step = Loop(count=2, body=(step,))
+        compiled = compile_program(_stack(step))
+        assert compiled.total_reads == 2 ** MAX_LOOP_DEPTH
+
+    def test_error_path_names_nested_position(self):
+        program = _stack(
+            Label(name="ok"),
+            Loop(count=2, body=(Read(lba=1), Loop(count=0, body=(Read(lba=2),)))),
+        )
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(program)
+        assert "step.1.1" in str(excinfo.value)
+
+    def test_read_requires_stack_target(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_dram(Read(lba=1)))
+        assert "only 'stack' programs may 'read'" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "step,name", [(Act(bank=0, row=1), "act"), (Pre(), "pre"),
+                      (Refresh(), "refresh")]
+    )
+    def test_dram_steps_require_dram_target(self, step, name):
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_stack(step))
+        assert "needs the 'dram' target" in str(excinfo.value)
+        assert name in str(excinfo.value)
+
+    def test_operand_field_overflow(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_stack(Read(lba=MAX_OPERAND + 1)))
+        assert "28-bit operand field" in str(excinfo.value)
+
+    def test_loop_count_overflow(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(
+                _stack(Loop(count=MAX_OPERAND + 1, body=(Read(lba=1),)))
+            )
+        assert "28-bit operand field" in str(excinfo.value)
+
+    def test_negative_wait_rejected(self):
+        # The parser blocks this at the source level; direct construction
+        # must still fail at compile time.
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(_stack(Wait(seconds=-1.0)))
+        assert "cannot be negative" in str(excinfo.value)
+
+    def test_error_text_is_deterministic(self):
+        program = _stack(Loop(count=0, body=(Read(lba=1),)))
+        first = second = None
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(program)
+        first = str(excinfo.value)
+        with pytest.raises(CompileError) as excinfo:
+            compile_program(program)
+        second = str(excinfo.value)
+        assert first == second
+
+
+class TestPipelineIntegration:
+    def test_parse_resolve_compile(self):
+        program = parse_program(
+            "name pipeline\nloop 10 {\n    read @a\n    read @b\n}\n"
+        )
+        resolved = resolve_program(program, {"a": 3, "b": 4})
+        compiled = compile_program(resolved)
+        assert compiled.name == "pipeline"
+        assert compiled.total_reads == 20
+        ops = [instr.op for instr in compiled.instructions]
+        assert ops == [OpCode.LOOP, OpCode.READ, OpCode.READ]

@@ -1,0 +1,280 @@
+"""Tests for the payload executor: coalescing, interpretation, tracing.
+
+Stage 4 in isolation.  The load-bearing property is the coalescing rule:
+an all-``read`` loop body must collapse into the *identical*
+``vm.hammer_reads(lbas, repeats=count)`` call a hand-coded
+:class:`~repro.attack.hammer.HammerPlan` makes, because that is what
+makes compiled twins byte-identical to their hand-coded originals.
+"""
+
+import pytest
+
+from repro.dram import DramGeometry, DramModule, VulnerabilityModel
+from repro.host.blockdev import BlockDevice
+from repro.host.vm import AccessMode, Vm
+from repro.payload import (
+    Act,
+    ExecutionError,
+    Label,
+    Loop,
+    PayloadError,
+    Pre,
+    Program,
+    Read,
+    Refresh,
+    Wait,
+    compile_program,
+    execute_payload,
+)
+from repro.sim import SimClock
+from repro.testkit.fixtures import FRAGILE, GRANITE, build_stack
+from repro.trace import Tracer
+
+NSID = 1
+NUM_LBAS = 1024
+REPEATS = 150_000
+
+
+def _lbas_for_rows(controller, dram, rows, bank=0):
+    ftl = controller.ftl
+    out = []
+    for target in rows:
+        for lba in range(8, ftl.num_lbas):
+            coords = dram.mapping.locate(ftl.l2p.entry_address(lba))
+            if coords.bank == bank and coords.row == target:
+                out.append(lba)
+                break
+        else:
+            raise AssertionError("no LBA maps to row %d" % target)
+    return out
+
+
+def _fresh_stack(traced=False, profile=FRAGILE):
+    clock = SimClock()
+    tracer = Tracer(clock) if traced else None
+    controller, dram, ftl = build_stack(
+        profile=profile, seed=11, num_lbas=NUM_LBAS, clock=clock, tracer=tracer
+    )
+    controller.create_namespace(NSID, 0, NUM_LBAS)
+    vm = Vm("attacker", BlockDevice(controller, NSID), AccessMode.RAW)
+    return vm, dram, clock, tracer
+
+
+def _fresh_dram(traced=False, profile=GRANITE, seed=5):
+    clock = SimClock()
+    tracer = Tracer(clock) if traced else None
+    geometry = DramGeometry.small(rows_per_bank=256, row_bytes=1024)
+    vuln = VulnerabilityModel(profile, geometry, seed=seed)
+    return DramModule(geometry, vuln, clock, tracer=tracer), clock, tracer
+
+
+def _stack_program(*steps, name="p"):
+    return compile_program(Program(name=name, target="stack", steps=tuple(steps)))
+
+
+def _dram_program(*steps, name="p"):
+    return compile_program(Program(name=name, target="dram", steps=tuple(steps)))
+
+
+class TestCoalescing:
+    def test_all_read_loop_is_one_burst(self):
+        vm, dram, clock, _ = _fresh_stack()
+        left, right = _lbas_for_rows(vm.blockdev.controller, dram, (0, 2))
+        compiled = _stack_program(
+            Loop(count=REPEATS, body=(Read(lba=left), Read(lba=right)))
+        )
+        result = execute_payload(compiled, vm=vm)
+        assert result.bursts == 1
+        assert result.interpreted == 0
+        assert result.reads == 2 * REPEATS
+        assert result.duration > 0
+        assert result.flips, "the FRAGILE double-sided burst must flip"
+        assert result.flip_count == len(result.flips)
+
+    def test_coalesced_loop_matches_direct_hammer_reads(self):
+        # The executor's burst and a direct vm.hammer_reads are the SAME
+        # call — identical flips and identical simulated time.
+        vm_a, dram_a, clock_a, _ = _fresh_stack()
+        pair_a = _lbas_for_rows(vm_a.blockdev.controller, dram_a, (0, 2))
+        compiled = _stack_program(
+            Loop(count=REPEATS, body=(Read(lba=pair_a[0]), Read(lba=pair_a[1])))
+        )
+        payload_result = execute_payload(compiled, vm=vm_a)
+
+        vm_b, dram_b, clock_b, _ = _fresh_stack()
+        pair_b = _lbas_for_rows(vm_b.blockdev.controller, dram_b, (0, 2))
+        assert pair_a == pair_b  # same seed, same layout
+        vm_b.hammer_reads(tuple(pair_b), repeats=REPEATS)
+
+        assert dram_a.flips == dram_b.flips
+        assert clock_a.now == clock_b.now
+
+    def test_all_act_loop_is_one_batch(self):
+        dram, clock, _ = _fresh_dram()
+        compiled = _dram_program(
+            Loop(count=300, body=(Act(bank=0, row=4), Act(bank=0, row=6)))
+        )
+        result = execute_payload(compiled, dram=dram)
+        assert result.bursts == 1
+        assert result.interpreted == 0
+        assert result.acts == 600
+
+    def test_mixed_body_does_not_coalesce(self):
+        vm, dram, clock, _ = _fresh_stack(profile=GRANITE)
+        compiled = _stack_program(
+            Loop(count=10, body=(Read(lba=1), Wait(seconds=1e-6)))
+        )
+        result = execute_payload(compiled, vm=vm)
+        # 10 iterations x (loop spend + read + wait): all interpreted.
+        assert result.bursts == 10  # each scalar read is its own burst
+        assert result.interpreted == 20
+        assert result.reads == 10
+
+
+class TestInterpretation:
+    def test_scalar_steps_are_interpreted(self):
+        vm, dram, clock, _ = _fresh_stack(profile=GRANITE)
+        compiled = _stack_program(Read(lba=3), Read(lba=4), Wait(seconds=0.001))
+        result = execute_payload(compiled, vm=vm)
+        assert result.interpreted == 3
+        assert result.reads == 2
+
+    def test_budget_exhaustion_is_actionable(self):
+        vm, dram, clock, _ = _fresh_stack(profile=GRANITE)
+        compiled = _stack_program(
+            Loop(count=60_000, body=(Read(lba=1), Wait(seconds=0.0)))
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            execute_payload(compiled, vm=vm)
+        message = str(excinfo.value)
+        assert "interpreted-step budget exhausted" in message
+        assert "coalescing" in message
+        assert "interpret_budget" in message
+
+    def test_budget_is_tunable(self):
+        vm, dram, clock, _ = _fresh_stack(profile=GRANITE)
+        compiled = _stack_program(
+            Loop(count=10, body=(Read(lba=1), Wait(seconds=0.0)))
+        )
+        with pytest.raises(ExecutionError):
+            execute_payload(compiled, vm=vm, interpret_budget=5)
+        vm2, _, _, _ = _fresh_stack(profile=GRANITE)
+        result = execute_payload(compiled, vm=vm2, interpret_budget=100)
+        assert result.reads == 10
+
+    def test_execution_error_is_a_payload_error(self):
+        assert issubclass(ExecutionError, PayloadError)
+
+
+class TestTargetPlumbing:
+    def test_stack_payload_requires_vm(self):
+        compiled = _stack_program(Read(lba=1))
+        with pytest.raises(ExecutionError) as excinfo:
+            execute_payload(compiled)
+        assert "need vm=" in str(excinfo.value)
+
+    def test_dram_payload_requires_dram(self):
+        compiled = _dram_program(Act(bank=0, row=1))
+        with pytest.raises(ExecutionError) as excinfo:
+            execute_payload(compiled)
+        assert "need dram=" in str(excinfo.value)
+
+
+class TestDramTarget:
+    def test_wait_advances_the_clock(self):
+        dram, clock, _ = _fresh_dram()
+        before = clock.now
+        execute_payload(_dram_program(Wait(seconds=0.5)), dram=dram)
+        assert clock.now == before + 0.5
+
+    def test_refresh_rolls_the_epoch(self):
+        dram, clock, _ = _fresh_dram()
+        interval = dram.refresh_interval
+        epoch_before = clock.epoch(interval)
+        execute_payload(_dram_program(Refresh()), dram=dram)
+        assert clock.epoch(interval) == epoch_before + 1
+
+    def test_pre_closes_open_rows(self):
+        dram, clock, _ = _fresh_dram()
+        dram.banks[0].open_row = 7
+        dram.banks[1].open_row = 9
+        execute_payload(_dram_program(Pre()), dram=dram)
+        assert all(bank.open_row is None for bank in dram.banks)
+
+    def test_fragile_act_loop_flips(self):
+        dram, clock, _ = _fresh_dram(profile=FRAGILE, seed=11)
+        # Flips only register in rows that hold data: seed the victim row.
+        row_bytes = dram.geometry.row_bytes
+        for addr in range(0, dram.geometry.capacity_bytes, row_bytes):
+            coords = dram.mapping.locate(addr)
+            if coords.bank == 0 and coords.row == 5:
+                dram.write(addr, b"\xff" * row_bytes)
+                break
+        else:
+            raise AssertionError("no address maps to bank 0 row 5")
+        compiled = _dram_program(
+            Loop(count=100_000, body=(Act(bank=0, row=4), Act(bank=0, row=6)))
+        )
+        result = execute_payload(compiled, dram=dram)
+        assert result.flips
+        assert all(flip.row == 5 for flip in result.flips)
+
+    def test_result_duration_tracks_clock(self):
+        dram, clock, _ = _fresh_dram()
+        result = execute_payload(
+            _dram_program(Wait(seconds=0.125), Wait(seconds=0.125)), dram=dram
+        )
+        assert result.duration == 0.25
+
+
+class TestPayloadTracing:
+    def _compiled(self, vm, dram):
+        left, right = _lbas_for_rows(vm.blockdev.controller, dram, (0, 2))
+        return _stack_program(
+            Label(name="hammer"),
+            Loop(count=1000, body=(Read(lba=left), Read(lba=right))),
+            name="traced",
+        )
+
+    def test_opt_out_adds_zero_payload_events(self):
+        vm, dram, clock, tracer = _fresh_stack(traced=True, profile=GRANITE)
+        compiled = self._compiled(vm, dram)
+        execute_payload(compiled, vm=vm, trace_payload=False)
+        names = [event["name"] for event in tracer.events]
+        assert not any(name.startswith("payload.") for name in names)
+
+    def test_opt_in_emits_run_and_label(self):
+        vm, dram, clock, tracer = _fresh_stack(traced=True, profile=GRANITE)
+        compiled = self._compiled(vm, dram)
+        start = clock.now
+        result = execute_payload(compiled, vm=vm, trace_payload=True)
+        payload_events = [
+            event for event in tracer.events
+            if event["name"].startswith("payload.")
+        ]
+        assert [event["name"] for event in payload_events] == [
+            "payload.label",
+            "payload.run",
+        ]
+        label = payload_events[0]
+        assert label["program"] == "traced"
+        assert label["label"] == "hammer"
+        run = payload_events[1]
+        # payload.run lands at the run's START time, span-style.
+        assert run["t"] == start
+        assert run["reads"] == result.reads == 2000
+        assert run["bursts"] == 1
+        assert run["flips"] == len(result.flips)
+        assert run["dur"] == result.duration
+        assert run["target"] == "stack"
+
+    def test_tracing_does_not_change_physics(self):
+        vm_a, dram_a, clock_a, _ = _fresh_stack(traced=False)
+        result_a = execute_payload(self._compiled(vm_a, dram_a), vm=vm_a)
+        vm_b, dram_b, clock_b, tracer = _fresh_stack(traced=True)
+        result_b = execute_payload(
+            self._compiled(vm_b, dram_b), vm=vm_b, trace_payload=True
+        )
+        assert dram_a.flips == dram_b.flips
+        assert clock_a.now == clock_b.now
+        assert result_a.reads == result_b.reads

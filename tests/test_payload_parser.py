@@ -1,0 +1,266 @@
+"""Tests for the payload DSL front end: text parsing and the program model.
+
+Stage 1 of the pipeline in isolation: the line-oriented grammar, exact
+``line:col`` error positions, text round-trips through
+:func:`format_program`, and the strict JSON (de)serialization of
+:class:`Program`.
+"""
+
+import pytest
+
+from repro.payload import (
+    Act,
+    Label,
+    Loop,
+    ParseError,
+    PayloadError,
+    Pre,
+    Program,
+    Read,
+    Refresh,
+    Wait,
+    build_template,
+    format_program,
+    parse_program,
+)
+
+DOUBLE_SIDED_SOURCE = """\
+# double-sided hammer through the stack
+name double_sided
+target stack
+
+label hammer
+loop 120000 {
+    read @agg_left
+    read @agg_right
+}
+"""
+
+
+class TestParsing:
+    def test_double_sided_source(self):
+        program = parse_program(DOUBLE_SIDED_SOURCE)
+        assert program.name == "double_sided"
+        assert program.target == "stack"
+        assert program.steps == (
+            Label(name="hammer"),
+            Loop(
+                count=120_000,
+                body=(Read(lba="agg_left"), Read(lba="agg_right")),
+            ),
+        )
+
+    def test_defaults_when_directives_absent(self):
+        program = parse_program("read 5\n", default_name="from_file")
+        assert program.name == "from_file"
+        assert program.target == "stack"
+        assert program.steps == (Read(lba=5),)
+
+    def test_dram_target_steps(self):
+        program = parse_program(
+            "target dram\nact 0 10\npre\nwait 0.001\nrefresh\n"
+        )
+        assert program.steps == (
+            Act(bank=0, row=10),
+            Pre(),
+            Wait(seconds=0.001),
+            Refresh(),
+        )
+
+    def test_trailing_comment_and_blank_lines(self):
+        program = parse_program("\nread 1  # aggressor\n\n  # whole line\n")
+        assert program.steps == (Read(lba=1),)
+
+    def test_hex_and_binary_literals(self):
+        program = parse_program("read 0x10\nloop 0b10 {\nread 1\n}\n")
+        assert program.steps[0] == Read(lba=16)
+        assert program.steps[1].count == 2
+
+    def test_nested_loops(self):
+        program = parse_program(
+            "loop 3 {\n    loop 4 {\n        read 1\n    }\n}\n"
+        )
+        outer = program.steps[0]
+        assert outer.count == 3
+        assert outer.body[0] == Loop(count=4, body=(Read(lba=1),))
+
+    def test_placeholder_operands(self):
+        program = parse_program("target dram\nact @bank @victim_row\n")
+        assert program.steps == (Act(bank="bank", row="victim_row"),)
+        assert program.placeholders() == frozenset({"bank", "victim_row"})
+
+
+class TestParseErrors:
+    def test_unknown_keyword_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("read 1\nhammer 2\n")
+        assert excinfo.value.line == 2
+        assert excinfo.value.col == 1
+        assert "unknown keyword 'hammer'" in str(excinfo.value)
+        assert "line 2, col 1" in str(excinfo.value)
+
+    def test_wrong_argument_count_shows_usage(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("read 1 2\n")
+        assert "usage: read <lba>" in str(excinfo.value)
+
+    def test_stray_close_brace(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("read 1\n}\n")
+        assert "no open loop" in str(excinfo.value)
+        assert excinfo.value.line == 2
+
+    def test_unclosed_loop_reports_opening_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("read 1\nloop 10 {\n    read 2\n")
+        assert "never closed" in str(excinfo.value)
+        assert excinfo.value.line == 2
+        assert excinfo.value.col == 6  # the count token
+
+    def test_loop_brace_must_share_the_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("loop 10\n{\nread 1\n}\n")
+        assert "same line" in str(excinfo.value)
+
+    def test_negative_operand(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("read -1\n")
+        assert "cannot be negative" in str(excinfo.value)
+
+    def test_non_numeric_operand_column(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("target dram\nact 0 banana\n")
+        assert excinfo.value.line == 2
+        assert excinfo.value.col == 7
+        assert "non-negative integer or @placeholder" in str(excinfo.value)
+
+    def test_bad_placeholder_name(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("read @1bad\n")
+        assert "not a valid @name" in str(excinfo.value)
+
+    def test_negative_wait(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("wait -0.5\n")
+        assert "cannot be negative" in str(excinfo.value)
+
+    def test_non_numeric_wait(self):
+        with pytest.raises(ParseError):
+            parse_program("wait soon\n")
+
+    def test_unknown_target(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("target flash\n")
+        assert "valid: stack, dram" in str(excinfo.value)
+
+    def test_name_after_step_rejected(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("read 1\nname late\n")
+        assert "before any step" in str(excinfo.value)
+
+    def test_negative_loop_count(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("loop -3 {\nread 1\n}\n")
+        assert "cannot be negative" in str(excinfo.value)
+
+    def test_bad_label_identifier(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("label 9lives\n")
+        assert "not a valid identifier" in str(excinfo.value)
+
+    def test_parse_error_is_a_payload_error(self):
+        with pytest.raises(PayloadError):
+            parse_program("explode\n")
+
+
+class TestFormatRoundTrip:
+    @pytest.mark.parametrize(
+        "kind", ["double_sided", "single_sided", "many_sided", "one_location"]
+    )
+    def test_templates_round_trip(self, kind):
+        program = build_template(kind, pairs=3, repeats=50_000)
+        assert parse_program(format_program(program)) == program
+
+    def test_mixed_program_round_trips(self):
+        program = Program(
+            name="mixed",
+            target="dram",
+            steps=(
+                Label(name="setup"),
+                Act(bank=1, row="victim_row"),
+                Pre(),
+                Wait(seconds=0.0015),
+                Loop(count=7, body=(Act(bank=0, row=3), Refresh())),
+            ),
+        )
+        assert parse_program(format_program(program)) == program
+
+    def test_wait_float_exactness(self):
+        # repr() in the renderer keeps the exact float.
+        program = Program(
+            name="w", target="stack", steps=(Wait(seconds=0.1 + 0.2),)
+        )
+        reparsed = parse_program(format_program(program))
+        assert reparsed.steps[0].seconds == 0.1 + 0.2
+
+
+class TestProgramModel:
+    def test_json_round_trip_preserves_placeholders(self):
+        program = build_template("many_sided", pairs=2)
+        again = Program.from_json(program.to_json())
+        assert again == program
+        assert again.placeholders() == program.placeholders()
+
+    def test_placeholder_json_form_uses_at_prefix(self):
+        program = Program(name="p", target="stack", steps=(Read(lba="agg"),))
+        raw = program.to_dict()
+        assert raw["steps"][0] == {"op": "read", "lba": "@agg"}
+
+    def test_walk_is_depth_first(self):
+        program = parse_program(
+            "label a\nloop 2 {\n    read 1\n    loop 3 {\n        read 2\n    }\n}\n"
+        )
+        kinds = [type(step).__name__ for step in program.walk()]
+        assert kinds == ["Label", "Loop", "Read", "Loop", "Read"]
+
+    def test_is_resolved(self):
+        assert parse_program("read 4\n").is_resolved
+        assert not parse_program("read @agg\n").is_resolved
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(PayloadError):
+            Program(name="p", target="flash")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PayloadError):
+            Program(name="", target="stack")
+
+    def test_bool_operand_rejected_in_json(self):
+        with pytest.raises(PayloadError):
+            Program.from_dict(
+                {"name": "p", "target": "stack",
+                 "steps": [{"op": "read", "lba": True}]}
+            )
+
+    def test_unknown_program_key_rejected(self):
+        with pytest.raises(PayloadError) as excinfo:
+            Program.from_dict({"name": "p", "steps": [], "extra": 1})
+        assert "unknown program keys" in str(excinfo.value)
+
+    def test_unknown_step_op_rejected(self):
+        with pytest.raises(PayloadError):
+            Program.from_dict(
+                {"name": "p", "target": "stack", "steps": [{"op": "hammer"}]}
+            )
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(PayloadError) as excinfo:
+            Program.from_json("{not json")
+        assert "not valid JSON" in str(excinfo.value)
+
+    def test_loop_count_must_be_integer(self):
+        with pytest.raises(PayloadError):
+            Program.from_dict(
+                {"name": "p", "target": "stack",
+                 "steps": [{"op": "loop", "count": "many", "body": []}]}
+            )

@@ -22,9 +22,11 @@ from repro.trace import (
     conservation_errors,
     diff_summaries,
     emit_golden,
+    emit_payload_golden,
     encode_event,
     load_trace,
     run_golden_scenario,
+    run_payload_golden_scenario,
     summarize,
     to_chrome,
     validate_event,
@@ -35,6 +37,10 @@ from repro.testkit.fixtures import FRAGILE, build_stack
 
 GOLDEN_FIXTURE = os.path.join(
     os.path.dirname(__file__), "golden", "double_sided_hammer.trace.jsonl"
+)
+
+PAYLOAD_GOLDEN_FIXTURE = os.path.join(
+    os.path.dirname(__file__), "golden", "payload_double_sided.trace.jsonl"
 )
 
 
@@ -214,6 +220,12 @@ def golden_events():
 
 
 @pytest.fixture(scope="module")
+def payload_events():
+    """The compiled-DSL golden run, payload.* events ON."""
+    return run_payload_golden_scenario().events
+
+
+@pytest.fixture(scope="module")
 def buffered_gc_crash_events():
     """Write buffer + GC pressure + batch bursts + crash/recover."""
     controller, dram, ftl, tracer = _traced_stack(
@@ -319,6 +331,7 @@ class TestSchemaCoverage:
     def test_every_scenario_validates(
         self,
         golden_events,
+        payload_events,
         buffered_gc_crash_events,
         mitigated_dram_events,
         faulty_events,
@@ -327,6 +340,7 @@ class TestSchemaCoverage:
     ):
         for events in (
             golden_events,
+            payload_events,
             buffered_gc_crash_events,
             mitigated_dram_events,
             faulty_events,
@@ -338,6 +352,7 @@ class TestSchemaCoverage:
     def test_every_event_type_is_driven(
         self,
         golden_events,
+        payload_events,
         buffered_gc_crash_events,
         mitigated_dram_events,
         faulty_events,
@@ -349,6 +364,7 @@ class TestSchemaCoverage:
         seen = set()
         for events in (
             golden_events,
+            payload_events,
             buffered_gc_crash_events,
             mitigated_dram_events,
             faulty_events,
@@ -413,6 +429,66 @@ class TestGoldenTrace:
         emit_golden(path)
         with open(path, "r", encoding="utf-8") as handle:
             assert handle.read() == in_memory.to_jsonl()
+
+
+class TestPayloadGolden:
+    """The compiled-DSL twin of the golden scenario, with payload.*
+    events on, pinned byte-for-byte by its own committed fixture."""
+
+    def test_fixture_matches_regenerated_bytes(self, tmp_path):
+        path = str(tmp_path / "regen.jsonl")
+        emit_payload_golden(path)
+        with open(path, "rb") as fresh:
+            with open(PAYLOAD_GOLDEN_FIXTURE, "rb") as pinned:
+                assert fresh.read() == pinned.read()
+
+    def test_fixture_validates(self):
+        events = load_trace(PAYLOAD_GOLDEN_FIXTURE)
+        assert validate_events(events) == []
+
+    def test_fixture_conserves_activations(self):
+        summary = summarize(load_trace(PAYLOAD_GOLDEN_FIXTURE))
+        assert conservation_errors(summary) == []
+
+    def test_payload_run_event_fields(self):
+        events = load_trace(PAYLOAD_GOLDEN_FIXTURE)
+        runs = [e for e in events if e["name"] == "payload.run"]
+        assert len(runs) == 1
+        run = runs[0]
+        assert run["program"] == "golden_double_sided"
+        assert run["target"] == "stack"
+        assert run["reads"] == 240_000  # 120k iterations x 2 aggressors
+        assert run["bursts"] == 1
+        assert run["flips"] >= 1
+        assert run["dur"] > 0
+
+    def test_payload_label_event_present(self):
+        events = load_trace(PAYLOAD_GOLDEN_FIXTURE)
+        labels = [e for e in events if e["name"] == "payload.label"]
+        assert [label["label"] for label in labels] == ["hammer"]
+
+    def test_run_event_back_stamped_to_burst_start(self):
+        """payload.run lands at the run's start time, span-style: it must
+        not be later than the hammer window events it covers."""
+        events = load_trace(PAYLOAD_GOLDEN_FIXTURE)
+        run = next(e for e in events if e["name"] == "payload.run")
+        hammers = [e for e in events if e["name"] == "dram.hammer"]
+        assert hammers
+        assert run["t"] <= min(h["t"] for h in hammers)
+
+    def test_flips_match_classic_golden_scenario(self, payload_events,
+                                                 golden_events):
+        """Same seed, same aggressor rows: the DSL twin flips the same
+        victim cells the hand-coded golden scenario does."""
+        def flips(events):
+            return [
+                (e["bank"], e["row"], e["byte"], e["bit"])
+                for e in events
+                if e["name"] == "dram.flip"
+            ]
+
+        assert flips(payload_events) == flips(golden_events)
+        assert flips(payload_events)
 
 
 # ---------------------------------------------------------------------------

@@ -63,6 +63,80 @@ class TestHammerDeterminism:
         assert traced_snapshot == untraced_snapshot
 
 
+def _payload_hammer(traced):
+    """The compiled-DSL twin of _hammer: same stack, same burst, but the
+    reads are issued by the payload executor with payload.* events ON."""
+    from repro.host.blockdev import BlockDevice
+    from repro.host.vm import AccessMode, Vm
+    from repro.payload import (
+        Loop,
+        Program,
+        Read,
+        compile_program,
+        execute_payload,
+    )
+
+    clock = SimClock()
+    tracer = Tracer(clock) if traced else None
+    controller, dram, ftl = build_stack(
+        profile=FRAGILE, seed=11, num_lbas=1024, clock=clock, tracer=tracer
+    )
+    controller.create_namespace(1, 0, ftl.num_lbas)
+    page = ftl.page_bytes
+    for lba in range(4):
+        controller.write(1, lba, bytes([lba + 1]) * page)
+    aggressors = _lbas_for_rows(controller, dram, (0, 2))
+    vm = Vm("attacker", BlockDevice(controller, 1), AccessMode.RAW)
+    program = Program(
+        name="determinism",
+        target="stack",
+        steps=(
+            Loop(
+                count=150_000,
+                body=tuple(Read(lba=lba) for lba in aggressors),
+            ),
+        ),
+    )
+    result = execute_payload(
+        compile_program(program), vm=vm, trace_payload=traced
+    )
+    controller.read(1, 0)
+    snapshot = merge_snapshots(
+        dram.metrics, ftl.metrics, controller.metrics, ftl.flash.metrics
+    )
+    if tracer is not None:
+        tracer.close(metrics=snapshot)
+    return dram, clock, snapshot, result
+
+
+class TestPayloadDeterminism:
+    """Observer effect = 0 for the payload executor: payload.* events
+    change nothing about the physics, and the executor reproduces the
+    hand-issued burst exactly."""
+
+    def test_traced_payload_matches_untraced(self):
+        untraced_dram, untraced_clock, untraced_snapshot, untraced_result = (
+            _payload_hammer(False)
+        )
+        traced_dram, traced_clock, traced_snapshot, traced_result = (
+            _payload_hammer(True)
+        )
+        assert traced_dram.flips == untraced_dram.flips
+        assert traced_dram.flips, "the FRAGILE payload burst must flip"
+        assert traced_clock.now == untraced_clock.now
+        assert traced_snapshot == untraced_snapshot
+        assert traced_result.reads == untraced_result.reads
+        assert traced_result.duration == untraced_result.duration
+
+    def test_payload_matches_hand_issued_burst(self):
+        hand_dram, hand_clock, hand_snapshot = _hammer(False)
+        payload_dram, payload_clock, payload_snapshot, _ = _payload_hammer(
+            False
+        )
+        assert payload_dram.flips == hand_dram.flips
+        assert payload_clock.now == hand_clock.now
+
+
 class TestFuzzDeterminism:
     def test_report_bytes_identical(self, tmp_path):
         kwargs = dict(seed=23, num_ops=150, num_lbas=96, profile="granite")
