@@ -785,6 +785,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeScenario, run_scenario
 
     scenario = ServeScenario.load(args.scenario)
+    if args.inject:
+        from repro.faults import FaultPlan
+
+        scenario.faults = FaultPlan.load(args.inject)
     report = run_scenario(scenario, trace_path=args.trace)
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -829,6 +833,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 verdict,
                 format_rate(report.attacker["hammer_threshold"]),
                 report.flips,
+            )
+        )
+    res = report.resilience
+    if (
+        res["retries"] or res["timeouts"] or res["hedges"]
+        or res["power_cuts"] or res["parked_writes"] or res["dropped_ops"]
+    ):
+        print(
+            "resilience: %d retries, %d timeouts, %d hedges (%d won), "
+            "%d power cuts (%s gap), %d/%d acked writes lost"
+            % (
+                res["retries"],
+                res["timeouts"],
+                res["hedges"],
+                res["hedge_wins"],
+                res["power_cuts"],
+                format_duration(res["availability_gap_s"]),
+                res["durability"]["lost"],
+                res["durability"]["acked_writes"],
             )
         )
     return 0
@@ -1213,6 +1236,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the Prometheus metrics exposition here")
     serve.add_argument("--json", action="store_true",
                        help="print the full report as JSON instead of text")
+    serve.add_argument("--inject", default=None, metavar="FAULTPLAN_JSON",
+                       help="inject a FaultPlan JSON into the run, replacing "
+                            "any 'faults' section in the scenario")
     serve.set_defaults(func=cmd_serve)
 
     table1 = sub.add_parser("table1", help="re-measure Table 1")

@@ -326,6 +326,88 @@ def _trial_serve(trial: TrialSpec) -> Dict[str, Any]:
     return result
 
 
+# -- built-in: serve_chaos ----------------------------------------------
+
+
+def _trial_serve_chaos(trial: TrialSpec) -> Dict[str, Any]:
+    """One chaos-serving scenario: faults and resilience policy as axes.
+
+    The ``scenario`` base key carries a full :class:`ServeScenario` dict
+    (its ``faults`` section included).  Sweep axes then walk the chaos
+    surface:
+
+    * dotted ``faults.*`` axes override fault-plan fields (e.g. a grid
+      over ``faults.read_error_rate``); the assembled plan is reseeded
+      through the trial's spawn key, so every repeat runs an independent
+      but reproducible fault universe;
+    * resilience-policy axes (``retry_attempts``, ``retry_backoff``,
+      ``deadline``, ``hedge``, ``hedge_delay``, ``on_read_only``,
+      ``latency_target``, ``error_budget``) apply to *every* tenant;
+    * ``quantum`` — the arbiter's round quantum.
+
+    The flat result fields answer the robustness question: what did the
+    faults cost (retries, timeouts, availability gap, benign p99), did
+    hedging buy the tail back, and — non-negotiably — did any
+    acknowledged write get lost.
+    """
+    from repro.faults import FaultPlan
+    from repro.serve import ServeScenario, run_scenario
+
+    params = dict(trial.params)
+    raw = params.pop("scenario", None)
+    if raw is None:
+        raise ConfigError("serve_chaos trials need a 'scenario' base key")
+    raw = json.loads(json.dumps(raw))  # private copy; trials share params
+    seed = int(params.pop("seed", trial.seed))
+    faults = dict(raw.pop("faults", None) or {})
+    for key in [k for k in params if k.startswith("faults.")]:
+        faults[key.split(".", 1)[1]] = params.pop(key)
+    if faults:
+        faults.setdefault("seed", 0)
+        plan = FaultPlan.from_dict(faults).spawned(
+            trial.root_seed, *trial.spawn_key
+        )
+        raw["faults"] = plan.to_dict()
+    for axis in (
+        "retry_attempts", "retry_backoff", "deadline", "hedge",
+        "hedge_delay", "on_read_only", "latency_target", "error_budget",
+    ):
+        if axis in params:
+            value = params.pop(axis)
+            for tenant in raw.get("tenants", []):
+                tenant[axis] = value
+    if "quantum" in params:
+        raw["quantum"] = int(params.pop("quantum"))
+    if params:
+        raise ConfigError(
+            "unknown serve_chaos trial params: %s" % sorted(params)
+        )
+    scenario = ServeScenario.from_dict(raw)
+    report = run_scenario(scenario, seed=seed)
+
+    benign = [t for t in report.tenants if t["kind"] != "hammer_attacker"]
+    benign_p99 = [t["p99"] for t in benign]
+    resilience = report.resilience
+    budgets = [t["error_budget_remaining"] for t in report.tenants]
+    return {
+        "duration": report.duration,
+        "flips": report.flips,
+        "commands": sum(t["commands"] for t in report.tenants),
+        "errors": sum(t["errors"] for t in report.tenants),
+        "retries": resilience["retries"],
+        "timeouts": resilience["timeouts"],
+        "hedges": resilience["hedges"],
+        "hedge_wins": resilience["hedge_wins"],
+        "power_cuts": resilience["power_cuts"],
+        "availability_gap_s": resilience["availability_gap_s"],
+        "lost_acked_writes": resilience["durability"]["lost"],
+        "read_only": resilience["read_only"],
+        "benign_p99_max": max(benign_p99) if benign_p99 else 0.0,
+        "error_budget_min": min(budgets) if budgets else 1.0,
+        "tenants": report.tenants,
+    }
+
+
 # -- built-in: payload --------------------------------------------------
 
 
@@ -429,6 +511,7 @@ register_trial_kind("monte_carlo", _trial_monte_carlo)
 register_trial_kind("probability_grid", _trial_probability_grid)
 register_trial_kind("mitigation", _trial_mitigation)
 register_trial_kind("serve", _trial_serve)
+register_trial_kind("serve_chaos", _trial_serve_chaos)
 register_trial_kind("payload", _trial_payload)
 register_trial_kind("fault_campaign", _trial_fault_campaign)
 register_trial_kind("sleep", _trial_sleep)

@@ -13,48 +13,28 @@ with doomed writes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import NvmeError, NvmeNamespaceError
 from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, StatusCode
 from repro.nvme.controller import BurstResult, NvmeController
-from repro.units import us
+
+# Shared with the serving frontend (re-exported here for compatibility):
+# the retryable-status classification and backoff schedule live in
+# :mod:`repro.policies`.
+from repro.policies import RETRYABLE_STATUSES, RetryPolicy
+
+__all__ = [
+    "BlockDevice",
+    "DeviceReadOnlyError",
+    "RETRYABLE_STATUSES",
+    "RetryPolicy",
+]
 
 
 class DeviceReadOnlyError(NvmeError):
     """The device rejected a write because it degraded to read-only
     (spare-block pool exhausted).  Not retryable."""
-
-
-#: Statuses a bounded retry can plausibly cure: transient media errors,
-#: one-off program failures, and a device still coming back from a power
-#: event.  Integrity and addressing errors are deterministic — retrying
-#: them only burns time.
-RETRYABLE_STATUSES: FrozenSet[StatusCode] = frozenset(
-    {
-        StatusCode.MEDIA_READ_ERROR,
-        StatusCode.WRITE_FAULT,
-        StatusCode.RECOVERY_ERROR,
-    }
-)
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded retry-with-backoff for transient NVMe errors."""
-
-    #: Total attempts (first try included).  1 = no retries.
-    max_attempts: int = 3
-    #: Simulated delay before the first retry, seconds.
-    backoff: float = us(100)
-    #: Backoff multiplier per further retry (exponential).
-    multiplier: float = 2.0
-    retryable: FrozenSet[StatusCode] = field(default=RETRYABLE_STATUSES)
-
-    def delay_before(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
-        return self.backoff * (self.multiplier ** (attempt - 1))
 
 
 class BlockDevice:

@@ -42,6 +42,12 @@ class QueuePair:
             out.append(self.cq.popleft())
         return out
 
+    def requeue(self, command: NvmeCommand) -> None:
+        """Return an in-flight command to the *head* of the SQ (retry
+        backoff).  The command already passed the depth check when it was
+        submitted and was popped since, so the net depth is unchanged."""
+        self.sq.appendleft(command)
+
     # -- controller side --------------------------------------------------------
 
     def next_command(self) -> Optional[NvmeCommand]:

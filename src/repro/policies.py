@@ -1,0 +1,47 @@
+"""Shared resilience policies: what a host or frontend does about errors.
+
+One home for the retry semantics both consumers agree on — the kernel
+block layer (:mod:`repro.host.blockdev`) and the multi-tenant serving
+frontend (:mod:`repro.serve.resilience`) must classify NVMe statuses the
+same way, or a status the block layer patiently retries would fail a
+tenant request immediately.  The policy objects are pure data: *where*
+the backoff time goes (a blocking host clock advance vs. a scheduler
+park) is the consumer's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.nvme.commands import StatusCode
+from repro.units import us
+
+#: Statuses a bounded retry can plausibly cure: transient media errors,
+#: one-off program failures, and a device still coming back from a power
+#: event.  Integrity and addressing errors are deterministic — retrying
+#: them only burns time.
+RETRYABLE_STATUSES: FrozenSet[StatusCode] = frozenset(
+    {
+        StatusCode.MEDIA_READ_ERROR,
+        StatusCode.WRITE_FAULT,
+        StatusCode.RECOVERY_ERROR,
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient NVMe errors."""
+
+    #: Total attempts (first try included).  1 = no retries.
+    max_attempts: int = 3
+    #: Simulated delay before the first retry, seconds.
+    backoff: float = us(100)
+    #: Backoff multiplier per further retry (exponential).
+    multiplier: float = 2.0
+    retryable: FrozenSet[StatusCode] = field(default=RETRYABLE_STATUSES)
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff * (self.multiplier ** (attempt - 1))

@@ -10,6 +10,13 @@ mitigation), and replayable seeded workload traces.  See
 """
 
 from repro.serve.qos import TenantConfig, TenantQos
+from repro.serve.resilience import (
+    DEGRADED_MODES,
+    DurabilityLedger,
+    ResiliencePolicy,
+    SloPolicy,
+    recovery_gap,
+)
 from repro.serve.scenario import (
     DeviceConfig,
     ServeReport,
@@ -37,6 +44,11 @@ from repro.serve.workload import (
 __all__ = [
     "TenantConfig",
     "TenantQos",
+    "DEGRADED_MODES",
+    "DurabilityLedger",
+    "ResiliencePolicy",
+    "SloPolicy",
+    "recovery_gap",
     "DeviceConfig",
     "ServeReport",
     "ServeScenario",

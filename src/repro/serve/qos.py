@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import ConfigError
 from repro.nvme.ratelimit import IopsRateLimiter
+from repro.serve.resilience import ResiliencePolicy
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,9 @@ class TenantConfig:
     kind: str
     ops: int = 1000
     qos: TenantQos = field(default_factory=TenantQos)
+    #: Fault-tolerance envelope: retry/deadline/hedging, degradation
+    #: mode, and the SLO (see :mod:`repro.serve.resilience`).
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     #: Extra keyword params for the workload generator (rate, burst, ...).
     params: Dict[str, Any] = field(default_factory=dict)
 
@@ -80,6 +84,7 @@ class TenantConfig:
             queue_depth=int(data.pop("queue_depth", 32)),
         )
         data.pop("max_iops", None)
+        resilience = ResiliencePolicy.pop_flat(data)
         try:
             name = str(data.pop("name"))
             kind = str(data.pop("kind"))
@@ -91,7 +96,10 @@ class TenantConfig:
             raise ConfigError(
                 "unknown tenant keys for %r: %s" % (name, sorted(data))
             )
-        return cls(name=name, kind=kind, ops=ops, qos=qos, params=params)
+        return cls(
+            name=name, kind=kind, ops=ops, qos=qos,
+            resilience=resilience, params=params,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -103,6 +111,7 @@ class TenantConfig:
             "burst": self.qos.burst,
             "queue_depth": self.qos.queue_depth,
         }
+        self.resilience.write_flat(out)
         if self.params:
             out["params"] = dict(self.params)
         return out

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.nvme.controller import DeviceTimingModel
 from repro.serve.qos import TenantConfig
 from repro.serve.scheduler import (
@@ -60,6 +62,10 @@ class DeviceConfig:
     #: Write every LBA before serving, so reads are mapped (touch flash)
     #: and hammered rows hold live L2P entries.
     prefill: bool = True
+    #: Spare-block pool depth: grown bad blocks are replaced from it, and
+    #: exhausting it degrades the device to read-only (the serving
+    #: degradation path chaos scenarios exercise).
+    spare_blocks: int = 0
 
     def __post_init__(self) -> None:
         if self.num_lbas < 1:
@@ -71,6 +77,8 @@ class DeviceConfig:
             )
         if self.hammer_amplification < 1:
             raise ConfigError("hammer_amplification must be at least 1")
+        if self.spare_blocks < 0:
+            raise ConfigError("spare_blocks cannot be negative")
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "DeviceConfig":
@@ -82,6 +90,7 @@ class DeviceConfig:
             "layout",
             "hammer_amplification",
             "prefill",
+            "spare_blocks",
         ):
             if key in data:
                 kwargs[key] = data.pop(key)
@@ -96,6 +105,7 @@ class DeviceConfig:
             "layout": self.layout,
             "hammer_amplification": self.hammer_amplification,
             "prefill": self.prefill,
+            "spare_blocks": self.spare_blocks,
         }
 
 
@@ -109,6 +119,10 @@ class ServeScenario:
     device: DeviceConfig = field(default_factory=DeviceConfig)
     quantum: int = 4
     latency_bounds: Optional[List[float]] = None
+    #: Seeded fault schedule executed against the served traffic (None =
+    #: no fault plane).  The injector attaches *after* prefill, so fault
+    #: operation indexes count from the first served command.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -138,6 +152,11 @@ class ServeScenario:
                 if "latency_bounds" in data
                 else None
             ),
+            faults=(
+                FaultPlan.from_dict(data.pop("faults"))
+                if "faults" in data
+                else None
+            ),
         )
         if data:
             raise ConfigError("unknown scenario keys: %s" % sorted(data))
@@ -158,6 +177,8 @@ class ServeScenario:
         }
         if self.latency_bounds is not None:
             out["latency_bounds"] = list(self.latency_bounds)
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
         return out
 
 
@@ -173,6 +194,10 @@ class ServeReport:
     #: Aggregate attacker analysis (None when no attacker tenant).
     attacker: Optional[Dict[str, Any]]
     flips: int
+    #: Fault-tolerance rollup: power cuts, availability gap, retry/
+    #: timeout/hedge totals, the durability audit, and injected-fault
+    #: stats (always present; zeros for an undisturbed run).
+    resilience: Dict[str, Any]
     registry: MetricRegistry = field(repr=False)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -183,6 +208,7 @@ class ServeReport:
             "tenants": self.tenants,
             "attacker": self.attacker,
             "flips": self.flips,
+            "resilience": self.resilience,
         }
 
     def to_json(self) -> str:
@@ -233,6 +259,7 @@ def run_scenario(
         timing=DeviceTimingModel(
             hammer_amplification=scenario.device.hammer_amplification
         ),
+        spare_blocks=scenario.device.spare_blocks,
         trace_path=trace_path,
     )
 
@@ -255,6 +282,18 @@ def run_scenario(
             controller.write_burst(
                 namespace.nsid, list(range(namespace.num_lbas)), page
             )
+
+    # The fault plane attaches after prefill: faults target the served
+    # traffic, and scheduled-event op indexes count from serving start.
+    # A seed override (sweep repeats) respawns the plan so every repeat
+    # runs an independent but reproducible fault universe.
+    injector = None
+    if scenario.faults is not None and not scenario.faults.is_null:
+        plan = scenario.faults
+        if seed != scenario.seed:
+            plan = plan.spawned(seed, scenario.name)
+        injector = FaultInjector(plan, tracer=controller.tracer)
+        ftl.flash.injector = injector
 
     served_registry = registry if registry is not None else MetricRegistry(
         "serve"
@@ -293,6 +332,7 @@ def run_scenario(
         served_registry,
         tracer=controller.tracer,
         quantum=scenario.quantum,
+        injector=injector,
     )
     duration = scheduler.run()
 
@@ -303,6 +343,7 @@ def run_scenario(
     for runtime in runtimes:
         count = runtime.commands.value
         pcts = runtime.latency.percentiles()
+        slo = runtime.policy.slo
         entry = {
             "name": runtime.config.name,
             "kind": runtime.config.kind,
@@ -310,6 +351,7 @@ def run_scenario(
             "max_iops": runtime.config.qos.max_iops,
             "commands": count,
             "errors": runtime.errors.value,
+            "errors_by_status": dict(sorted(runtime.errors_by_status.items())),
             "iops": count / duration if duration > 0 else 0.0,
             "mean_latency": runtime.latency.mean,
             "p50": pcts["p50"],
@@ -318,6 +360,16 @@ def run_scenario(
             "backpressure": runtime.backpressure.value,
             "throttled": runtime.throttled.value,
             "activations": runtime.activations.value,
+            "retries": runtime.retries.value,
+            "timeouts": runtime.timeouts.value,
+            "hedges": runtime.hedges.value,
+            "hedge_wins": runtime.hedge_wins.value,
+            "parked": runtime.parked.value,
+            "dropped": runtime.dropped_ops.value,
+            "slo_violations": runtime.slo_violations.value,
+            "error_budget_remaining": slo.budget_remaining(
+                runtime.slo_violations.value, count
+            ),
         }
         tenants.append(entry)
         if runtime.config.kind == "hammer_attacker":
@@ -338,6 +390,21 @@ def run_scenario(
             "below_threshold": rate < threshold,
         }
 
+    durability = scheduler.durability_audit()
+    resilience: Dict[str, Any] = {
+        "power_cuts": scheduler.power_cuts,
+        "availability_gap_s": scheduler.availability_gap,
+        "retries": sum(t["retries"] for t in tenants),
+        "timeouts": sum(t["timeouts"] for t in tenants),
+        "hedges": sum(t["hedges"] for t in tenants),
+        "hedge_wins": sum(t["hedge_wins"] for t in tenants),
+        "parked_writes": sum(t["parked"] for t in tenants),
+        "dropped_ops": sum(t["dropped"] for t in tenants),
+        "read_only": ftl.read_only,
+        "durability": durability,
+        "faults": None if injector is None else injector.stats(),
+    }
+
     report = ServeReport(
         scenario=scenario.name,
         seed=seed,
@@ -345,6 +412,7 @@ def run_scenario(
         tenants=tenants,
         attacker=attacker,
         flips=len(dram.flips),
+        resilience=resilience,
         registry=served_registry,
     )
     if controller.tracer is not None and trace_path is not None:

@@ -24,24 +24,39 @@ onto the shared NVMe controller, entirely in simulated time:
   nothing polls, nothing sleeps, and the event order is a pure function
   of the traces, so two runs of the same scenario are byte-identical.
 
+* **Fault tolerance.**  Each tenant carries a
+  :class:`~repro.serve.resilience.ResiliencePolicy`: transient failures
+  (the shared retryable-status set) are retried with exponential backoff
+  — the tenant parks until its backoff expires, other tenants keep being
+  served — reads may be hedged, commands over their deadline are
+  abandoned, and a device that degraded to read-only is handled per the
+  tenant's ``fail_fast`` / ``park`` / ``drop_tenant`` mode.  A
+  :class:`~repro.errors.PowerLossInterrupt` mid-dispatch runs the full
+  ``crash()/recover()`` cycle in place: the availability gap (reset +
+  OOB scan) is charged to the sim clock, the never-acknowledged in-flight
+  write is replayed, and the durability ledger audits every acknowledged
+  write against the recovered media.
+
 Per-tenant observability lands in a :class:`~repro.sim.metrics
-.MetricRegistry` (commands, errors, backpressure stalls, throttle
-parks, DRAM activations attributed per tenant, and a latency histogram
-with p50/p95/p99 gauges) and, when a tracer is attached, in ``serve.*``
-trace events.
+.MetricRegistry` (commands, errors labeled by status code, retries,
+timeouts, hedges, backpressure stalls, throttle parks, DRAM activations
+attributed per tenant, a latency histogram with p50/p95/p99 gauges, and
+SLO burn-rate / budget-remaining gauges) and, when a tracer is attached,
+in ``serve.*`` trace events.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ConfigError
-from repro.nvme.commands import NvmeCommand, Opcode
+from repro.errors import ConfigError, PowerLossInterrupt
+from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, StatusCode
 from repro.nvme.controller import NvmeController
 from repro.nvme.namespace import Namespace
 from repro.nvme.queue import QueuePair
 from repro.serve.qos import TenantConfig
+from repro.serve.resilience import DurabilityLedger, recovery_gap
 from repro.serve.workload import TraceOp, WorkloadTrace
 from repro.sim.metrics import MetricRegistry
 
@@ -86,6 +101,7 @@ class TenantRuntime:
         latency_bounds: List[float],
     ):
         self.config = config
+        self.policy = config.resilience
         self.namespace = namespace
         self.qpair = QueuePair(qid=namespace.nsid, depth=config.qos.queue_depth)
         self.pending: Deque[TraceOp] = deque(trace.ops)
@@ -100,19 +116,50 @@ class TenantRuntime:
         #: True while arrivals are stalled on a full submission queue.
         self.stalled = False
         self.writes_issued = 0
+        #: Retry attempts already burned on the head SQ command (reset
+        #: whenever a command is retired).
+        self.head_attempts = 0
+        #: True once the device answered this tenant with READ_ONLY.
+        self.read_only_seen = False
+        #: True once a ``drop_tenant`` policy evicted this tenant.
+        self.dropped = False
+        #: Writes held back by the ``park`` degradation mode.
+        self.parked_writes: List[NvmeCommand] = []
+        #: Per-status error counts mirrored into labeled counters.
+        self.errors_by_status: Dict[str, int] = {}
+        self._registry = registry
         name = config.name
         self.commands = registry.counter("commands", tenant=name)
         self.errors = registry.counter("errors", tenant=name)
         self.backpressure = registry.counter("backpressure", tenant=name)
         self.throttled = registry.counter("throttled", tenant=name)
         self.activations = registry.counter("activations", tenant=name)
+        self.retries = registry.counter("retries", tenant=name)
+        self.timeouts = registry.counter("timeouts", tenant=name)
+        self.hedges = registry.counter("hedges", tenant=name)
+        self.hedge_wins = registry.counter("hedge_wins", tenant=name)
+        self.hedge_cancelled = registry.counter("hedge_cancelled", tenant=name)
+        self.parked = registry.counter("parked", tenant=name)
+        self.dropped_ops = registry.counter("dropped", tenant=name)
+        self.slo_violations = registry.counter("slo_violations", tenant=name)
         self.latency = registry.histogram(
             "latency", latency_bounds, tenant=name
         )
 
+    def count_error(self, status: StatusCode) -> None:
+        """Count an error both in aggregate and labeled by status name,
+        so reports distinguish transient media errors from deterministic
+        failures."""
+        self.errors.add()
+        name = status.name
+        self.errors_by_status[name] = self.errors_by_status.get(name, 0) + 1
+        self._registry.counter(
+            "errors_by_status", status=name, tenant=self.config.name
+        ).add()
+
     @property
     def drained(self) -> bool:
-        return not self.pending and not self.qpair.outstanding
+        return self.dropped or (not self.pending and not self.qpair.outstanding)
 
 
 class ServeScheduler:
@@ -125,6 +172,7 @@ class ServeScheduler:
         registry: MetricRegistry,
         tracer=None,
         quantum: int = 4,
+        injector=None,
     ):
         if not runtimes:
             raise ConfigError("scheduler needs at least one tenant")
@@ -136,12 +184,42 @@ class ServeScheduler:
         self.registry = registry
         self.tracer = tracer
         self.quantum = quantum
+        #: Optional fault-injection plane (for exempting retention-
+        #: corrupted LBAs from the durability audit).
+        self.injector = injector
         self.t0 = 0.0
         self.duration = 0.0
         self._pointer = 0
         self._activations = (
             controller.ftl.memory.dram.metrics.counter("activations")
         )
+        #: Every acknowledged write/trim, for the crash-recovery audit.
+        self.ledger = DurabilityLedger()
+        self.power_cuts = 0
+        self.availability_gap = 0.0
+        #: Worst ``lost`` verdict over the per-cut audits (the final
+        #: audit is folded in too; a later rewrite of a lost LBA must
+        #: not launder the loss).
+        self.max_lost = 0
+        self._power_cut_counter = registry.counter("power_cuts")
+        ftl = controller.ftl
+        self._scan_page_time = (
+            ftl.flash.timing.read_page / controller.timing.flash_parallelism
+        )
+
+    # -- durability -----------------------------------------------------
+
+    def durability_audit(self) -> Dict[str, int]:
+        """Audit every acked write against current media state; folds the
+        verdict into :attr:`max_lost`."""
+        exempt = (
+            self.injector.affected_lbas() if self.injector is not None else ()
+        )
+        audit = self.ledger.audit(self.controller.ftl, exempt=exempt)
+        if audit["lost"] > self.max_lost:
+            self.max_lost = audit["lost"]
+        audit["lost"] = self.max_lost
+        return audit
 
     # -- admission ------------------------------------------------------
 
@@ -221,9 +299,15 @@ class ServeScheduler:
                             )
                         break
                 tenant.token_paid = False
-                self._dispatch(tenant)
-                tenant.deficit -= 1.0
+                retired = self._dispatch(tenant)
                 served = True
+                if not retired:
+                    # The head command was deferred for a retry backoff:
+                    # the tenant parks until ``not_before`` and, like a
+                    # throttle park, forfeits its deficit.
+                    tenant.deficit = 0.0
+                    break
+                tenant.deficit -= 1.0
                 # Dispatch advanced the clock: admit newly due arrivals
                 # before the next grant, so intra-round service order
                 # follows simulated time, not trace batching.
@@ -233,19 +317,146 @@ class ServeScheduler:
         self._pointer = (self._pointer + 1) % n
         return served
 
-    def _dispatch(self, tenant: TenantRuntime) -> None:
+    def _dispatch(self, tenant: TenantRuntime) -> bool:
+        """Serve the tenant's head command; False = deferred for retry.
+
+        A retired command (True) either completed at the device, timed
+        out, was parked by the degradation policy, or evicted the tenant
+        — in every case the head SQ slot is free again.  A deferral
+        (False) put the command back at the head with a backoff park.
+        """
         command = tenant.qpair.next_command()
         issue = tenant.issue_times.popleft()
-        start = self.clock._now
+        policy = tenant.policy
+        now = self.clock._now
+
+        # Deadline: queue wait and earlier retry backoffs already count
+        # against the command's budget; an over-deadline command is
+        # abandoned without touching the device (its queue slot was
+        # consumed either way).
+        if policy.deadline is not None and now - issue > policy.deadline:
+            tenant.head_attempts = 0
+            tenant.commands.add()
+            tenant.timeouts.add()
+            tenant.slo_violations.add()
+            tenant.latency.observe(now - issue)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "serve.timeout",
+                    tenant=tenant.config.name,
+                    opcode=command.opcode.name,
+                    lba=command.lba,
+                    wait=now - issue,
+                )
+            return True
+
+        # Park-mode fast path: once the device is read-only, writes are
+        # held without being submitted; reads keep flowing.
+        if (
+            tenant.read_only_seen
+            and policy.on_read_only == "park"
+            and command.opcode is not Opcode.READ
+        ):
+            tenant.head_attempts = 0
+            tenant.parked_writes.append(command)
+            tenant.parked.add()
+            return True
+
+        start = now
+        first_attempt = tenant.head_attempts == 0
+        hedged = False
         before = self._activations.value
-        completion = self.controller.submit(command)
+        completion = self._submit_guarded(tenant, command)
+        status = completion.status
+
+        # Hedged reads: the duplicate was scheduled hedge_after() behind
+        # the primary; when the primary fails transiently, the duplicate's
+        # completion wins (and the failed primary is the cancelled loser).
+        if (
+            not completion.ok
+            and policy.hedge
+            and command.opcode is Opcode.READ
+            and status in policy.retry.retryable
+            and first_attempt
+        ):
+            hedged = True
+            completion = self._hedge(tenant, command, start)
+            status = completion.status
+
+        # Bounded retry with exponential backoff: put the command back at
+        # the SQ head and park the tenant for the backoff, without
+        # stalling anyone else.
+        if not completion.ok and status in policy.retry.retryable:
+            attempt = tenant.head_attempts + 1
+            if attempt < policy.retry.max_attempts:
+                delay = policy.retry.delay_before(attempt)
+                tenant.head_attempts = attempt
+                tenant.qpair.requeue(command)
+                tenant.issue_times.appendleft(issue)
+                tenant.not_before = self.clock._now + delay
+                tenant.retries.add()
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "serve.retry",
+                        tenant=tenant.config.name,
+                        opcode=command.opcode.name,
+                        lba=command.lba,
+                        status=status.name,
+                        attempt=attempt,
+                        delay=delay,
+                    )
+                return False
+
+        # Graceful degradation on the read-only transition.
+        if status is StatusCode.READ_ONLY and command.opcode is not Opcode.READ:
+            if not tenant.read_only_seen:
+                tenant.read_only_seen = True
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "serve.degraded",
+                        tenant=tenant.config.name,
+                        mode=policy.on_read_only,
+                        status=status.name,
+                    )
+            if policy.on_read_only == "park":
+                tenant.head_attempts = 0
+                tenant.parked_writes.append(command)
+                tenant.parked.add()
+                return True
+            if policy.on_read_only == "drop_tenant":
+                tenant.head_attempts = 0
+                self._drop(tenant)
+                return True
+            # fail_fast: fall through to normal (labeled-error) retirement.
+
+        tenant.head_attempts = 0
         tenant.qpair.post(completion)
         tenant.qpair.poll()
         tenant.commands.add()
         if not completion.ok:
-            tenant.errors.add()
+            tenant.count_error(status)
+        else:
+            device_lba = tenant.namespace.translate(command.lba)
+            if command.opcode is Opcode.WRITE:
+                self.ledger.record_write(device_lba, command.data)
+            elif command.opcode is Opcode.DEALLOCATE:
+                self.ledger.record_trim(device_lba)
         tenant.activations.add(self._activations.value - before)
-        tenant.latency.observe(self.clock._now - issue)
+        latency = self.clock._now - issue
+        tenant.latency.observe(latency)
+        if not completion.ok or latency > policy.slo.latency_target:
+            tenant.slo_violations.add()
+        if (
+            completion.ok
+            and policy.hedge
+            and not hedged
+            and command.opcode is Opcode.READ
+            and first_attempt
+            and self.clock._now - start > policy.hedge_after()
+        ):
+            # The primary won, but only after the duplicate went out:
+            # the loser is cancelled (deterministically — it never ran).
+            tenant.hedge_cancelled.add()
         if self.tracer is not None:
             self.tracer.emit_at(
                 "serve.complete",
@@ -257,6 +468,81 @@ class ServeScheduler:
                 wait=start - issue,
                 dur=self.clock._now - start,
             )
+        return True
+
+    def _submit_guarded(
+        self, tenant: TenantRuntime, command: NvmeCommand
+    ) -> NvmeCompletion:
+        """Submit, absorbing power cuts: crash, recover, charge the
+        availability gap, then replay the never-acknowledged command."""
+        while True:
+            try:
+                return self.controller.submit(command)
+            except PowerLossInterrupt:
+                self._recover_from_power_cut(tenant)
+
+    def _hedge(
+        self, tenant: TenantRuntime, command: NvmeCommand, start: float
+    ) -> NvmeCompletion:
+        """Dispatch the hedged duplicate of a failed read.
+
+        The duplicate was launched ``hedge_after()`` behind the primary,
+        so its completion cannot land earlier than that; the clock jumps
+        there when the primary failed sooner.
+        """
+        policy = tenant.policy
+        launch = start + policy.hedge_after()
+        if self.clock._now < launch:
+            self.clock.advance_to(launch)
+        tenant.hedges.add()
+        completion = self._submit_guarded(tenant, command)
+        if completion.ok:
+            tenant.hedge_wins.add()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "serve.hedge",
+                tenant=tenant.config.name,
+                lba=command.lba,
+                win=completion.ok,
+                delay=policy.hedge_after(),
+            )
+        return completion
+
+    def _recover_from_power_cut(self, tenant: TenantRuntime) -> None:
+        """Run the crash/recover cycle mid-serve and account the outage."""
+        self.controller.crash()
+        report = self.controller.recover()
+        gap = recovery_gap(
+            report.scanned_pages,
+            self.controller.ftl.flash.timing.read_page,
+            self.controller.timing.flash_parallelism,
+        )
+        self.clock.advance(gap)
+        self.power_cuts += 1
+        self.availability_gap += gap
+        self._power_cut_counter.add()
+        # Audit immediately: a later rewrite of a lost LBA must not
+        # launder the loss out of the end-of-run verdict.
+        self.durability_audit()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "serve.recovery",
+                tenant=tenant.config.name,
+                scanned=report.scanned_pages,
+                gap=gap,
+                replayed=1,
+            )
+
+    def _drop(self, tenant: TenantRuntime) -> None:
+        """Evict a tenant (drop_tenant degradation): discard its queued
+        and pending work; it stops being served entirely."""
+        dropped = 1 + tenant.qpair.outstanding + len(tenant.pending)
+        tenant.dropped_ops.add(dropped)
+        tenant.qpair.sq.clear()
+        tenant.qpair.cq.clear()
+        tenant.issue_times.clear()
+        tenant.pending.clear()
+        tenant.dropped = True
 
     # -- idle advancement ----------------------------------------------
 
@@ -311,6 +597,14 @@ class ServeScheduler:
                 self.registry.gauge("latency_%s" % label, tenant=name).set(
                     value
                 )
+            slo = tenant.policy.slo
+            violations = tenant.slo_violations.value
+            self.registry.gauge("slo_burn_rate", tenant=name).set(
+                slo.burn_rate(violations, count)
+            )
+            self.registry.gauge("slo_budget_remaining", tenant=name).set(
+                slo.budget_remaining(violations, count)
+            )
             if self.tracer is not None:
                 self.tracer.emit(
                     "serve.tenant",
@@ -319,6 +613,9 @@ class ServeScheduler:
                     iops=iops,
                     p99=pcts["p99"],
                 )
+        self.registry.gauge("availability_gap_seconds").set(
+            self.availability_gap
+        )
         if self.tracer is not None:
             self.tracer.emit(
                 "serve.run",

@@ -152,6 +152,31 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
         "required": {"tenants": _INT, "commands": _INT, "dur": _NUM},
         "optional": {},
     },
+    # -- serving fault tolerance -----------------------------------------
+    "serve.retry": {
+        "required": {"tenant": _STR, "opcode": _STR, "lba": _INT,
+                     "status": _STR, "attempt": _INT, "delay": _NUM},
+        "optional": {},
+    },
+    "serve.timeout": {
+        "required": {"tenant": _STR, "opcode": _STR, "lba": _INT,
+                     "wait": _NUM},
+        "optional": {},
+    },
+    "serve.hedge": {
+        "required": {"tenant": _STR, "lba": _INT, "win": _BOOL,
+                     "delay": _NUM},
+        "optional": {},
+    },
+    "serve.degraded": {
+        "required": {"tenant": _STR, "mode": _STR, "status": _STR},
+        "optional": {},
+    },
+    "serve.recovery": {
+        "required": {"tenant": _STR, "scanned": _INT, "gap": _NUM,
+                     "replayed": _INT},
+        "optional": {},
+    },
     # -- payload DSL executor --------------------------------------------
     "payload.run": {
         "required": {"program": _STR, "target": _STR, "reads": _INT,

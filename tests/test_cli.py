@@ -365,6 +365,53 @@ class TestServeCommand:
         metrics = (tmp_path / "metrics-a.txt").read_text()
         assert "serve_" in metrics
 
+    def test_inject_fault_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "seed": 9,
+            "read_error_rate": 0.05,
+            "events": [{"op": "program", "index": 10, "kind": "power_loss"}],
+        }))
+        assert main([
+            "serve", self._scenario_path(tmp_path), "--inject", str(plan),
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        res = payload["resilience"]
+        assert res["faults"] is not None
+        assert res["retries"] > 0
+
+    def test_inject_resilience_summary_line(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"seed": 9, "read_error_rate": 0.05}))
+        assert main([
+            "serve", self._scenario_path(tmp_path), "--inject", str(plan),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "acked writes lost" in out
+
+    def test_report_resilience_schema(self, tmp_path, capsys):
+        """The report's resilience section carries exactly the documented
+        fields, so downstream dashboards can rely on the shape."""
+        assert main(["serve", self._scenario_path(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        res = payload["resilience"]
+        assert set(res) == {
+            "power_cuts", "availability_gap_s", "retries", "timeouts",
+            "hedges", "hedge_wins", "parked_writes", "dropped_ops",
+            "read_only", "durability", "faults",
+        }
+        assert set(res["durability"]) == {
+            "acked_writes", "acked_trims", "audited_lbas", "intact",
+            "lost", "trim_resurrected", "corrupt_exempt",
+        }
+        assert res["faults"] is None  # no plan injected
+        for tenant in payload["tenants"]:
+            for key in ("retries", "timeouts", "hedge_wins",
+                        "errors_by_status", "error_budget_remaining"):
+                assert key in tenant
+
 
 class TestPayloadCommand:
     @staticmethod

@@ -109,6 +109,49 @@ class TestCrashRecovery:
             assert bdev.read_block(lba) == data
         ftl.check()
 
+    def test_repeated_crash_recover_crash_during_gc(self, layout):
+        # Three consecutive power cuts, each landing on a GC-pass erase,
+        # with recovery (and a full durability check) between them: the
+        # rebuilt state must itself be crash-safe, not just readable.
+        plan = FaultPlan(
+            events=tuple(
+                FaultEvent(op="erase", index=i, kind="power_loss")
+                for i in (0, 2, 4)
+            )
+        )
+        controller, _d, ftl, bdev = host_stack(layout=layout, fault_plan=plan)
+        expected = {}
+        cuts = 0
+        round_index = 0
+        while cuts < 3:
+            for lba in range(ftl.num_lbas):
+                data = payload_for(lba, round_index * 31 + lba, ftl.page_bytes)
+                try:
+                    bdev.write_block(lba, data)
+                except PowerLossInterrupt:
+                    cuts += 1
+                    assert ftl.gc_active, "cut did not land inside GC"
+                    controller.crash()
+                    controller.recover()
+                    for known, payload in expected.items():
+                        assert bdev.read_block(known) == payload, (
+                            "cut %d lost LBA %d" % (cuts, known)
+                        )
+                    ftl.check()
+                else:
+                    expected[lba] = data
+            round_index += 1
+            assert round_index < 60, "scheduled power cuts never fired"
+        assert cuts == 3
+        # The survivor still takes a full overwrite pass cleanly.
+        for lba in range(ftl.num_lbas):
+            data = payload_for(lba, 0xA0 + lba % 19, ftl.page_bytes)
+            bdev.write_block(lba, data)
+            expected[lba] = data
+        for lba, data in expected.items():
+            assert bdev.read_block(lba) == data
+        ftl.check()
+
     def test_trim_is_not_power_loss_durable(self, layout):
         # Trims only clear the volatile mapping; the flash copy survives
         # until GC erases it, so a crash can resurrect trimmed data.

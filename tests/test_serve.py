@@ -269,6 +269,7 @@ class TestServing:
         payload = json.loads(report.to_json())
         assert set(payload) == {
             "scenario", "seed", "duration", "tenants", "attacker", "flips",
+            "resilience",
         }
 
     def test_seed_override_changes_run(self):

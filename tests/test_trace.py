@@ -283,8 +283,11 @@ def faulty_events():
 
 @pytest.fixture(scope="module")
 def serve_events(tmp_path_factory):
-    """A traced multi-tenant serving run: attacker backpressured through
-    a full queue, one benign tenant throttled by its IOPS cap."""
+    """A traced multi-tenant chaos-serving run: attacker backpressured
+    through a full queue, a hedging reader throttled by its IOPS cap and
+    retrying injected read errors, a writer parked by a read-only
+    transition (erase faults exhaust the spare pool), a deadline tenant
+    timing out, and one mid-serve power cut."""
     from repro.serve import ServeScenario, run_scenario
 
     path = str(tmp_path_factory.mktemp("trace") / "serve.jsonl")
@@ -292,11 +295,24 @@ def serve_events(tmp_path_factory):
         {
             "name": "trace-serve",
             "seed": 11,
-            "device": {"num_lbas": 512, "profile": "tempered"},
+            "device": {"num_lbas": 512, "profile": "tempered",
+                       "spare_blocks": 2},
+            "faults": {
+                "seed": 3,
+                "read_error_rate": 0.05,
+                "erase_fail_rate": 0.3,
+                "events": [
+                    {"op": "program", "index": 20, "kind": "power_loss"},
+                ],
+            },
             "tenants": [
                 {"name": "attacker", "kind": "hammer_attacker", "ops": 600},
                 {"name": "scanner", "kind": "scan_reader", "ops": 300,
-                 "max_iops": 20000, "queue_depth": 4},
+                 "max_iops": 20000, "queue_depth": 4, "hedge": True},
+                {"name": "logger", "kind": "log_writer", "ops": 400,
+                 "on_read_only": "park"},
+                {"name": "deadliner", "kind": "bursty_reader", "ops": 300,
+                 "deadline": 0.0002},
             ],
         }
     )
