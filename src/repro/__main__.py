@@ -310,6 +310,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         diff_summaries,
         emit_golden,
         emit_payload_golden,
+        emit_utrr_golden,
         format_summary,
         load_trace,
         summarize,
@@ -324,11 +325,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
         count = emit_payload_golden(args.emit_payload_golden)
         print("payload golden trace: %d event(s) -> %s"
               % (count, args.emit_payload_golden))
+    if args.emit_utrr_golden:
+        count = emit_utrr_golden(args.emit_utrr_golden)
+        print("utrr golden trace: %d event(s) -> %s"
+              % (count, args.emit_utrr_golden))
     if args.file is None:
-        if args.emit_golden or args.emit_payload_golden:
+        if args.emit_golden or args.emit_payload_golden or args.emit_utrr_golden:
             return 0
         print("trace: need a trace file (or --emit-golden / "
-              "--emit-payload-golden PATH)")
+              "--emit-payload-golden / --emit-utrr-golden PATH)")
         return 2
     events = load_trace(args.file)
     summary = summarize(events)
@@ -366,6 +371,101 @@ def cmd_trace(args: argparse.Namespace) -> int:
     elif not args.validate or status == 0:
         print(format_summary(summary))
     return status
+
+
+#: The sync_refresh demo payload: the same double-sided loop either raw
+#: (suppressed by TRR) or preceded by the inferred-sampler prelude.
+_UTRR_DEMO_SOURCE = """\
+name sync_demo
+target dram
+
+label hammer
+sync_refresh
+loop 256 {
+    act @bank @left_row
+    act @bank @right_row
+}
+"""
+
+
+def cmd_utrr(args: argparse.Namespace) -> int:
+    """Run the U-TRR inference pipeline against a configured sampler."""
+    from repro.trace import Tracer
+    from repro.utrr import UtrrPipeline, build_utrr_target
+
+    trr_config = {
+        "tracker_capacity": args.capacity,
+        "refresh_threshold": args.threshold,
+        "sampling_policy": args.policy,
+        "per_bank": args.per_bank,
+        "seed": args.seed,
+    }
+    tracer = None
+    dram = build_utrr_target(trr_config, seed=args.seed)
+    if args.trace:
+        tracer = Tracer(dram.clock, path=args.trace)
+        dram.tracer = tracer
+    pipeline = UtrrPipeline(
+        dram,
+        tracer=tracer,
+        max_capacity=args.max_capacity,
+        cycles=args.cycles,
+    )
+    report = pipeline.infer()
+    if tracer is not None:
+        tracer.close(metrics=dram.metrics.snapshot())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    recovered = report.matches(trr_config)
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print("actual sampler:   capacity=%d policy=%s per_bank=%s"
+              % (args.capacity, args.policy, args.per_bank))
+        print("inferred sampler: capacity=%s policy=%s per_bank=%s"
+              % (report.tracker_capacity, report.sampling_policy,
+                 report.per_bank))
+        print("probes=%d activations=%d flips_observed=%d"
+              % (report.probes, report.activations, report.flips_observed))
+        print("recovered: %s" % ("yes" if recovered else "NO"))
+
+    if args.demo:
+        from repro.dram.address import DramAddress
+        from repro.payload import (
+            compile_program,
+            execute_payload,
+            parse_program,
+            resolve_program,
+        )
+
+        naive_src = _UTRR_DEMO_SOURCE.replace("sync_refresh\n", "").replace(
+            "name sync_demo", "name naive"
+        )
+        bindings = {"bank": 0, "left_row": 99, "right_row": 101}
+
+        def run_payload(source, sync_report=None):
+            flips = 0
+            for pattern in (b"\x00", b"\xff"):
+                target = build_utrr_target(trr_config, seed=args.seed)
+                addr = target.mapping.address_of(DramAddress(0, 100, 0))
+                target.write(addr, pattern * target.geometry.row_bytes)
+                program = resolve_program(
+                    parse_program(source), bindings, sync_report=sync_report
+                )
+                flips += execute_payload(
+                    compile_program(program), dram=target
+                ).flip_count
+            return flips
+
+        naive_flips = run_payload(naive_src)
+        sync_flips = run_payload(_UTRR_DEMO_SOURCE, sync_report=report)
+        print("naive double-sided flips: %d" % naive_flips)
+        print("refresh-synchronized flips: %d" % sync_flips)
+        if naive_flips == 0 and sync_flips > 0:
+            print("sync_refresh bypassed the inferred sampler")
+
+    return 0 if recovered else 1
 
 
 def _load_payload_program(path: str):
@@ -1222,7 +1322,50 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="OUT_JSONL",
                        help="regenerate the golden compiled-payload fixture "
                             "trace to OUT_JSONL")
+    trace.add_argument("--emit-utrr-golden", default=None,
+                       metavar="OUT_JSONL",
+                       help="regenerate the golden U-TRR inference fixture "
+                            "trace to OUT_JSONL")
     trace.set_defaults(func=cmd_trace)
+
+    utrr = sub.add_parser(
+        "utrr",
+        help="reverse-engineer a TRR sampler configuration from bitflips "
+             "(U-TRR-style probe battery)",
+    )
+    utrr.add_argument("--capacity", type=int, default=4,
+                      help="tracker capacity of the simulated sampler "
+                           "(default 4)")
+    utrr.add_argument("--threshold", type=int, default=24,
+                      help="refresh threshold of the simulated sampler "
+                           "(default 24)")
+    utrr.add_argument("--policy", default="counter_lru",
+                      choices=["counter_lru", "random_sample",
+                               "first_k_per_window"],
+                      help="sampling policy of the simulated sampler")
+    scope = utrr.add_mutually_exclusive_group()
+    scope.add_argument("--per-bank", dest="per_bank", action="store_true",
+                       default=True,
+                       help="per-bank trackers (default)")
+    scope.add_argument("--shared", dest="per_bank", action="store_false",
+                       help="one tracker shared across banks")
+    utrr.add_argument("--seed", type=int, default=0,
+                      help="vulnerability-model / sampler seed (default 0)")
+    utrr.add_argument("--max-capacity", type=int, default=12,
+                      help="largest tracker capacity the onset scan probes "
+                           "(default 12)")
+    utrr.add_argument("--cycles", type=int, default=512,
+                      help="hammer cycles per probe (default 512)")
+    utrr.add_argument("--report", default=None, metavar="OUT_JSON",
+                      help="write the canonical inference report JSON here")
+    utrr.add_argument("--trace", default=None, metavar="TRACE_JSONL",
+                      help="stream a structured trace of the probes here")
+    utrr.add_argument("--json", action="store_true",
+                      help="print the report as JSON instead of text")
+    utrr.add_argument("--demo", action="store_true",
+                      help="after inference, run the naive vs "
+                           "refresh-synchronized payload comparison")
+    utrr.set_defaults(func=cmd_utrr)
 
     serve = sub.add_parser(
         "serve",

@@ -17,7 +17,7 @@ randomization mitigation), the profile cannot predict entry placement and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.dram.mapping import AddressMapping
 from repro.errors import ReconError
@@ -42,6 +42,11 @@ class DeviceProfile:
     l2p_key: Optional[int] = None
     #: Refresh interval the attacker schedules around.
     refresh_interval: float = 0.064
+    #: What the attacker knows (or has inferred — see :mod:`repro.utrr`)
+    #: about the device's TRR sampler, as a plain
+    #: :meth:`repro.dram.TargetRowRefresh.to_dict` config dict.  ``None``
+    #: models a device without TRR *or* an attacker who has not probed it.
+    trr: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
 
@@ -56,13 +61,15 @@ class DeviceProfile:
         key = None
         if isinstance(l2p, HashedL2p) and know_hash_key:
             key = l2p.key
+        dram = controller.ftl.memory.dram
         return cls(
-            dram_mapping=controller.ftl.memory.dram.mapping,
+            dram_mapping=dram.mapping,
             l2p_layout=l2p.layout,
             l2p_base=l2p.base_addr,
             num_lbas=controller.ftl.num_lbas,
             l2p_key=key,
-            refresh_interval=controller.ftl.memory.dram.refresh_interval,
+            refresh_interval=dram.refresh_interval,
+            trr=dram.trr.to_dict() if dram.trr is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -34,7 +34,7 @@ from repro.dram.vulnerability import (
 )
 from repro.dram.module import DramModule, FlipEvent
 from repro.dram.ecc import SecdedCodec
-from repro.dram.trr import TargetRowRefresh
+from repro.dram.trr import SAMPLING_POLICIES, TargetRowRefresh, trr_from_config
 from repro.dram.para import Para
 from repro.dram.cache import CacheMode, FtlCpuCache
 
@@ -53,6 +53,8 @@ __all__ = [
     "FlipEvent",
     "SecdedCodec",
     "TargetRowRefresh",
+    "SAMPLING_POLICIES",
+    "trr_from_config",
     "Para",
     "CacheMode",
     "FtlCpuCache",

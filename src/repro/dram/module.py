@@ -323,6 +323,20 @@ class DramModule:
     # activation & disturbance
     # ------------------------------------------------------------------
 
+    def activate(self, bank_idx: int, row: int) -> None:
+        """One explicit row activation on the exact accounting path.
+
+        This is the U-TRR pipeline's probe primitive: a black-box caller
+        that only knows (bank, row) coordinates can drive precisely
+        ordered activation sequences — the ordering is what distinguishes
+        one sampler policy from another — without composing physical
+        addresses.  Semantics are identical to the activation side of a
+        scalar access (row-buffer hits included under ``OPEN_PAGE``).
+        """
+        if not 0 <= bank_idx < self.geometry.total_banks:
+            raise DramAddressError("bank %d out of range" % bank_idx)
+        self._touch(bank_idx, row)
+
     def _touch(self, bank_idx: int, row: int) -> None:
         """Account one access to (bank, row) on the exact path.
 
@@ -472,6 +486,17 @@ class DramModule:
             raise ConfigError("access rate must be positive")
         if total_accesses < 0:
             raise ConfigError("total accesses cannot be negative")
+        if self.trr is not None and self.trr.exact_batch_replay:
+            raise ConfigError(
+                "order-sensitive TRR configurations (policy %r, per_bank=%r, "
+                "radius %d) cannot use the closed-form hammer path; drive "
+                "activations through access_batch or scalar accesses"
+                % (
+                    self.trr.sampling_policy,
+                    self.trr.per_bank,
+                    self.trr.neighbor_radius,
+                )
+            )
         plan = self._pattern_plans.get(tuple(pattern))
         if plan is None:
             plan = self._plan_for(pattern)
@@ -827,6 +852,8 @@ class DramModule:
                 counts[key] = counts.get(key, 0) + n
         if not counts:
             return []
+        if self.trr is not None and self.trr.exact_batch_replay:
+            return self._access_batch_exact(counts)
         flips_before = len(self.flips)
         epoch = self.clock.epoch(self.refresh_interval)
         trr = self.trr
@@ -845,6 +872,110 @@ class DramModule:
         if self.tracer is not None:
             self.tracer.emit("dram.activate", count=total)
         self._evaluate_batch_victims(bank_rows)
+        return self.flips[flips_before:]
+
+    def activate_burst(
+        self, activations: Sequence[Tuple[int, int]]
+    ) -> List[FlipEvent]:
+        """Apply an explicitly *ordered* sequence of (bank, row) ACTs.
+
+        The exact-path sibling of :meth:`access_batch`: every entry runs
+        the full per-activation sampler + victim pipeline a scalar access
+        loop would (the row buffer is bypassed — each entry is a true
+        activation by definition), but the caller controls the precise
+        interleaving and the trace carries one aggregated activation
+        event.  This is the U-TRR pipeline's hammer primitive: sampler
+        policies are distinguished by activation *order*, which a
+        coalesced histogram cannot express.
+        """
+        total_banks = self.geometry.total_banks
+        rows_per_bank = self._rows_per_bank
+        for bank_idx, row in activations:
+            if not 0 <= bank_idx < total_banks:
+                raise DramAddressError("bank %d out of range" % bank_idx)
+            if not 0 <= row < rows_per_bank:
+                raise DramAddressError(
+                    "row %d out of range in bank %d" % (row, bank_idx)
+                )
+        return self._replay_activations(activations)
+
+    def _access_batch_exact(self, counts: Dict[Tuple[int, int], int]) -> List[FlipEvent]:
+        """Order-sensitive replay of an activation histogram.
+
+        Which rows an order-sensitive sampler (``random_sample``,
+        ``first_k_per_window``, shared trackers, wide radii) holds depends
+        on the activation *sequence*, so the cap-or-evade approximation is
+        unfaithful.  This path reconstructs the canonical interleaving a
+        coalesced burst stands for — cycling over the histogram's distinct
+        (bank, row) keys in first-seen order — and replays it exactly.
+        """
+
+        def round_robin():
+            remaining = dict(counts)
+            keys = list(counts)
+            while remaining:
+                for key in keys:
+                    n = remaining.get(key)
+                    if not n:
+                        continue
+                    yield key
+                    if n == 1:
+                        del remaining[key]
+                    else:
+                        remaining[key] = n - 1
+
+        return self._replay_activations(round_robin())
+
+    def _replay_activations(self, seq) -> List[FlipEvent]:
+        """Run pre-validated (bank, row) activations one-by-one through
+        the exact sampler + victim pipeline (shared by
+        :meth:`activate_burst` and :meth:`_access_batch_exact`)."""
+        flips_before = len(self.flips)
+        epoch = self.clock.epoch(self.refresh_interval)
+        trr = self.trr
+        para = self.para
+        tracer = self.tracer
+        rows_per_bank = self._rows_per_bank
+        banks = self.banks
+        deltas = self._victim_deltas
+        rolled: set = set()
+        total = 0
+        for bank_idx, row in seq:
+            bank = banks[bank_idx]
+            if bank_idx not in rolled:
+                if bank.roll_epoch(epoch) and trr is not None:
+                    trr.on_window(bank_idx)
+                rolled.add(bank_idx)
+            bank.acts[row] = bank.acts.get(row, 0) + 1
+            total += 1
+            if trr is not None:
+                victims = trr.on_activation(bank_idx, row)
+                if victims:
+                    if tracer is not None:
+                        tracer.emit(
+                            "dram.trr", bank=bank_idx, row=row, victims=len(victims)
+                        )
+                    for victim in victims:
+                        if 0 <= victim < rows_per_bank:
+                            bank.refresh_victim(victim)
+            if para is not None:
+                victims = para.on_activation(bank_idx, row)
+                if victims:
+                    if tracer is not None:
+                        tracer.emit(
+                            "dram.para", bank=bank_idx, row=row, victims=len(victims)
+                        )
+                    for victim in victims:
+                        if 0 <= victim < rows_per_bank:
+                            bank.refresh_victim(victim)
+            for delta in deltas:
+                victim = row + delta
+                if 0 <= victim < rows_per_bank:
+                    self._check_victim(bank, victim)
+        if total:
+            self._activations.add(total)
+            if tracer is not None:
+                tracer.emit("dram.activate", count=total)
         return self.flips[flips_before:]
 
     def _evaluate_batch_victims(self, bank_rows: Dict[int, List[int]]) -> None:

@@ -475,6 +475,64 @@ def _trial_payload(trial: TrialSpec) -> Dict[str, Any]:
     }
 
 
+# -- built-in: utrr -----------------------------------------------------
+
+
+def _trial_utrr(trial: TrialSpec) -> Dict[str, Any]:
+    """One U-TRR inference run against a configured TRR sampler.
+
+    The sweepable axes are the sampler's hidden knobs —
+    ``tracker_capacity``, ``refresh_threshold``, ``sampling_policy``,
+    ``per_bank``, ``neighbor_radius`` — plus the pipeline's probe budget
+    (``max_capacity``, ``cycles``).  The flat ``recovered`` field is the
+    correctness gate: did black-box inference get the configured capacity
+    and policy back?
+    """
+    from repro.utrr import UtrrPipeline, build_utrr_target
+
+    params = dict(trial.params)
+    seed = int(params.pop("seed", trial.seed))
+    trr_config = {
+        "tracker_capacity": int(params.pop("tracker_capacity", 4)),
+        "refresh_threshold": int(params.pop("refresh_threshold", 24)),
+        "sampling_policy": params.pop("sampling_policy", "counter_lru"),
+        "per_bank": bool(params.pop("per_bank", True)),
+        "neighbor_radius": int(params.pop("neighbor_radius", 1)),
+        "seed": seed,
+    }
+    max_capacity = int(params.pop("max_capacity", 12))
+    cycles = int(params.pop("cycles", 512))
+    if params:
+        raise ConfigError("unknown utrr trial params: %s" % sorted(params))
+
+    tracer = None
+    dram = build_utrr_target(trr_config, seed=seed)
+    if _TRACE_DIR is not None:
+        from repro.trace import Tracer
+
+        tracer = Tracer(
+            dram.clock,
+            path=os.path.join(_TRACE_DIR, "%s.trace.jsonl" % trial.trial_id),
+        )
+        dram.tracer = tracer
+    report = UtrrPipeline(
+        dram, tracer=tracer, max_capacity=max_capacity, cycles=cycles
+    ).infer()
+    if tracer is not None:
+        tracer.close(metrics=dram.metrics.snapshot())
+    return {
+        "recovered": report.matches(trr_config),
+        "inferred_capacity": report.tracker_capacity,
+        "inferred_policy": report.sampling_policy,
+        "inferred_per_bank": report.per_bank,
+        "actual_capacity": trr_config["tracker_capacity"],
+        "actual_policy": trr_config["sampling_policy"],
+        "probes": report.probes,
+        "activations": report.activations,
+        "flips_observed": report.flips_observed,
+    }
+
+
 # -- built-in soak kinds (scheduler testing) ----------------------------
 
 
@@ -513,6 +571,7 @@ register_trial_kind("mitigation", _trial_mitigation)
 register_trial_kind("serve", _trial_serve)
 register_trial_kind("serve_chaos", _trial_serve_chaos)
 register_trial_kind("payload", _trial_payload)
+register_trial_kind("utrr", _trial_utrr)
 register_trial_kind("fault_campaign", _trial_fault_campaign)
 register_trial_kind("sleep", _trial_sleep)
 register_trial_kind("flaky", _trial_flaky)

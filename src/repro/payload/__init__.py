@@ -46,10 +46,13 @@ from repro.payload.program import (
     Read,
     Refresh,
     Step,
+    SyncRefresh,
     Wait,
 )
 from repro.payload.resolver import (
+    SyncRefreshError,
     UnboundPlaceholderError,
+    apply_sync_refresh,
     recon_bindings,
     resolve_program,
 )
@@ -75,9 +78,12 @@ __all__ = [
     "Read",
     "Refresh",
     "Step",
+    "SyncRefresh",
+    "SyncRefreshError",
     "TEMPLATES",
     "UnboundPlaceholderError",
     "Wait",
+    "apply_sync_refresh",
     "build_template",
     "compile_program",
     "double_sided_program",

@@ -31,6 +31,7 @@ from repro.payload.program import (
     Read,
     Refresh,
     Step,
+    SyncRefresh,
     Wait,
     is_placeholder,
 )
@@ -199,6 +200,13 @@ def compile_program(program: Program) -> CompiledPayload:
                     )
                 instructions.append(Instr(OpCode.REF))
                 totals["refreshes"] += multiplier
+            elif isinstance(step, SyncRefresh):
+                raise CompileError(
+                    "%s: 'sync_refresh' is a resolver hint, not an "
+                    "instruction — expand it first against a U-TRR "
+                    "inference report (resolver.apply_sync_refresh, or "
+                    "resolve_program with sync_report=...)" % where
+                )
             elif isinstance(step, Wait):
                 if step.seconds < 0:
                     raise CompileError(

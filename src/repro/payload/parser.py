@@ -23,6 +23,7 @@ Grammar (per line)::
     pre
     wait <seconds>
     refresh
+    sync_refresh              resolver hint: expand against a U-TRR report
     label <ident>
     loop <count> {            body runs until the matching '}'
     }
@@ -47,6 +48,7 @@ from repro.payload.program import (
     Read,
     Refresh,
     Step,
+    SyncRefresh,
     TARGETS,
     Wait,
 )
@@ -221,6 +223,9 @@ def parse_program(text: str, default_name: str = "payload") -> Program:
         elif keyword == "refresh":
             _expect_argc(tokens, 0, "refresh")
             current.append(Refresh())
+        elif keyword == "sync_refresh":
+            _expect_argc(tokens, 0, "sync_refresh")
+            current.append(SyncRefresh())
         elif keyword == "label":
             _expect_argc(tokens, 1, "label <ident>")
             if not _IDENT.match(tokens[1].text):
@@ -256,7 +261,7 @@ def parse_program(text: str, default_name: str = "payload") -> Program:
         else:
             raise ParseError(
                 "unknown keyword %r (expected act, read, pre, wait, refresh, "
-                "label, loop, or '}')" % keyword,
+                "sync_refresh, label, loop, or '}')" % keyword,
                 head.line,
                 head.col,
             )
@@ -298,6 +303,8 @@ def format_program(program: Program) -> str:
                 lines.append("%swait %s" % (pad, repr(step.seconds)))
             elif isinstance(step, Refresh):
                 lines.append("%srefresh" % pad)
+            elif isinstance(step, SyncRefresh):
+                lines.append("%ssync_refresh" % pad)
             elif isinstance(step, Label):
                 lines.append("%slabel %s" % (pad, step.name))
             elif isinstance(step, Loop):

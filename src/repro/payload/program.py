@@ -1,7 +1,8 @@
 """The payload program model: hammer patterns as data, not code.
 
 A :class:`Program` is an ordered tree of steps — ``act``, ``read``,
-``pre``, ``wait``, ``refresh``, ``label``, and (nestable) ``loop`` — that
+``pre``, ``wait``, ``refresh``, ``sync_refresh``, ``label``, and
+(nestable) ``loop`` — that
 describes an attack payload the way Phoenix's PyRAM and the litex payload
 executor describe DDR command streams: declaratively, with *placeholders*
 (``@name``) standing in for the concrete rows/LBAs that only live recon
@@ -17,7 +18,7 @@ Two execution targets exist:
 * ``dram`` — the program drives the :class:`~repro.dram.module.DramModule`
   directly with *(bank, row)* activations, the substrate for
   refresh-aligned and U-TRR-style experiments.  Steps: ``act``, ``pre``,
-  ``wait``, ``refresh``, ``label``, ``loop``.
+  ``wait``, ``refresh``, ``sync_refresh``, ``label``, ``loop``.
 
 The pipeline is parse -> resolve -> compile -> execute; each stage lives
 in its own module and is individually testable.
@@ -108,6 +109,20 @@ class Refresh:
 
 
 @dataclass(frozen=True)
+class SyncRefresh:
+    """Synchronize with the TRR sampler (dram target).
+
+    A *resolver hint*, not an executable step: given a U-TRR inference
+    report (:class:`repro.utrr.InferenceReport`),
+    :func:`repro.payload.resolver.apply_sync_refresh` expands it into the
+    concrete ``refresh`` + decoy-``act`` prelude that blinds the inferred
+    sampler — filling a first-K registry with sacrificial rows, or padding
+    the hammer loop past the tracker's churn point.  A ``sync_refresh``
+    that reaches the compiler unexpanded is an error.
+    """
+
+
+@dataclass(frozen=True)
 class Label:
     """A named marker; traced as ``payload.label``, otherwise inert."""
 
@@ -123,7 +138,7 @@ class Loop:
     body: Tuple["Step", ...]
 
 
-Step = Union[Act, Read, Pre, Wait, Refresh, Label, Loop]
+Step = Union[Act, Read, Pre, Wait, Refresh, SyncRefresh, Label, Loop]
 
 #: JSON ``op`` tag per step class.
 _OP_NAMES = {
@@ -132,6 +147,7 @@ _OP_NAMES = {
     Pre: "pre",
     Wait: "wait",
     Refresh: "refresh",
+    SyncRefresh: "sync_refresh",
     Label: "label",
     Loop: "loop",
 }
@@ -150,6 +166,8 @@ def step_to_dict(step: Step) -> Dict[str, Any]:
         return {"op": "wait", "seconds": step.seconds}
     if isinstance(step, Refresh):
         return {"op": "refresh"}
+    if isinstance(step, SyncRefresh):
+        return {"op": "sync_refresh"}
     if isinstance(step, Label):
         return {"op": "label", "name": step.name}
     if isinstance(step, Loop):
@@ -182,6 +200,8 @@ def step_from_dict(raw: Any) -> Step:
         return Wait(seconds=float(seconds))
     if op == "refresh":
         return Refresh()
+    if op == "sync_refresh":
+        return SyncRefresh()
     if op == "label":
         name = raw.get("name")
         if not isinstance(name, str) or not name:

@@ -40,7 +40,9 @@ from repro.payload.program import (
     PayloadError,
     Program,
     Read,
+    Refresh,
     Step,
+    SyncRefresh,
     is_placeholder,
 )
 
@@ -104,12 +106,16 @@ def resolve_program(
     program: Program,
     bindings: Optional[Mapping[str, int]] = None,
     require_complete: bool = True,
+    sync_report=None,
 ) -> Program:
     """Substitute ``bindings`` into every placeholder operand.
 
     With ``require_complete`` (the default) any placeholder left unbound
     raises :class:`UnboundPlaceholderError`; pass ``False`` to apply a
-    partial table (e.g. sweep axes first, recon later).
+    partial table (e.g. sweep axes first, recon later).  With
+    ``sync_report`` (a :class:`repro.utrr.InferenceReport`), any
+    ``sync_refresh`` hints are then expanded against it — see
+    :func:`apply_sync_refresh`.
     """
     bindings = dict(bindings or {})
     resolved = Program(
@@ -121,7 +127,175 @@ def resolve_program(
         leftover = resolved.placeholders()
         if leftover:
             raise UnboundPlaceholderError(leftover, bindings)
+    if sync_report is not None:
+        resolved = apply_sync_refresh(resolved, sync_report)
     return resolved
+
+
+# ---------------------------------------------------------------------------
+# sync_refresh expansion
+# ---------------------------------------------------------------------------
+
+
+class SyncRefreshError(PayloadError):
+    """A ``sync_refresh`` hint could not be expanded."""
+
+
+def _program_act_rows(steps) -> set:
+    rows = set()
+    for step in steps:
+        if isinstance(step, Act) and not is_placeholder(step.row):
+            rows.add(step.row)
+        elif isinstance(step, Loop):
+            rows |= _program_act_rows(step.body)
+    return rows
+
+
+def _distinct_act_keys(body) -> set:
+    keys = set()
+    for step in body:
+        keys.add((step.bank, step.row))
+    return keys
+
+
+def _pad_loops(steps, decoys, bank, target_distinct):
+    """Append decoy activations to every all-``act`` loop body until it
+    cycles through at least ``target_distinct`` distinct rows."""
+    out = []
+    padded = 0
+    for step in steps:
+        if isinstance(step, Loop):
+            if step.body and all(isinstance(s, Act) for s in step.body):
+                need = target_distinct - len(_distinct_act_keys(step.body))
+                if need > 0:
+                    if need > len(decoys):
+                        raise SyncRefreshError(
+                            "sync_refresh needs %d decoy rows to overflow the "
+                            "tracker but the report only offers %d usable ones"
+                            % (need, len(decoys))
+                        )
+                    extra = tuple(Act(bank=bank, row=d) for d in decoys[:need])
+                    step = Loop(count=step.count, body=step.body + extra)
+                    padded += 1
+            else:
+                inner, inner_padded = _pad_loops(
+                    step.body, decoys, bank, target_distinct
+                )
+                step = Loop(count=step.count, body=tuple(inner))
+                padded += inner_padded
+        out.append(step)
+    return out, padded
+
+
+def apply_sync_refresh(program: Program, report) -> Program:
+    """Expand every ``sync_refresh`` hint against a U-TRR inference report.
+
+    The expansion is the attack the report enables: slot the hammer into
+    the gap the inferred sampler leaves open.
+
+    ``first_k_per_window``
+        ``refresh`` (start a fresh window, emptying the registry), then
+        one activation per decoy row until the registry's ``capacity``
+        slots are burned — every later aggressor activation goes
+        unsampled.
+
+    ``counter_lru``
+        ``refresh``, then pad each hammer loop with decoy rows until it
+        cycles ``capacity + 1`` distinct rows: the oldest minimum-count
+        entry is always the next row to arrive, so the tracker churns at
+        count one and no counter ever reaches the trigger threshold.
+
+    ``random_sample``
+        As ``counter_lru`` but padded to ``capacity + 2`` distinct rows
+        for slack — eviction is stochastic, so the extra decoy keeps the
+        expected tracked lifetime of any aggressor short.
+
+    Decoy rows come from ``report.decoy_rows``, filtered to sit at least
+    three rows from every concrete aggressor the program activates so the
+    decoys disturb nobody the program cares about.
+    """
+    has_hint = any(isinstance(s, SyncRefresh) for s in program.walk())
+    if not has_hint:
+        return program
+    if program.target != "dram":
+        raise SyncRefreshError(
+            "sync_refresh requires the 'dram' target (this program targets "
+            "%r): refresh synchronization acts on physical (bank, row) "
+            "activations" % program.target
+        )
+    for step in program.walk():
+        if isinstance(step, Loop) and any(
+            isinstance(s, SyncRefresh) for s in step.body
+        ):
+            raise SyncRefreshError(
+                "sync_refresh cannot appear inside a loop — the expansion "
+                "is a one-time window prelude"
+            )
+    capacity = getattr(report, "tracker_capacity", None)
+    policy = getattr(report, "sampling_policy", None)
+    if not isinstance(capacity, int) or capacity < 1 or policy not in (
+        "counter_lru",
+        "random_sample",
+        "first_k_per_window",
+    ):
+        raise SyncRefreshError(
+            "sync_refresh needs an inference report with a usable sampler "
+            "estimate (got capacity=%r, policy=%r) — run the U-TRR pipeline "
+            "first" % (capacity, policy)
+        )
+    acts = [
+        step
+        for step in program.walk()
+        if isinstance(step, Act) and not is_placeholder(step.row)
+    ]
+    if not acts or any(is_placeholder(a.bank) for a in acts):
+        raise SyncRefreshError(
+            "sync_refresh expansion runs after binding: the program must "
+            "contain fully-resolved 'act' steps so decoys can avoid them"
+        )
+    bank = acts[0].bank
+    act_rows = _program_act_rows(program.steps)
+    decoys = [
+        row
+        for row in getattr(report, "decoy_rows", [])
+        if all(abs(row - used) > 2 for used in act_rows)
+    ]
+
+    if policy == "first_k_per_window":
+        if capacity > len(decoys):
+            raise SyncRefreshError(
+                "sync_refresh needs %d decoy rows to fill the first-%d "
+                "registry but the report only offers %d usable ones"
+                % (capacity, capacity, len(decoys))
+            )
+        prelude = [Refresh()] + [
+            Act(bank=bank, row=row) for row in decoys[:capacity]
+        ]
+        steps = []
+        for step in program.steps:
+            if isinstance(step, SyncRefresh):
+                steps.extend(prelude)
+            else:
+                steps.append(step)
+        return Program(name=program.name, target=program.target, steps=tuple(steps))
+
+    target_distinct = capacity + (1 if policy == "counter_lru" else 2)
+    steps = []
+    for step in program.steps:
+        if isinstance(step, SyncRefresh):
+            steps.append(Refresh())
+        else:
+            steps.append(step)
+    padded_steps, padded = _pad_loops(steps, decoys, bank, target_distinct)
+    if not padded:
+        raise SyncRefreshError(
+            "sync_refresh against a %r sampler pads the hammer loop with "
+            "decoy rows, but the program has no all-'act' loop to pad"
+            % policy
+        )
+    return Program(
+        name=program.name, target=program.target, steps=tuple(padded_steps)
+    )
 
 
 # ---------------------------------------------------------------------------

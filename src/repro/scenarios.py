@@ -18,14 +18,14 @@ the analytic model at paper scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.dram.cache import CacheMode, FtlCpuCache
 from repro.dram.geometry import DramGeometry
 from repro.dram.mapping import XorBankMapping
 from repro.dram.module import DramModule
 from repro.dram.para import Para
-from repro.dram.trr import TargetRowRefresh
+from repro.dram.trr import TargetRowRefresh, trr_from_config
 from repro.dram.vulnerability import (
     GenerationProfile,
     PAPER_TESTBED_PROFILE,
@@ -160,7 +160,7 @@ def build_cloud_testbed(
     attacker_host_iops: Optional[float] = None,
     victim_host_iops: Optional[float] = 200_000.0,
     ecc: bool = False,
-    trr: Optional[TargetRowRefresh] = None,
+    trr: Union[None, Dict[str, Any], TargetRowRefresh] = None,
     para: Optional[Para] = None,
     refresh_interval: float = 0.064,
     rate_limiter: Optional[IopsRateLimiter] = None,
@@ -204,7 +204,7 @@ def build_cloud_testbed(
         clock,
         mapping=mapping_cls(dram_geometry),
         ecc=ecc,
-        trr=trr,
+        trr=trr_from_config(trr),
         para=para,
         refresh_interval=refresh_interval,
         tracer=tracer,

@@ -66,6 +66,11 @@ class DeviceConfig:
     #: exhausting it degrades the device to read-only (the serving
     #: degradation path chaos scenarios exercise).
     spare_blocks: int = 0
+    #: In-DRAM TRR mitigation config (``tracker_capacity`` /
+    #: ``refresh_threshold`` / ``sampling_policy`` / ...), as a plain JSON
+    #: dict forwarded to :func:`repro.dram.trr_from_config`.  ``None``
+    #: serves without TRR.
+    trr: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.num_lbas < 1:
@@ -79,6 +84,13 @@ class DeviceConfig:
             raise ConfigError("hammer_amplification must be at least 1")
         if self.spare_blocks < 0:
             raise ConfigError("spare_blocks cannot be negative")
+        if self.trr is not None:
+            from repro.dram import trr_from_config
+
+            try:
+                trr_from_config(dict(self.trr))
+            except (TypeError, ValueError) as exc:
+                raise ConfigError("bad trr config: %s" % exc)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "DeviceConfig":
@@ -91,6 +103,7 @@ class DeviceConfig:
             "hammer_amplification",
             "prefill",
             "spare_blocks",
+            "trr",
         ):
             if key in data:
                 kwargs[key] = data.pop(key)
@@ -99,7 +112,7 @@ class DeviceConfig:
         return cls(**kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "num_lbas": self.num_lbas,
             "profile": self.profile,
             "layout": self.layout,
@@ -107,6 +120,9 @@ class DeviceConfig:
             "prefill": self.prefill,
             "spare_blocks": self.spare_blocks,
         }
+        if self.trr is not None:
+            out["trr"] = dict(self.trr)
+        return out
 
 
 @dataclass
@@ -260,6 +276,7 @@ def run_scenario(
             hammer_amplification=scenario.device.hammer_amplification
         ),
         spare_blocks=scenario.device.spare_blocks,
+        trr=dict(scenario.device.trr) if scenario.device.trr else None,
         trace_path=trace_path,
     )
 

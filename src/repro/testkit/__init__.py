@@ -45,6 +45,7 @@ from repro.testkit.reference import (
     DisturbanceAccumulator,
     ShadowL2p,
     ShadowStore,
+    ShadowTrr,
 )
 from repro.testkit.trace import Op, Trace, generate_trace
 from repro.testkit.fuzzer import CampaignReport, replay_trace, run_campaign, shrink_trace
@@ -62,6 +63,7 @@ __all__ = [
     "SMALL_FLASH",
     "ShadowL2p",
     "ShadowStore",
+    "ShadowTrr",
     "Trace",
     "build_stack",
     "check_dram",

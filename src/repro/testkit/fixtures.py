@@ -14,6 +14,7 @@ from repro.dram import (
     FtlCpuCache,
     GenerationProfile,
     VulnerabilityModel,
+    trr_from_config,
 )
 from repro.flash import FlashArray, FlashGeometry
 from repro.ftl import FtlConfig, PageMappingFtl
@@ -106,7 +107,7 @@ def build_stack(
         vuln,
         clock,
         mapping=mapping,
-        trr=trr,
+        trr=trr_from_config(trr),
         para=para,
         ecc=ecc,
         tracer=tracer,

@@ -143,3 +143,82 @@ class DisturbanceAccumulator:
 
     def touched_rows(self) -> List[Tuple[int, int]]:
         return sorted(self.counts)
+
+
+class ShadowTrr:
+    """Brute-force reference TRR sampler: an exact, unbounded ledger.
+
+    Tracks *every* row's activation count since its bank's window start —
+    no capacity limit, no eviction, no sampling.  It mirrors the real
+    sampler's call surface (:meth:`on_activation` / :meth:`on_window`)
+    and trigger rule (count reaching the threshold refreshes the
+    neighbours and resets), so driving both with the same activation
+    stream exposes exactly what the real sampler's *sampling* loses:
+
+    * **Safety invariant** — within a window, a row's cumulative trigger
+      count under the real sampler can never exceed the shadow's.  The
+      shadow triggers every ``threshold`` activations; a capacity-limited
+      sampler only counts the subset it kept tracked, so it can only lag.
+      The real sampler refreshing a row the shadow hasn't (yet) means it
+      invented activations — a counting bug.
+    * **Miss set** — :meth:`missed_against` quantifies the rows where the
+      shadow out-triggered a real sampler: the victims the policy left
+      unprotected, which is precisely the surface U-TRR probes measure.
+    """
+
+    def __init__(self, refresh_threshold: int = 8192, neighbor_radius: int = 1):
+        if refresh_threshold < 1:
+            raise ValueError("refresh threshold must be at least 1")
+        if neighbor_radius < 1:
+            raise ValueError("neighbor radius must be at least 1")
+        self.refresh_threshold = refresh_threshold
+        self.neighbor_radius = neighbor_radius
+        #: (bank, row) -> activations since that bank's window start.
+        self.counts: Dict[Tuple[int, int], int] = {}
+        #: (bank, row) -> triggers fired in the current window.
+        self.triggers: Dict[Tuple[int, int], int] = {}
+        self.refreshes_issued = 0
+
+    def would_refresh(self, bank: int, row: int) -> bool:
+        """Whether the *next* activation of (bank, row) would trigger."""
+        return self.counts.get((bank, row), 0) + 1 >= self.refresh_threshold
+
+    def on_activation(self, bank: int, row: int) -> List[int]:
+        """Account one activation; returns victim rows when triggering
+        (the same protocol as the real sampler)."""
+        key = (bank, row)
+        count = self.counts.get(key, 0) + 1
+        if count < self.refresh_threshold:
+            self.counts[key] = count
+            return []
+        self.counts[key] = 0
+        self.triggers[key] = self.triggers.get(key, 0) + 1
+        self.refreshes_issued += 1
+        radius = self.neighbor_radius
+        return [row - d for d in range(radius, 0, -1)] + [
+            row + d for d in range(1, radius + 1)
+        ]
+
+    def on_window(self, bank: int) -> None:
+        """A refresh window rolled in ``bank``: its ledger restarts."""
+        for key in [k for k in self.counts if k[0] == bank]:
+            del self.counts[key]
+        for key in [k for k in self.triggers if k[0] == bank]:
+            del self.triggers[key]
+
+    def trigger_count(self, bank: int, row: int) -> int:
+        return self.triggers.get((bank, row), 0)
+
+    def missed_against(self, real_triggers: Dict[Tuple[int, int], int]):
+        """Rows the real sampler under-protected this window.
+
+        ``real_triggers`` maps (bank, row) -> triggers the real sampler
+        fired.  Returns {key: shadow_triggers - real_triggers} for every
+        row where the shadow fired more — the policy's miss set.
+        """
+        missed: Dict[Tuple[int, int], int] = {}
+        for key, fired in self.triggers.items():
+            lag = fired - real_triggers.get(key, 0)
+            if lag > 0:
+                missed[key] = lag
+        return missed

@@ -16,10 +16,13 @@ entry points:
 from repro.trace.chrome import to_chrome, write_chrome
 from repro.trace.golden import (
     GOLDEN_SEED,
+    UTRR_GOLDEN_TRR,
     emit_golden,
     emit_payload_golden,
+    emit_utrr_golden,
     run_golden_scenario,
     run_payload_golden_scenario,
+    run_utrr_golden_scenario,
 )
 from repro.trace.schema import (
     EVENT_SCHEMAS,
@@ -49,8 +52,11 @@ __all__ = [
     "to_chrome",
     "write_chrome",
     "GOLDEN_SEED",
+    "UTRR_GOLDEN_TRR",
     "emit_golden",
     "emit_payload_golden",
+    "emit_utrr_golden",
     "run_golden_scenario",
     "run_payload_golden_scenario",
+    "run_utrr_golden_scenario",
 ]

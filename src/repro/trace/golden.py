@@ -172,3 +172,40 @@ def emit_payload_golden(path: str) -> int:
     """Stream the payload golden trace to ``path``; returns events written."""
     tracer = run_payload_golden_scenario(tracer_path=path)
     return tracer.emitted
+
+
+#: The TRR configuration the golden U-TRR inference run reverse-engineers
+#: (small capacity keeps the onset scan — and the fixture — short).
+UTRR_GOLDEN_TRR = {
+    "tracker_capacity": 2,
+    "refresh_threshold": 24,
+    "sampling_policy": "first_k_per_window",
+    "per_bank": True,
+}
+
+
+def run_utrr_golden_scenario(tracer_path=None, max_events: int = 200_000):
+    """The U-TRR golden: a full inference run against a known sampler.
+
+    Runs the probe battery (:class:`repro.utrr.UtrrPipeline`) against a
+    FRAGILE target guarded by :data:`UTRR_GOLDEN_TRR`, tracing every
+    ``utrr.*`` stage/probe/report event plus the underlying ``dram.*``
+    activity.  Pure function of :data:`GOLDEN_SEED`; returns
+    ``(tracer, report)``.
+    """
+    from repro.utrr import UtrrPipeline, build_utrr_target
+
+    clock = SimClock()
+    tracer = Tracer(clock, path=tracer_path, max_events=max_events)
+    dram = build_utrr_target(
+        UTRR_GOLDEN_TRR, seed=GOLDEN_SEED, clock=clock, tracer=tracer
+    )
+    report = UtrrPipeline(dram, tracer=tracer).infer()
+    tracer.close(metrics=merge_snapshots(dram.metrics))
+    return tracer, report
+
+
+def emit_utrr_golden(path: str) -> int:
+    """Stream the U-TRR golden trace to ``path``; returns events written."""
+    tracer, _report = run_utrr_golden_scenario(tracer_path=path)
+    return tracer.emitted

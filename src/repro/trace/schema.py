@@ -188,6 +188,21 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
         "required": {"program": _STR, "label": _STR},
         "optional": {},
     },
+    # -- U-TRR reverse-engineering pipeline ------------------------------
+    "utrr.stage": {
+        "required": {"stage": _STR, "probe": _INT},
+        "optional": {"epoch": _INT, "acts": _INT, "flips": _INT,
+                     "rows": _INT},
+    },
+    "utrr.probe": {
+        "required": {"probe": _INT, "kind": _STR, "distinct": _INT,
+                     "flipped": _INT},
+        "optional": {},
+    },
+    "utrr.report": {
+        "required": {"policy": _STR, "probes": _INT},
+        "optional": {"capacity": _INT, "per_bank": _BOOL},
+    },
     # -- attack orchestration --------------------------------------------
     "attack.hammer": {
         "required": {"plan": _STR, "lbas": _INT, "ios": _INT,

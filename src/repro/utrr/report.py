@@ -1,0 +1,109 @@
+"""The U-TRR pipeline's structured inference report.
+
+Everything the pipeline concludes about a device's TRR sampler — from
+observed bitflips alone — lands here: the estimated tracker capacity, the
+sampling policy, per-bank vs shared trigger behaviour, and the raw
+per-probe evidence the conclusions rest on.  The report is the contract
+between inference and exploitation: :func:`repro.payload.apply_sync_refresh`
+consumes it (``sampling_policy`` + ``tracker_capacity`` + ``decoy_rows``)
+to synthesize a refresh-synchronized payload that slips into the gap the
+sampler leaves open.
+
+Reports serialize canonically (:meth:`InferenceReport.to_json` sorts keys)
+so two runs of the same pipeline are byte-comparable in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: ``sampling_policy`` value when no probe produced a usable signal.
+POLICY_UNKNOWN = "unknown"
+
+#: ``sampling_policy`` value when the baseline probe flipped: the device
+#: has no effective activation-sampling protection at all.
+POLICY_NONE = "none"
+
+
+@dataclass
+class InferenceReport:
+    """What the pipeline inferred about the target's TRR sampler."""
+
+    #: Estimated sampler capacity (``None`` when no probe ever flipped —
+    #: the sampler, if any, outlasted every pattern we could afford).
+    tracker_capacity: Optional[int]
+    #: Inferred sampling policy, or :data:`POLICY_UNKNOWN`.
+    sampling_policy: str
+    #: Whether each bank appears to own a private tracker.  ``None`` when
+    #: the cross-bank probe could not run (single-bank device or no
+    #: capacity estimate to size it with).
+    per_bank: Optional[bool]
+    #: Bank the single-bank probes ran against.
+    bank: int
+    #: Number of probes executed.
+    probes: int
+    #: Total row activations the pipeline spent.
+    activations: int
+    #: Total victim rows observed flipped across all probes.
+    flips_observed: int
+    #: Rows the pipeline verified as safe sampler filler — far from every
+    #: probe victim — for refresh-synchronized payloads to use as decoys.
+    decoy_rows: List[int] = field(default_factory=list)
+    #: Raw per-probe outcomes (probe kind, distinct rows, flipped rows).
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tracker_capacity": self.tracker_capacity,
+            "sampling_policy": self.sampling_policy,
+            "per_bank": self.per_bank,
+            "bank": self.bank,
+            "probes": self.probes,
+            "activations": self.activations,
+            "flips_observed": self.flips_observed,
+            "decoy_rows": list(self.decoy_rows),
+            "evidence": self.evidence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "InferenceReport":
+        data = dict(data)
+        kwargs = {
+            "tracker_capacity": data.pop("tracker_capacity"),
+            "sampling_policy": data.pop("sampling_policy"),
+            "per_bank": data.pop("per_bank"),
+            "bank": data.pop("bank"),
+            "probes": data.pop("probes"),
+            "activations": data.pop("activations"),
+            "flips_observed": data.pop("flips_observed"),
+            "decoy_rows": list(data.pop("decoy_rows", [])),
+            "evidence": data.pop("evidence", {}),
+        }
+        if data:
+            raise ValueError("unknown report keys: %s" % sorted(data))
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Canonical (sorted-keys) JSON — byte-comparable across runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def matches(self, trr_config: Dict[str, Any]) -> bool:
+        """Did inference recover this actual device configuration?
+
+        The correctness gate for sweeps and CI: capacity and policy must
+        match exactly, and per-bank behaviour must match when it was
+        probed at all.
+        """
+        if self.tracker_capacity != trr_config.get("tracker_capacity"):
+            return False
+        if self.sampling_policy != trr_config.get("sampling_policy", "counter_lru"):
+            return False
+        if self.per_bank is not None and self.per_bank != trr_config.get(
+            "per_bank", True
+        ):
+            return False
+        return True

@@ -1,0 +1,17 @@
+"""The U-TRR pipeline's experiment stages."""
+
+from repro.utrr.stage.align import AlignToRefreshStage
+from repro.utrr.stage.base import ProbeContext, Stage
+from repro.utrr.stage.check import PATTERNS, BitflipCheckStage
+from repro.utrr.stage.disable import DisableRefreshStage
+from repro.utrr.stage.hammer import HammerStage
+
+__all__ = [
+    "AlignToRefreshStage",
+    "BitflipCheckStage",
+    "DisableRefreshStage",
+    "HammerStage",
+    "ProbeContext",
+    "Stage",
+    "PATTERNS",
+]

@@ -1,0 +1,34 @@
+"""Align-to-refresh stage.
+
+U-TRR's first trick: every probe starts at a refresh-window boundary so
+the sampler's window-scoped state (count tables, first-K registries) is
+freshly cleared and the probe's activation order *is* the order the
+sampler sees.  The stage advances the simulated clock just past the next
+boundary, using the same float-boundary nudge
+:meth:`repro.dram.DramModule.hammer` applies — landing exactly *on* the
+boundary would leave the epoch unrolled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.utrr.stage.base import ProbeContext, Stage
+
+
+class AlignToRefreshStage(Stage):
+    """Advance the clock into the start of the next refresh window."""
+
+    name = "align_to_refresh"
+
+    def run(self, ctx: ProbeContext) -> Dict[str, Any]:
+        clock = ctx.dram.clock
+        interval = ctx.dram.refresh_interval
+        epoch = clock.epoch(interval)
+        clock.advance_to(max((epoch + 1) * interval, clock.now))
+        if clock.epoch(interval) == epoch:
+            clock.advance(interval * 1e-6)
+        new_epoch = clock.epoch(interval)
+        ctx.notes["aligned_epoch"] = new_epoch
+        ctx.emit(self.name, epoch=new_epoch)
+        return {"epoch": new_epoch}

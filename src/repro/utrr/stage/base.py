@@ -1,0 +1,55 @@
+"""Stage protocol for the U-TRR experiment pipeline.
+
+A probe is a fixed sequence of stages run against the device:
+
+    plant (BitflipCheckStage.plant) -> AlignToRefreshStage ->
+    DisableRefreshStage -> HammerStage -> BitflipCheckStage.run
+
+Each stage reads and annotates one shared :class:`ProbeContext`; the
+pipeline owns the orchestration and the inference logic on top.  Stages
+only ever touch the device through its black-box surface — the clock,
+ordered activations (:meth:`repro.dram.DramModule.activate_burst`), and
+data writes/reads — never the sampler's internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class ProbeContext:
+    """Everything one probe's stages share.
+
+    ``sequence`` is the exact ordered activation list the hammer stage
+    will replay; ``victims`` maps each watched aggressor to the (bank,
+    victim row) whose data witnesses its disturbance.
+    """
+
+    dram: Any
+    probe: int
+    kind: str
+    #: Ordered (bank, row) activations for the hammer stage.
+    sequence: List[Tuple[int, int]]
+    #: (bank, aggressor row, victim row) triples the check stage watches.
+    victims: List[Tuple[int, int, int]]
+    tracer: Optional[Any] = None
+    #: Data pattern currently planted in the victim rows.
+    pattern: bytes = b"\x00"
+    #: Stage scratchpad (epoch bookkeeping, budgets, ...).
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def emit(self, stage: str, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("utrr.stage", stage=stage, probe=self.probe, **fields)
+
+
+class Stage:
+    """One step of a probe; subclasses implement :meth:`run`."""
+
+    #: Short name used in ``utrr.stage`` trace events.
+    name = "stage"
+
+    def run(self, ctx: ProbeContext) -> Dict[str, Any]:
+        raise NotImplementedError

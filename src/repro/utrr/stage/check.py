@@ -1,0 +1,55 @@
+"""Bitflip-check stage.
+
+The probe's only sensor.  Before the hammer, :meth:`BitflipCheckStage.plant`
+writes a known data pattern across every victim row; afterwards,
+:meth:`BitflipCheckStage.run` reads the rows back through the
+accounting-free :meth:`repro.dram.DramModule.inspect` (reading the result
+must not itself hammer) and reports which aggressors' victims changed.
+
+Every probe runs twice, once per complementary pattern (``0x00`` then
+``0xff``), because a weak cell only witnesses disturbance when its planted
+bit differs from the value it flips *to* — the same reason U-TRR sweeps
+data backgrounds on real DIMMs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.dram.address import DramAddress
+from repro.utrr.stage.base import ProbeContext, Stage
+
+#: The two complementary data backgrounds every probe sweeps.
+PATTERNS = (b"\x00", b"\xff")
+
+
+class BitflipCheckStage(Stage):
+    """Plant known data in victim rows; detect which rows changed."""
+
+    name = "bitflip_check"
+
+    def _row_address(self, ctx: ProbeContext, bank: int, row: int) -> int:
+        return ctx.dram.mapping.address_of(DramAddress(bank, row, 0))
+
+    def plant(self, ctx: ProbeContext, pattern: bytes) -> None:
+        """Fill every victim row with ``pattern`` (a normal, accounted
+        write — planting happens *before* the align stage so its own
+        activations are cleared with the old window)."""
+        row_bytes = ctx.dram.geometry.row_bytes
+        data = pattern * row_bytes
+        for bank, _aggressor, victim in ctx.victims:
+            ctx.dram.write(self._row_address(ctx, bank, victim), data)
+        ctx.pattern = pattern
+        ctx.emit("plant", rows=len(ctx.victims))
+
+    def run(self, ctx: ProbeContext) -> Dict[str, Any]:
+        """Aggressor rows whose victim data no longer matches the plant."""
+        row_bytes = ctx.dram.geometry.row_bytes
+        expected = ctx.pattern * row_bytes
+        flipped: List[Tuple[int, int]] = []
+        for bank, aggressor, victim in ctx.victims:
+            got = ctx.dram.inspect(self._row_address(ctx, bank, victim), row_bytes)
+            if got != expected:
+                flipped.append((bank, aggressor))
+        ctx.emit(self.name, rows=len(ctx.victims), flips=len(flipped))
+        return {"flipped": flipped}

@@ -1,0 +1,39 @@
+"""Disable-refresh stage.
+
+On real DIMMs, U-TRR pauses auto-refresh so nothing but the probe touches
+the sampler mid-experiment.  In the simulator, activations do not advance
+the clock, so the equivalent guarantee is that the whole hammer sequence
+lands inside the refresh window the align stage just opened.  This stage
+records the window budget and the epoch the probe must stay in; the
+pipeline re-checks the epoch after hammering and refuses to draw
+conclusions from a probe that straddled a rollover.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.utrr.stage.base import ProbeContext, Stage
+
+
+class DisableRefreshStage(Stage):
+    """Pin the probe inside one refresh window and record its budget."""
+
+    name = "disable_refresh"
+
+    def run(self, ctx: ProbeContext) -> Dict[str, Any]:
+        clock = ctx.dram.clock
+        interval = ctx.dram.refresh_interval
+        epoch = clock.epoch(interval)
+        budget_s = (epoch + 1) * interval - clock.now
+        ctx.notes["probe_epoch"] = epoch
+        ctx.notes["window_budget_s"] = budget_s
+        ctx.emit(self.name, epoch=epoch, acts=len(ctx.sequence))
+        return {"epoch": epoch, "window_budget_s": budget_s}
+
+    @staticmethod
+    def verify(ctx: ProbeContext) -> bool:
+        """Did the probe stay inside its window?  (Checked post-hammer.)"""
+        clock = ctx.dram.clock
+        interval = ctx.dram.refresh_interval
+        return clock.epoch(interval) == ctx.notes.get("probe_epoch")

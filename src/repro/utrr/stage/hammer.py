@@ -1,0 +1,27 @@
+"""Hammer stage.
+
+Replays the probe's exact activation order through
+:meth:`repro.dram.DramModule.activate_burst` — the order-preserving exact
+path.  Order is the entire point: a ``first_k_per_window`` sampler keys on
+*arrival order*, ``counter_lru`` on *count asymmetry*, ``random_sample``
+on neither — so the hammer stage must never let a histogram or coalescer
+rearrange the sequence the pipeline designed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.utrr.stage.base import ProbeContext, Stage
+
+
+class HammerStage(Stage):
+    """Drive the probe's ordered activation sequence."""
+
+    name = "hammer"
+
+    def run(self, ctx: ProbeContext) -> Dict[str, Any]:
+        flips = ctx.dram.activate_burst(ctx.sequence)
+        ctx.notes["hammer_acts"] = len(ctx.sequence)
+        ctx.emit(self.name, acts=len(ctx.sequence), flips=len(flips))
+        return {"acts": len(ctx.sequence), "flips": len(flips)}

@@ -568,3 +568,63 @@ class TestPayloadCommand:
         assert payload["checked"] == 6
         with open(report_path, "r", encoding="utf-8") as handle:
             assert json.loads(handle.read()) == payload
+
+
+class TestUtrrCommand:
+    def test_inference_recovers_and_exits_zero(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        code = main(
+            ["utrr", "--capacity", "2", "--policy", "first_k_per_window",
+             "--report", report_path, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tracker_capacity"] == 2
+        assert payload["sampling_policy"] == "first_k_per_window"
+        assert payload["per_bank"] is True
+        with open(report_path, "r", encoding="utf-8") as handle:
+            assert json.loads(handle.read()) == payload
+
+    def test_text_output_names_the_sampler(self, capsys):
+        assert main(["utrr", "--capacity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity=2" in out
+        assert "recovered: yes" in out
+
+    def test_mismatch_exits_nonzero(self, capsys):
+        # max-capacity below the real onset: inference cannot recover.
+        code = main(["utrr", "--capacity", "4", "--max-capacity", "2"])
+        assert code == 1
+        assert "recovered: NO" in capsys.readouterr().out
+
+    def test_trace_validates_and_is_deterministic(self, tmp_path, capsys):
+        from repro.trace import load_trace, validate_events
+
+        paths = [str(tmp_path / name) for name in ("a.jsonl", "b.jsonl")]
+        for path in paths:
+            assert main(
+                ["utrr", "--capacity", "2", "--trace", path]
+            ) == 0
+        capsys.readouterr()
+        with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+            assert a.read() == b.read()
+        assert validate_events(load_trace(paths[0])) == []
+
+    def test_demo_defeats_the_sampler(self, capsys):
+        assert main(
+            ["utrr", "--policy", "counter_lru", "--demo"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "naive double-sided flips: 0" in out
+        assert "sync_refresh bypassed the inferred sampler" in out
+
+    def test_emit_utrr_golden(self, tmp_path, capsys):
+        import os
+
+        regen = tmp_path / "utrr.jsonl"
+        assert main(["trace", "--emit-utrr-golden", str(regen)]) == 0
+        fixture = os.path.join(
+            os.path.dirname(__file__), "golden", "utrr_infer.trace.jsonl"
+        )
+        with open(regen, "rb") as fresh, open(fixture, "rb") as pinned:
+            assert fresh.read() == pinned.read()

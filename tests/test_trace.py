@@ -18,15 +18,18 @@ from repro.sim import SimClock, merge_snapshots
 from repro.trace import (
     EVENT_SCHEMAS,
     TRACE_VERSION,
+    UTRR_GOLDEN_TRR,
     Tracer,
     conservation_errors,
     diff_summaries,
     emit_golden,
     emit_payload_golden,
+    emit_utrr_golden,
     encode_event,
     load_trace,
     run_golden_scenario,
     run_payload_golden_scenario,
+    run_utrr_golden_scenario,
     summarize,
     to_chrome,
     validate_event,
@@ -41,6 +44,10 @@ GOLDEN_FIXTURE = os.path.join(
 
 PAYLOAD_GOLDEN_FIXTURE = os.path.join(
     os.path.dirname(__file__), "golden", "payload_double_sided.trace.jsonl"
+)
+
+UTRR_GOLDEN_FIXTURE = os.path.join(
+    os.path.dirname(__file__), "golden", "utrr_infer.trace.jsonl"
 )
 
 
@@ -226,6 +233,13 @@ def payload_events():
 
 
 @pytest.fixture(scope="module")
+def utrr_events():
+    """The U-TRR inference golden run, utrr.* events ON."""
+    tracer, _report = run_utrr_golden_scenario()
+    return tracer.events
+
+
+@pytest.fixture(scope="module")
 def buffered_gc_crash_events():
     """Write buffer + GC pressure + batch bursts + crash/recover."""
     controller, dram, ftl, tracer = _traced_stack(
@@ -348,6 +362,7 @@ class TestSchemaCoverage:
         self,
         golden_events,
         payload_events,
+        utrr_events,
         buffered_gc_crash_events,
         mitigated_dram_events,
         faulty_events,
@@ -357,6 +372,7 @@ class TestSchemaCoverage:
         for events in (
             golden_events,
             payload_events,
+            utrr_events,
             buffered_gc_crash_events,
             mitigated_dram_events,
             faulty_events,
@@ -369,6 +385,7 @@ class TestSchemaCoverage:
         self,
         golden_events,
         payload_events,
+        utrr_events,
         buffered_gc_crash_events,
         mitigated_dram_events,
         faulty_events,
@@ -381,6 +398,7 @@ class TestSchemaCoverage:
         for events in (
             golden_events,
             payload_events,
+            utrr_events,
             buffered_gc_crash_events,
             mitigated_dram_events,
             faulty_events,
@@ -505,6 +523,50 @@ class TestPayloadGolden:
 
         assert flips(payload_events) == flips(golden_events)
         assert flips(payload_events)
+
+
+class TestUtrrGolden:
+    """The U-TRR inference battery against the fragile target, pinned
+    byte-for-byte by its own committed fixture."""
+
+    def test_fixture_matches_regenerated_bytes(self, tmp_path):
+        path = str(tmp_path / "regen.jsonl")
+        emit_utrr_golden(path)
+        with open(path, "rb") as fresh:
+            with open(UTRR_GOLDEN_FIXTURE, "rb") as pinned:
+                assert fresh.read() == pinned.read()
+
+    def test_fixture_validates(self):
+        events = load_trace(UTRR_GOLDEN_FIXTURE)
+        assert validate_events(events) == []
+
+    def test_report_event_recovers_the_golden_config(self):
+        events = load_trace(UTRR_GOLDEN_FIXTURE)
+        reports = [e for e in events if e["name"] == "utrr.report"]
+        assert len(reports) == 1
+        report = reports[0]
+        assert report["capacity"] == UTRR_GOLDEN_TRR["tracker_capacity"]
+        assert report["policy"] == UTRR_GOLDEN_TRR["sampling_policy"]
+        assert report["per_bank"] == UTRR_GOLDEN_TRR["per_bank"]
+        assert report["probes"] >= 4
+
+    def test_stage_events_cover_the_battery(self):
+        events = load_trace(UTRR_GOLDEN_FIXTURE)
+        stages = {e["stage"] for e in events if e["name"] == "utrr.stage"}
+        assert stages == {
+            "align_to_refresh",
+            "disable_refresh",
+            "hammer",
+            "plant",
+            "bitflip_check",
+        }
+        kinds = [e["kind"] for e in events if e["name"] == "utrr.probe"]
+        assert kinds[0] == "baseline"
+        assert "onset" in {k.split(":")[0] for k in kinds}
+
+    def test_in_memory_run_matches_fixture(self, utrr_events):
+        pinned = load_trace(UTRR_GOLDEN_FIXTURE)
+        assert utrr_events == pinned
 
 
 # ---------------------------------------------------------------------------

@@ -200,3 +200,37 @@ class TestSweepDeterminism:
             "0000.01.batch.jsonl",
             "0000.01.scalar.jsonl",
         ]
+
+
+class TestUtrrDeterminism:
+    """Observer effect = 0 for the U-TRR inference battery: running the
+    probe pipeline with utrr.* events on changes neither the probes'
+    physics nor the inferred report."""
+
+    @staticmethod
+    def _infer(traced):
+        from repro.trace import UTRR_GOLDEN_TRR
+        from repro.utrr import UtrrPipeline, build_utrr_target
+
+        clock = SimClock()
+        tracer = Tracer(clock) if traced else None
+        dram = build_utrr_target(
+            UTRR_GOLDEN_TRR, seed=5, clock=clock, tracer=tracer
+        )
+        report = UtrrPipeline(dram, tracer=tracer).infer()
+        snapshot = dram.metrics.snapshot()
+        if tracer is not None:
+            tracer.close(metrics=snapshot)
+        return report, clock, snapshot
+
+    def test_traced_inference_matches_untraced(self):
+        untraced_report, untraced_clock, untraced_snapshot = self._infer(False)
+        traced_report, traced_clock, traced_snapshot = self._infer(True)
+        assert traced_report.to_json() == untraced_report.to_json()
+        assert traced_clock.now == untraced_clock.now
+        assert traced_snapshot == untraced_snapshot
+
+    def test_reruns_are_byte_stable(self):
+        first, _, _ = self._infer(True)
+        second, _, _ = self._infer(True)
+        assert first.to_json() == second.to_json()
